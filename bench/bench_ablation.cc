@@ -1,0 +1,105 @@
+// Ablation studies of the design choices Section V discusses:
+//
+//  1. Smoothness bound delta: the paper argues tighter bounds (delta < 2)
+//     shrink the achievable improvement by limiting per-grid dose freedom.
+//  2. Dose correction range: +/-2% vs the baseline +/-5%.
+//  3. Equipment granularity: CDC-like fine-grain CD control (the
+//     Zeiss/Pixer technology of the introduction) modeled as a relaxed
+//     effective smoothness bound -- the paper predicts larger gains.
+//  4. Actuator realizability: projecting the free-form optimized map onto
+//     the separable Unicom-XL + Dosicom profile (Section II-A) and golden-
+//     evaluating what the scanner would actually print.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "dmopt/dmopt.h"
+#include "dose/actuator.h"
+#include "power/leakage.h"
+
+using namespace doseopt;
+
+int main() {
+  bench::banner(
+      "Ablations -- smoothness bound, correction range, CDC-style "
+      "granularity, and actuator-profile realizability (AES-65, QCP)");
+
+  gen::DesignSpec spec = flow::scaled_spec(gen::aes65_spec());
+  flow::DesignContext ctx(spec);
+  const double mct0 = ctx.nominal_mct_ns();
+  const double leak0 = ctx.nominal_leakage_uw();
+  const liberty::CoefficientSet& coeffs = ctx.coefficients(false);
+  std::printf("nominal: MCT %.4f ns, leakage %.1f uW\n", mct0, leak0);
+
+  struct Config {
+    const char* name;
+    double grid_um;
+    double delta;
+    double range;
+  };
+  const Config configs[] = {
+      {"baseline (G=10, d=2, +/-5%)", 10.0, 2.0, 5.0},
+      {"tight smoothness d=0.5", 10.0, 0.5, 5.0},
+      {"tight smoothness d=1", 10.0, 1.0, 5.0},
+      {"loose smoothness d=4", 10.0, 4.0, 5.0},
+      {"narrow range +/-2%", 10.0, 2.0, 2.0},
+      {"CDC-like (G=2.5, d=5)", 2.5, 5.0, 5.0},
+  };
+
+  TextTable t;
+  t.set_header({"Configuration", "MCT (ns)", "imp (%)", "Leakage (uW)",
+                "Runtime (s)"});
+  dmopt::DmoptResult baseline_result;
+  for (const Config& cfg : configs) {
+    dmopt::DmoptOptions opt;
+    opt.grid_um = cfg.grid_um;
+    opt.smoothness_delta = cfg.delta;
+    opt.dose_lower_pct = -cfg.range;
+    opt.dose_upper_pct = cfg.range;
+    dmopt::DoseMapOptimizer optimizer(
+        &ctx.netlist(), &ctx.placement(), &ctx.parasitics(), &ctx.repo(),
+        &coeffs, &ctx.timer(), &ctx.nominal_timing(), opt);
+    const dmopt::DmoptResult r = optimizer.minimize_cycle_time();
+    if (&cfg == &configs[0]) baseline_result = r;
+    t.add_row({cfg.name, fmt_f(r.golden_mct_ns, 4),
+               fmt_f(bench::improvement_pct(mct0, r.golden_mct_ns), 2),
+               fmt_f(r.golden_leakage_uw, 1), fmt_f(r.runtime_s, 1)});
+  }
+  t.print(std::cout);
+
+  // --- actuator realizability of the baseline map ---
+  const dose::ActuatorFit fit =
+      dose::fit_actuators(baseline_result.poly_map);
+  dose::DoseMap actuated = baseline_result.poly_map;
+  {
+    auto doses = fit.recipe.render(actuated);
+    for (auto& d : doses) d = std::clamp(d, -5.0, 5.0);
+    actuated.set_doses(doses);
+  }
+  sta::VariantAssignment va(ctx.netlist().cell_count());
+  for (std::size_t c = 0; c < ctx.netlist().cell_count(); ++c) {
+    const auto id = static_cast<netlist::CellId>(c);
+    const std::size_t g =
+        actuated.grid_at(ctx.placement().x_um(id), ctx.placement().y_um(id));
+    va.set(id, liberty::dose_to_variant_index(actuated.doses()[g]), 10);
+  }
+  const double act_mct = ctx.timer().analyze(va).mct_ns;
+  const double act_leak =
+      power::total_leakage_uw(ctx.netlist(), ctx.repo(), va);
+  std::printf(
+      "\nActuator projection (slit poly <=6 + scan Legendre <=8, eq. (1)): "
+      "residual rms %.2f%% dose\n", fit.rms_residual_pct);
+  std::printf(
+      "  free-form map: MCT %.4f ns (imp %.2f%%), leak %.1f uW\n",
+      baseline_result.golden_mct_ns,
+      bench::improvement_pct(mct0, baseline_result.golden_mct_ns),
+      baseline_result.golden_leakage_uw);
+  std::printf(
+      "  actuated map:  MCT %.4f ns (imp %.2f%%), leak %.1f uW\n", act_mct,
+      bench::improvement_pct(mct0, act_mct), act_leak);
+  std::printf(
+      "A separable slit+scan profile recovers only part of the design-aware "
+      "gain -- the argument for finer-grain CD control (CDC) or per-field "
+      "dose recipes.\n");
+  return 0;
+}

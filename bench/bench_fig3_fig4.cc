@@ -1,0 +1,78 @@
+// Reproduces Fig. 3 and Fig. 4 of the paper: propagation delay of a 65 nm
+// inverter versus gate length (linear, increasing) and versus the change in
+// gate width (linear, decreasing).  TPLH is the rising-output delay, TPHL
+// the falling-output delay, exactly as plotted in the paper.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "liberty/characterizer.h"
+
+using namespace doseopt;
+
+int main() {
+  bench::banner(
+      "Fig. 3 / Fig. 4 -- inverter delay vs gate length and gate width "
+      "(65 nm INVX1; paper: both relations linear near nominal)");
+
+  const tech::TechNode node = tech::make_tech_65nm();
+  const tech::DeviceModel device(node);
+  const auto masters = liberty::make_standard_masters(node);
+  const liberty::CellMaster& inv = liberty::master_by_name(masters, "INVX1");
+
+  const double slew = 0.05;  // ns
+  const double load = 3.2;   // fF
+
+  {
+    TextTable t;
+    t.set_header({"Lgate (nm)", "TPLH (ns)", "TPHL (ns)"});
+    for (double l = 55.0; l <= 75.0 + 1e-9; l += 2.0) {
+      const double dl = l - node.l_nominal_nm;
+      t.add_row({fmt_f(l, 0),
+                 fmt_f(liberty::cell_delay_ns(device, inv, dl, 0.0, slew,
+                                              load, /*rising=*/true),
+                       5),
+                 fmt_f(liberty::cell_delay_ns(device, inv, dl, 0.0, slew,
+                                              load, /*rising=*/false),
+                       5)});
+    }
+    std::printf("\nFig. 3: delay vs gate length (slew %.3f ns, load %.1f fF)\n",
+                slew, load);
+    t.print(std::cout);
+  }
+
+  {
+    TextTable t;
+    t.set_header({"dW (nm)", "TPLH (ns)", "TPHL (ns)"});
+    for (double dw = -10.0; dw <= 10.0 + 1e-9; dw += 2.0) {
+      t.add_row({fmt_f(dw, 0),
+                 fmt_f(liberty::cell_delay_ns(device, inv, 0.0, dw, slew,
+                                              load, true),
+                       5),
+                 fmt_f(liberty::cell_delay_ns(device, inv, 0.0, dw, slew,
+                                              load, false),
+                       5)});
+    }
+    std::printf("\nFig. 4: delay vs change in gate width\n");
+    t.print(std::cout);
+  }
+
+  // Shape check the paper relies on: near-linearity in both sweeps.
+  auto linearity = [&](bool length_sweep) {
+    auto delay = [&](double d) {
+      return length_sweep
+                 ? liberty::cell_delay_ns(device, inv, d, 0.0, slew, load,
+                                          false)
+                 : liberty::cell_delay_ns(device, inv, 0.0, d, slew, load,
+                                          false);
+    };
+    const double slope10 = delay(10.0) - delay(0.0);
+    const double slope_neg10 = delay(0.0) - delay(-10.0);
+    return slope10 / slope_neg10;
+  };
+  std::printf(
+      "\nLinearity (slope ratio +/-10 nm; 1.0 = perfectly linear): "
+      "Lgate %.3f, Wgate %.3f\n",
+      linearity(true), linearity(false));
+  return 0;
+}

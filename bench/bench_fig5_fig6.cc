@@ -1,0 +1,63 @@
+// Reproduces Fig. 5 and Fig. 6 of the paper: average leakage of a 65 nm
+// minimum-size inverter (INVX1) versus gate length (exponential) and versus
+// the change in gate width (linear), at VDD = 1.0 V, 25 C, TT.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "fit/leastsq.h"
+#include "liberty/characterizer.h"
+
+using namespace doseopt;
+
+int main() {
+  bench::banner(
+      "Fig. 5 / Fig. 6 -- INVX1 leakage vs gate length (exponential) and "
+      "gate width (linear); 65 nm, VDD=1.0V, 25C, TT");
+
+  const tech::TechNode node = tech::make_tech_65nm();
+  const tech::DeviceModel device(node);
+  const auto masters = liberty::make_standard_masters(node);
+  const liberty::CellMaster& inv = liberty::master_by_name(masters, "INVX1");
+
+  std::vector<double> ls, leaks;
+  {
+    TextTable t;
+    t.set_header({"Lgate (nm)", "leakage (nW)"});
+    for (double l = 55.0; l <= 75.0 + 1e-9; l += 2.0) {
+      const double leak =
+          liberty::cell_leakage_nw(device, inv, l - node.l_nominal_nm, 0.0);
+      ls.push_back(l);
+      leaks.push_back(leak);
+      t.add_row({fmt_f(l, 0), fmt_f(leak, 3)});
+    }
+    std::printf("\nFig. 5: leakage vs gate length\n");
+    t.print(std::cout);
+    const fit::FitResult expfit = fit::fit_exponential(ls, leaks);
+    std::printf(
+        "Exponential fit: leak ~ %.3g * exp(%.4f * L);  R^2 = %.4f "
+        "(paper: exponential in L)\n",
+        expfit.coefficients[0], expfit.coefficients[1], expfit.r_squared);
+  }
+
+  {
+    TextTable t;
+    t.set_header({"dW (nm)", "leakage (nW)"});
+    std::vector<double> dws, wleaks;
+    for (double dw = -10.0; dw <= 10.0 + 1e-9; dw += 2.0) {
+      const double leak = liberty::cell_leakage_nw(device, inv, 0.0, dw);
+      dws.push_back(dw);
+      wleaks.push_back(leak);
+      t.add_row({fmt_f(dw, 0), fmt_f(leak, 3)});
+    }
+    std::printf("\nFig. 6: leakage vs change in gate width\n");
+    t.print(std::cout);
+    const fit::FitResult linfit = fit::fit_polynomial(dws, wleaks, 1);
+    std::printf(
+        "Linear fit: leak ~ %.4f + %.5f * dW;  R^2 = %.6f "
+        "(paper: linear in dW)\n",
+        linfit.coefficients[0], linfit.coefficients[1], linfit.r_squared);
+  }
+  return 0;
+}

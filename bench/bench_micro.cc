@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical kernels:
+// library characterization, full STA, top-K path enumeration, QP solves,
+// parasitic extraction, and the complete DMopt QP on a small design.
+#include <benchmark/benchmark.h>
+
+#include "dmopt/dmopt.h"
+#include "flow/context.h"
+#include "common/rng.h"
+#include "qp/qp_solver.h"
+
+using namespace doseopt;
+
+namespace {
+
+flow::DesignContext& small_ctx() {
+  static flow::DesignContext* ctx =
+      new flow::DesignContext(gen::aes65_spec().scaled(0.1));
+  return *ctx;
+}
+
+void BM_CharacterizeLibrary(benchmark::State& state) {
+  const tech::TechNode node = tech::make_tech_65nm();
+  const tech::DeviceModel device(node);
+  const auto masters = liberty::make_standard_masters(node);
+  for (auto _ : state) {
+    const liberty::Library lib =
+        liberty::characterize(device, masters, 2.0, 0.0);
+    benchmark::DoNotOptimize(lib.cell_count());
+  }
+}
+BENCHMARK(BM_CharacterizeLibrary);
+
+void BM_StaAnalyze(benchmark::State& state) {
+  flow::DesignContext& ctx = small_ctx();
+  sta::VariantAssignment va(ctx.netlist().cell_count());
+  for (auto _ : state) {
+    const sta::TimingResult r = ctx.timer().analyze(va);
+    benchmark::DoNotOptimize(r.mct_ns);
+  }
+  state.counters["cells"] = static_cast<double>(ctx.netlist().cell_count());
+}
+BENCHMARK(BM_StaAnalyze);
+
+void BM_TopPaths(benchmark::State& state) {
+  flow::DesignContext& ctx = small_ctx();
+  sta::VariantAssignment va(ctx.netlist().cell_count());
+  const sta::TimingResult timing = ctx.timer().analyze(va);
+  for (auto _ : state) {
+    const auto paths = ctx.timer().top_paths(
+        va, timing, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(paths.size());
+  }
+}
+BENCHMARK(BM_TopPaths)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Extract(benchmark::State& state) {
+  flow::DesignContext& ctx = small_ctx();
+  for (auto _ : state) {
+    const extract::Parasitics p =
+        extract::extract(ctx.placement(), ctx.node());
+    benchmark::DoNotOptimize(p.net_count());
+  }
+}
+BENCHMARK(BM_Extract);
+
+void BM_QpSolveBox(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(99);
+  la::TripletMatrix t(2 * n, n);
+  for (std::size_t i = 0; i < n; ++i) t.add(i, i, 1.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (int k = 0; k < 3; ++k)
+      t.add(n + r, rng.uniform_index(n), rng.uniform(-1, 1));
+  qp::QpProblem prob;
+  prob.p_diag.assign(n, 1.0);
+  prob.q.assign(n, 0.0);
+  for (auto& v : prob.q) v = rng.uniform(-1, 1);
+  prob.a = la::CsrMatrix(t);
+  prob.lower.assign(2 * n, -1.0);
+  prob.upper.assign(2 * n, 1.0);
+  qp::QpSolver solver;
+  for (auto _ : state) {
+    const qp::QpSolution sol = solver.solve(prob);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_QpSolveBox)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_DmoptQp(benchmark::State& state) {
+  flow::DesignContext& ctx = small_ctx();
+  const liberty::CoefficientSet& coeffs = ctx.coefficients(false);
+  dmopt::DmoptOptions opt;
+  opt.grid_um = 10.0;
+  for (auto _ : state) {
+    dmopt::DoseMapOptimizer optimizer(
+        &ctx.netlist(), &ctx.placement(), &ctx.parasitics(), &ctx.repo(),
+        &coeffs, &ctx.timer(), &ctx.nominal_timing(), opt);
+    const dmopt::DmoptResult r = optimizer.minimize_leakage();
+    benchmark::DoNotOptimize(r.golden_leakage_uw);
+  }
+}
+BENCHMARK(BM_DmoptQp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

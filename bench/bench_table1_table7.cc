@@ -1,0 +1,71 @@
+// Reproduces Table I (testcase characteristics) and Table VII (percentage
+// of critical timing paths near the MCT) for the four synthetic designs
+// matched to the paper's AES/JPEG testcases.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace doseopt;
+
+int main() {
+  bench::banner(
+      "Table I / Table VII -- testcase characteristics and timing "
+      "criticality profiles");
+
+  struct PaperRow {
+    double mct;
+    double leak;
+    double p95, p90, p80;
+  };
+  // Paper values for reference columns (Tables II/III/IV nominals + VII).
+  const PaperRow paper[4] = {{1.638, 448.0, 16.54, 28.98, 41.98},
+                             {2.179, 2915.5, 4.80, 9.89, 30.23},
+                             {1.990, 2430.2, 0.91, 4.54, 22.84},
+                             {2.906, 4354.2, 0.12, 0.35, 3.92}};
+
+  TextTable t1;
+  t1.set_header({"Design", "Chip size (mm2)", "#Cells", "#Nets", "util",
+                 "HPWL (um)"});
+  TextTable t7;
+  t7.set_header({"Design", "95-100% MCT", "90-100% MCT", "80-100% MCT",
+                 "(paper 95/90/80)"});
+  TextTable tn;
+  tn.set_header({"Design", "MCT (ns)", "paper", "Leakage (uW)", "paper"});
+
+  int row = 0;
+  for (const gen::DesignSpec& base : gen::table1_specs()) {
+    const gen::DesignSpec spec = flow::scaled_spec(base);
+    flow::DesignContext ctx(spec);
+    t1.add_row({spec.name, fmt_f(spec.chip_area_mm2, 3),
+                std::to_string(ctx.netlist().cell_count()),
+                std::to_string(ctx.netlist().net_count()),
+                fmt_f(place::utilization(ctx.placement()), 2),
+                fmt_f(ctx.placement().total_hpwl_um(), 0)});
+
+    sta::VariantAssignment nominal(ctx.netlist().cell_count());
+    const auto paths =
+        ctx.timer().top_paths(nominal, ctx.nominal_timing(), 10000);
+    const double mct = ctx.nominal_mct_ns();
+    t7.add_row(
+        {spec.name,
+         fmt_f(sta::critical_path_percentage(paths, mct, 0.95), 2),
+         fmt_f(sta::critical_path_percentage(paths, mct, 0.90), 2),
+         fmt_f(sta::critical_path_percentage(paths, mct, 0.80), 2),
+         fmt_f(paper[row].p95, 2) + "/" + fmt_f(paper[row].p90, 2) + "/" +
+             fmt_f(paper[row].p80, 2)});
+    tn.add_row({spec.name, fmt_f(mct, 3), fmt_f(paper[row].mct, 3),
+                fmt_f(ctx.nominal_leakage_uw(), 1),
+                fmt_f(paper[row].leak, 1)});
+    ++row;
+  }
+
+  std::printf("\nTable I: characteristics of the (synthetic) designs\n");
+  t1.print(std::cout);
+  std::printf("\nNominal analysis vs paper\n");
+  tn.print(std::cout);
+  std::printf("\nTable VII: percentage of top-10000 critical paths within a "
+              "band of the MCT\n");
+  t7.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "flow/context.h"
+
+namespace doseopt::bench {
+
+/// Print the standard harness banner: what is being reproduced and at what
+/// design scale (full Table I sizes unless DOSEOPT_FAST is set).
+inline void banner(const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what.c_str());
+  if (flow::fast_mode())
+    std::printf("(DOSEOPT_FAST set: designs scaled to %.0f%% of Table I)\n",
+                100.0 * flow::design_scale());
+  std::printf("==============================================================\n");
+}
+
+/// Improvement percentage the way the paper's tables quote it.
+inline double improvement_pct(double reference, double value) {
+  return reference != 0.0 ? 100.0 * (reference - value) / reference : 0.0;
+}
+
+}  // namespace doseopt::bench

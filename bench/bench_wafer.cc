@@ -1,0 +1,69 @@
+// Extension experiment: wafer-level co-optimization (the paper's stated
+// future work -- minimizing delay variation across the wafer).
+//
+// Stacks the three dose knobs the DoseMapper ecosystem provides:
+//   1. raw process: radial AWLV bowl, no correction;
+//   2. manufacturing-side per-field AWLV correction (Dosicom offsets);
+//   3. AWLV correction + the design-aware intra-field dose map (QCP).
+// Reports the across-wafer MCT spread and yield at a fixed clock.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "dmopt/dmopt.h"
+#include "wafer/wafer.h"
+
+using namespace doseopt;
+
+int main() {
+  bench::banner(
+      "Wafer-level extension -- AWLV correction and design-aware dose maps "
+      "across the wafer (AES-65)");
+
+  gen::DesignSpec spec = flow::scaled_spec(gen::aes65_spec());
+  flow::DesignContext ctx(spec);
+
+  wafer::WaferModel model;
+  model.bowl2_nm = 4.0;
+  model.bowl4_nm = 3.0;
+  wafer::Wafer wfr(model);
+  std::printf("wafer: %zu fields of %.0f mm, raw AWLV range %.2f nm "
+              "(sigma %.2f nm)\n",
+              wfr.field_count(), model.field_size_mm, wfr.awlv_range_nm(),
+              wfr.awlv_sigma_nm());
+
+  // Design-aware intra-field map.
+  dmopt::DmoptOptions opt;
+  opt.grid_um = 10.0;
+  dmopt::DoseMapOptimizer optimizer(
+      &ctx.netlist(), &ctx.placement(), &ctx.parasitics(), &ctx.repo(),
+      &ctx.coefficients(false), &ctx.timer(), &ctx.nominal_timing(), opt);
+  const dmopt::DmoptResult dm = optimizer.minimize_cycle_time();
+
+  const sta::VariantAssignment nominal(ctx.netlist().cell_count());
+  const double clock = ctx.nominal_mct_ns();
+
+  TextTable t;
+  t.set_header({"Configuration", "AWLV (nm)", "mean MCT (ns)",
+                "spread (ps)", "yield @ nominal clk"});
+  auto add = [&](const char* name, const wafer::Wafer& w,
+                 const sta::VariantAssignment& base) {
+    const wafer::WaferTimingResult r =
+        wafer::analyze_wafer_timing(w, ctx.netlist(), ctx.timer(), base);
+    t.add_row({name, fmt_f(w.awlv_range_nm(), 2), fmt_f(r.mean_mct_ns, 4),
+               fmt_f(1e3 * (r.max_mct_ns - r.min_mct_ns), 1),
+               fmt_f(100.0 * r.yield_at(clock), 1) + "%"});
+  };
+
+  add("raw process", wfr, nominal);
+  wfr.apply_awlv_correction();
+  add("+ AWLV correction", wfr, nominal);
+  add("+ design-aware map", wfr, dm.variants);
+  t.print(std::cout);
+
+  std::printf(
+      "\nAWLV correction collapses the across-wafer MCT spread; the design-"
+      "aware intra-field map then shifts every field's MCT below the "
+      "nominal clock -- wafer-scale timing yield from the same dose knob.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Timing rescue scenario: a placed design misses its frequency target and
+// the mask set is frozen -- no resynthesis, no re-placement allowed.  The
+// co-optimization of the paper applies two post-layout knobs:
+//
+//   stage 1 (DMopt/QCP): compute a design-aware dose map that speeds up
+//           critical regions without any leakage increase;
+//   stage 2 (dosePl): swap critical cells into the high-dose regions the
+//           map created, with ECO legalization and golden re-timing.
+//
+// Build & run:  cmake --build build && ./build/examples/timing_rescue
+#include <cstdio>
+
+#include "flow/optimize.h"
+
+using namespace doseopt;
+
+int main() {
+  flow::DesignContext ctx(gen::aes65_spec().scaled(0.12));
+  std::printf("design: %s  cells=%zu\n", ctx.spec().name.c_str(),
+              ctx.netlist().cell_count());
+  std::printf("stage 0 (signoff):  MCT %.4f ns  leakage %.1f uW\n",
+              ctx.nominal_mct_ns(), ctx.nominal_leakage_uw());
+
+  flow::FlowOptions options;
+  options.mode = flow::DmoptMode::kMinimizeCycleTime;
+  options.dmopt.grid_um = 5.0;
+  options.run_dose_placement = true;
+  options.dosepl.rounds = 10;
+
+  const flow::FlowResult r = run_flow(ctx, options);
+
+  std::printf("stage 1 (DMopt/QCP): MCT %.4f ns  leakage %.1f uW  "
+              "(%d bisection probes, %.1f s)\n",
+              r.dmopt.golden_mct_ns, r.dmopt.golden_leakage_uw,
+              r.dmopt.bisection_probes, r.dmopt.runtime_s);
+  std::printf("stage 2 (dosePl):    MCT %.4f ns  leakage %.1f uW  "
+              "(%d swaps accepted in %d rounds, %.1f s)\n",
+              r.dosepl.final_mct_ns, r.dosepl.final_leakage_uw,
+              r.dosepl.swaps_accepted, r.dosepl.rounds_run,
+              r.dosepl.runtime_s);
+
+  const double gain =
+      100.0 * (r.nominal_mct_ns - r.final_mct_ns) / r.nominal_mct_ns;
+  std::printf("\ntotal cycle-time improvement: %.2f%% at %+.2f%% leakage -- "
+              "with zero mask or netlist changes.\n",
+              gain,
+              100.0 * (r.final_leakage_uw - r.nominal_leakage_uw) /
+                  r.nominal_leakage_uw);
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/bin/bash
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+BENCHES="bench_fig3_fig4 bench_fig5_fig6 bench_table1_table7 bench_table2_table3 bench_fit_residuals bench_wafer bench_yield bench_table4 bench_table8_fig10 bench_table6 bench_table5 bench_ablation bench_micro"
+{
+  for name in $BENCHES; do
+    b=build/bench/$name
+    echo ""
+    echo "################ $b ################"
+    timeout 1200 stdbuf -oL "$b" 2>&1
+    echo "(exit: $?)"
+  done
+} 2>&1 | tee /root/repo/bench_output.txt
+echo ALL_DONE

@@ -1,0 +1,38 @@
+// Error handling for the doseopt library.
+//
+// Library code throws doseopt::Error for violated preconditions and
+// unrecoverable runtime failures.  The DOSEOPT_CHECK family gives
+// assert-with-message semantics that stay enabled in release builds; the
+// invariants they guard (graph well-formedness, index bounds, solver
+// preconditions) are cheap relative to the work they protect.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace doseopt {
+
+/// Exception type thrown by all doseopt subsystems.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace doseopt
+
+/// Verify `cond`; on failure throw doseopt::Error with location and message.
+#define DOSEOPT_CHECK(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::doseopt::detail::check_failed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                  \
+  } while (0)
+
+/// Unconditional failure (unreachable code paths, exhausted switches).
+#define DOSEOPT_FAIL(msg) \
+  ::doseopt::detail::check_failed(__FILE__, __LINE__, "fail", msg)

@@ -1,0 +1,50 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace doseopt {
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find_first_of(delims, start);
+    const std::size_t len =
+        (end == std::string_view::npos ? s.size() : end) - start;
+    if (len > 0) out.emplace_back(s.substr(start, len));
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  const std::size_t first = s.find_first_not_of(ws);
+  if (first == std::string_view::npos) return {};
+  const std::size_t last = s.find_last_not_of(ws);
+  return s.substr(first, last - first + 1);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  DOSEOPT_CHECK(n >= 0, "str_format: encoding error");
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace doseopt

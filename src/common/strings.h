@@ -1,0 +1,23 @@
+// Small string utilities shared by the Liberty writer/parser and reporters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace doseopt {
+
+/// Split `s` on any character in `delims`, dropping empty tokens.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace doseopt

@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace doseopt {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  grow(header_);
+  for (const Row& r : rows_)
+    if (!r.separator) grow(r.cells);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  if (total >= 2) total -= 2;
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size())
+        os << std::string(widths[i] - cells[i].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      emit(r.cells);
+    }
+  }
+}
+
+std::string fmt_f(double v, int prec) { return str_format("%.*f", prec, v); }
+
+std::string fmt_pct(double v, int prec) {
+  return str_format("%.*f", prec, v);
+}
+
+}  // namespace doseopt

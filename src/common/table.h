@@ -1,0 +1,43 @@
+// Aligned plain-text table printer used by the benchmark harnesses to emit
+// rows in the same layout as the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace doseopt {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  /// Set the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row. Rows may have differing cell counts.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  /// Render to a stream with two-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Format a double with `prec` digits after the decimal point.
+std::string fmt_f(double v, int prec);
+
+/// Format a percentage improvement the way the paper does ("-" for baseline).
+std::string fmt_pct(double v, int prec = 2);
+
+}  // namespace doseopt

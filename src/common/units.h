@@ -1,0 +1,32 @@
+// Unit conventions used throughout doseopt.
+//
+// All quantities are plain doubles in the following canonical units:
+//
+//   time         ns        (gate delays, arrival times, cycle time)
+//   power        uW        (leakage)
+//   CD / length  nm        (gate length L, gate width W, delta-CD)
+//   placement    um        (cell coordinates, die size, grid pitch)
+//   capacitance  fF        (pin caps, wire caps)
+//   resistance   kOhm      (drive resistance, wire resistance;
+//                           kOhm * fF = ps = 1e-3 ns)
+//   voltage      V
+//   dose         percent   (delta from nominal exposure energy)
+//
+// The constants below make unit conversions explicit at use sites.
+#pragma once
+
+namespace doseopt::units {
+
+/// ps expressed in ns (kOhm * fF products are in ps).
+inline constexpr double kPsToNs = 1e-3;
+
+/// um expressed in nm.
+inline constexpr double kUmToNm = 1e3;
+
+/// nm expressed in um.
+inline constexpr double kNmToUm = 1e-3;
+
+/// mm^2 expressed in um^2 (chip areas in Table I are quoted in mm^2).
+inline constexpr double kMm2ToUm2 = 1e6;
+
+}  // namespace doseopt::units

@@ -1,0 +1,176 @@
+// Design-aware dose map optimization (DMopt) -- the paper's core
+// contribution (Section III).
+//
+// Given a placed, timed design, partition the exposure field into an M x N
+// grid and choose a per-grid dose delta on the poly layer (and optionally
+// the active layer) to either
+//
+//   * QP:  minimize the change in total leakage power subject to a cycle-
+//     time bound (linear timing constraints, quadratic objective), or
+//   * QCP: minimize the cycle time subject to a leakage budget (solved as a
+//     bisection over the cycle-time bound, each probe being one QP).
+//
+// Both respect the equipment constraints: per-grid dose correction range
+// (eq. (3)/(8)) and neighbor smoothness (eq. (4)/(9)).
+//
+// Solver strategy: the paper writes the timing constraints with explicit
+// per-node arrival-time variables (eq. (5)/(10)) and hands the program to
+// CPLEX.  We solve the *projection of that system onto the dose variables*:
+// the arrival constraints are equivalent to one linear constraint per
+// launch-to-capture path, and violated path constraints are generated
+// lazily (Kelley cutting planes) from fast model-timing passes.  The two
+// formulations have identical optima; the dose-space form keeps the ADMM
+// inner solver well conditioned independent of logic depth.
+//
+// After solving, per-grid doses are snapped to the characterized library
+// variants (the paper's "rounding step"), the netlist's variant assignment
+// is updated, and golden STA / leakage analysis evaluate the result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+
+#include "dose/dose_map.h"
+#include "liberty/coeff_fit.h"
+#include "qp/qp_solver.h"
+#include "sta/timer.h"
+
+namespace doseopt::dmopt {
+
+/// Optimization controls.
+struct DmoptOptions {
+  double grid_um = 5.0;            ///< G: max grid side (um)
+  double smoothness_delta = 2.0;   ///< delta: max neighbor dose difference (%)
+  double dose_lower_pct = -5.0;    ///< L (eq. (3))
+  double dose_upper_pct = 5.0;     ///< U (eq. (3))
+  bool modulate_width = false;     ///< also optimize the active layer
+  int bisection_iterations = 8;    ///< QCP: bisection steps on tau
+  double leakage_tolerance_uw = 1e-3;  ///< QCP: budget slack when probing
+  qp::QpSettings qp_settings;      ///< inner solver configuration
+};
+
+/// Result of one optimization run.
+struct DmoptResult {
+  dose::DoseMap poly_map;                    ///< optimized poly dose map
+  std::optional<dose::DoseMap> active_map;   ///< present when width modulated
+
+  // Fitted-model view (what the optimizer saw).
+  double model_mct_ns = 0.0;
+  double model_delta_leakage_uw = 0.0;
+
+  // Golden signoff view after snapping doses to characterized variants.
+  sta::VariantAssignment variants{0};
+  double golden_mct_ns = 0.0;
+  double golden_leakage_uw = 0.0;
+
+  qp::QpStatus solver_status = qp::QpStatus::kMaxIterations;
+  int total_qp_iterations = 0;
+  int bisection_probes = 0;
+  double runtime_s = 0.0;
+};
+
+/// One timing-graph edge with its dose-independent delay contribution
+/// (nominal gate delay of `to` plus wire delay from `from` to `to`).
+struct CellTimingEdgeData {
+  netlist::CellId to;    ///< consuming cell (owns the gate delay)
+  netlist::CellId from;  ///< driving cell, kNoCell for a PI / clock launch
+  double base_delay_ns;
+};
+
+/// The optimizer: bound to one analyzed design.
+class DoseMapOptimizer {
+ public:
+  /// `nominal_timing` must be an analyze() result at the all-nominal variant
+  /// assignment; per-instance slews/loads from it select the fitted delay
+  /// coefficients (Section IV-B).
+  DoseMapOptimizer(const netlist::Netlist* nl,
+                   const place::Placement* placement,
+                   const extract::Parasitics* parasitics,
+                   liberty::LibraryRepository* repo,
+                   const liberty::CoefficientSet* coeffs,
+                   const sta::Timer* timer,
+                   const sta::TimingResult* nominal_timing,
+                   DmoptOptions options);
+
+  /// QP: minimize delta leakage subject to model MCT <= `timing_bound_ns`.
+  /// Pass 0 to bound at the nominal MCT -- "no timing degradation".
+  DmoptResult minimize_leakage(double timing_bound_ns = 0.0);
+
+  /// QCP: minimize cycle time subject to delta leakage <=
+  /// `leakage_budget_uw` (0 = no leakage increase, the paper's headline
+  /// setting).
+  DmoptResult minimize_cycle_time(double leakage_budget_uw = 0.0);
+
+  /// Model MCT (longest path under fitted linear delays) for a uniform dose
+  /// on the poly/active layers; used for bisection bounds and diagnostics.
+  double model_mct_uniform(double dose_poly_pct, double dose_active_pct) const;
+
+  const DmoptOptions& options() const { return options_; }
+  std::size_t grid_count() const { return poly_template_.grid_count(); }
+
+ private:
+  /// A lazily generated path constraint: the cells along one launch-to-
+  /// capture path and the path's dose-independent delay.
+  struct PathConstraint {
+    std::vector<netlist::CellId> cells;  ///< launch side first
+    double base_ns = 0.0;
+  };
+
+  /// Working set shared across cutting-plane rounds and bisection probes.
+  struct WorkingSet {
+    std::vector<PathConstraint> paths;
+    std::unordered_set<std::uint64_t> seen;
+  };
+
+  /// One leakage-QP solve at a fixed timing bound.
+  struct SolveOutcome {
+    la::Vec poly;    ///< per-grid poly doses (%)
+    la::Vec active;  ///< per-grid active doses (%); zero when not modulated
+    double objective_nw = 0.0;  ///< model delta leakage
+    bool feasible = false;      ///< all path constraints satisfied
+    qp::QpStatus status = qp::QpStatus::kMaxIterations;
+    int qp_iterations = 0;
+  };
+
+  double cell_delay_delta(std::size_t cell, const la::Vec& poly,
+                          const la::Vec& active) const;
+  void model_arrivals(const la::Vec& poly, const la::Vec& active,
+                      la::Vec& arrival) const;
+  double model_mct(const la::Vec& poly, const la::Vec& active) const;
+  std::vector<PathConstraint> extract_violated_paths(const la::Vec& poly,
+                                                     const la::Vec& active,
+                                                     double tau,
+                                                     std::size_t max_paths)
+      const;
+  double path_base_delay(const PathConstraint& pc) const;
+  qp::QpProblem build_problem(const std::vector<PathConstraint>& paths,
+                              double tau) const;
+  SolveOutcome solve_leakage_qp(double tau, WorkingSet& working_set,
+                                la::Vec& warm_doses);
+  sta::VariantAssignment snap_variants(const SolveOutcome& outcome) const;
+  void golden_eval(const SolveOutcome& outcome, double* mct_ns,
+                   double* leakage_uw) const;
+  DmoptResult finalize(const SolveOutcome& outcome, int probes) const;
+
+  const netlist::Netlist* nl_;
+  const place::Placement* placement_;
+  const extract::Parasitics* parasitics_;
+  liberty::LibraryRepository* repo_;
+  const liberty::CoefficientSet* coeffs_;
+  const sta::Timer* timer_;
+  const sta::TimingResult* nominal_timing_;
+  DmoptOptions options_;
+
+  double nominal_leakage_uw_ = 0.0;     ///< golden leakage at zero dose
+  dose::DoseMap poly_template_;         ///< grid geometry (doses unset)
+  std::vector<std::size_t> cell_grid_;  ///< flat grid index per cell
+  std::vector<double> cell_a_coeff_;    ///< A_p (ns/nm) per cell
+  std::vector<double> cell_b_coeff_;    ///< B_p (ns/nm) per cell
+  std::vector<CellTimingEdgeData> edges_;
+  std::vector<CellTimingEdgeData> endpoint_edges_;
+  std::vector<netlist::CellId> topo_order_;
+  std::vector<std::vector<std::size_t>> incoming_;  ///< edge ids per cell
+};
+
+}  // namespace doseopt::dmopt

@@ -1,0 +1,130 @@
+#include "dose/actuator.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "la/cholesky.h"
+
+namespace doseopt::dose {
+
+double legendre(int n, double y) {
+  DOSEOPT_CHECK(n >= 0 && n <= 12, "legendre: order out of range");
+  DOSEOPT_CHECK(std::abs(y) <= 1.0 + 1e-12, "legendre: |y| must be <= 1");
+  if (n == 0) return 1.0;
+  if (n == 1) return y;
+  // Bonnet recurrence: (k+1) P_{k+1} = (2k+1) y P_k - k P_{k-1}.
+  double p_prev = 1.0, p = y;
+  for (int k = 1; k < n; ++k) {
+    const double p_next =
+        ((2.0 * k + 1.0) * y * p - static_cast<double>(k) * p_prev) /
+        (static_cast<double>(k) + 1.0);
+    p_prev = p;
+    p = p_next;
+  }
+  return p;
+}
+
+ScanProfile::ScanProfile(std::vector<double> legendre_coeffs)
+    : coeffs_(std::move(legendre_coeffs)) {
+  DOSEOPT_CHECK(static_cast<int>(coeffs_.size()) <= kMaxCoefficients,
+                "ScanProfile: too many Legendre coefficients");
+}
+
+double ScanProfile::dose_pct(double y) const {
+  double d = 0.0;
+  for (std::size_t n = 0; n < coeffs_.size(); ++n)
+    d += coeffs_[n] * legendre(static_cast<int>(n) + 1, y);
+  return d;
+}
+
+SlitProfile::SlitProfile(std::vector<double> poly_coeffs)
+    : coeffs_(std::move(poly_coeffs)) {
+  DOSEOPT_CHECK(static_cast<int>(coeffs_.size()) <= kMaxOrder + 1,
+                "SlitProfile: polynomial order too high");
+}
+
+double SlitProfile::dose_pct(double x) const {
+  double d = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) d = d * x + coeffs_[i];
+  return d;
+}
+
+namespace {
+
+/// Normalized grid-center coordinate in [-1, 1] for index k of n.
+double norm_coord(std::size_t k, std::size_t n) {
+  if (n <= 1) return 0.0;
+  return -1.0 + 2.0 * (static_cast<double>(k) + 0.5) / static_cast<double>(n);
+}
+
+}  // namespace
+
+std::vector<double> ActuatorRecipe::render(const DoseMap& map) const {
+  std::vector<double> out(map.grid_count());
+  for (std::size_t i = 0; i < map.rows(); ++i) {
+    const double y = norm_coord(i, map.rows());
+    const double scan_d = scan.dose_pct(y);
+    for (std::size_t j = 0; j < map.cols(); ++j) {
+      const double x = norm_coord(j, map.cols());
+      out[map.flat_index(i, j)] = slit.dose_pct(x) + scan_d;
+    }
+  }
+  return out;
+}
+
+ActuatorFit fit_actuators(const DoseMap& map, int slit_order,
+                          int scan_coeffs) {
+  DOSEOPT_CHECK(slit_order >= 0 && slit_order <= SlitProfile::kMaxOrder,
+                "fit_actuators: slit order out of range");
+  DOSEOPT_CHECK(scan_coeffs >= 1 &&
+                    scan_coeffs <= ScanProfile::kMaxCoefficients,
+                "fit_actuators: scan coefficient count out of range");
+
+  // Unknowns: slit c_0..c_k then scan L_1..L_m.  Basis is evaluated at every
+  // grid center; normal equations solved densely (the basis is tiny).
+  const std::size_t ns = static_cast<std::size_t>(slit_order) + 1;
+  const std::size_t nm = static_cast<std::size_t>(scan_coeffs);
+  const std::size_t dim = ns + nm;
+  const std::size_t samples = map.grid_count();
+  DOSEOPT_CHECK(samples >= dim, "fit_actuators: map too small for basis");
+
+  la::DenseMatrix a(samples, dim);
+  la::Vec b(samples);
+  for (std::size_t i = 0; i < map.rows(); ++i) {
+    const double y = norm_coord(i, map.rows());
+    for (std::size_t j = 0; j < map.cols(); ++j) {
+      const std::size_t r = map.flat_index(i, j);
+      const double x = norm_coord(j, map.cols());
+      double xp = 1.0;
+      for (std::size_t k = 0; k < ns; ++k) {
+        a.at(r, k) = xp;
+        xp *= x;
+      }
+      for (std::size_t n = 0; n < nm; ++n)
+        a.at(r, ns + n) = legendre(static_cast<int>(n) + 1, y);
+      b[r] = map.dose_pct(i, j);
+    }
+  }
+  const la::Vec coeffs = la::least_squares(a, b, /*ridge=*/1e-10);
+
+  ActuatorFit fit{
+      ActuatorRecipe{
+          SlitProfile(std::vector<double>(coeffs.begin(),
+                                          coeffs.begin() +
+                                              static_cast<std::ptrdiff_t>(ns))),
+          ScanProfile(std::vector<double>(
+              coeffs.begin() + static_cast<std::ptrdiff_t>(ns), coeffs.end()))},
+      0.0, 0.0};
+
+  const std::vector<double> rendered = fit.recipe.render(map);
+  double ss = 0.0;
+  for (std::size_t k = 0; k < samples; ++k) {
+    const double r = rendered[k] - map.doses()[k];
+    ss += r * r;
+    fit.max_residual_pct = std::max(fit.max_residual_pct, std::abs(r));
+  }
+  fit.rms_residual_pct = std::sqrt(ss / static_cast<double>(samples));
+  return fit;
+}
+
+}  // namespace doseopt::dose

@@ -1,0 +1,77 @@
+// Scanner actuator model (Section II-A of the paper).
+//
+// The DoseMapper hardware realizes a dose profile as the sum of a slit-
+// direction correction (Unicom-XL: a polynomial of order <= 6 across the
+// slit / X direction) and a scan-direction correction (Dosicom: a Legendre
+// series with up to 8 coefficients along the scan / Y direction, eq. (1)).
+// This module provides the Legendre basis, profile evaluation, and a
+// least-squares projection of an arbitrary optimized dose map onto the
+// actuator-representable subspace, reporting the residual -- i.e., how much
+// of a design-aware map the equipment can actually deliver.
+#pragma once
+
+#include <vector>
+
+#include "dose/dose_map.h"
+
+namespace doseopt::dose {
+
+/// Legendre polynomial P_n(y) for |y| <= 1 (n up to 12 supported).
+double legendre(int n, double y);
+
+/// Scan-direction dose recipe, eq. (1): Dset(y) = sum_{n=1..N} L_n P_n(y).
+class ScanProfile {
+ public:
+  /// Up to 8 coefficients (L_1 .. L_8); fewer allowed.
+  explicit ScanProfile(std::vector<double> legendre_coeffs);
+
+  /// Evaluate at scan position y in [-1, 1].
+  double dose_pct(double y) const;
+
+  const std::vector<double>& coefficients() const { return coeffs_; }
+
+  static constexpr int kMaxCoefficients = 8;
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+/// Slit-direction dose recipe: ordinary polynomial of order <= 6 in the
+/// normalized slit coordinate x in [-1, 1] (Unicom-XL custom profile).
+class SlitProfile {
+ public:
+  /// Ascending-power coefficients c_0..c_k, k <= 6.
+  explicit SlitProfile(std::vector<double> poly_coeffs);
+
+  double dose_pct(double x) const;
+
+  const std::vector<double>& coefficients() const { return coeffs_; }
+
+  static constexpr int kMaxOrder = 6;
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+/// A separable actuator setting: dose(x, y) = slit(x) + scan(y).
+struct ActuatorRecipe {
+  SlitProfile slit;
+  ScanProfile scan;
+
+  /// Evaluate over a map's grid centers (row-major), normalizing the field
+  /// to [-1, 1] in both axes.
+  std::vector<double> render(const DoseMap& map) const;
+};
+
+/// Result of projecting a free-form dose map onto the actuator subspace.
+struct ActuatorFit {
+  ActuatorRecipe recipe;
+  double rms_residual_pct = 0.0;  ///< RMS of (map - rendered recipe)
+  double max_residual_pct = 0.0;
+};
+
+/// Least-squares fit of `map` by slit(x) + scan(y) with the given orders.
+ActuatorFit fit_actuators(const DoseMap& map, int slit_order = 6,
+                          int scan_coeffs = 8);
+
+}  // namespace doseopt::dose

@@ -1,0 +1,96 @@
+#include "dose/dose_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace doseopt::dose {
+
+DoseMap::DoseMap(double width_um, double height_um, double g_um) {
+  DOSEOPT_CHECK(width_um > 0 && height_um > 0 && g_um > 0,
+                "DoseMap: bad geometry");
+  rows_ = static_cast<std::size_t>(std::ceil(height_um / g_um));
+  cols_ = static_cast<std::size_t>(std::ceil(width_um / g_um));
+  rows_ = std::max<std::size_t>(1, rows_);
+  cols_ = std::max<std::size_t>(1, cols_);
+  grid_h_um_ = height_um / static_cast<double>(rows_);
+  grid_w_um_ = width_um / static_cast<double>(cols_);
+  width_um_ = width_um;
+  height_um_ = height_um;
+  dose_.assign(rows_ * cols_, 0.0);
+}
+
+double DoseMap::dose_pct(std::size_t i, std::size_t j) const {
+  return dose_[flat_index(i, j)];
+}
+
+void DoseMap::set_dose_pct(std::size_t i, std::size_t j, double dose) {
+  dose_[flat_index(i, j)] = dose;
+}
+
+std::size_t DoseMap::flat_index(std::size_t i, std::size_t j) const {
+  DOSEOPT_CHECK(i < rows_ && j < cols_, "DoseMap: grid index out of range");
+  return i * cols_ + j;
+}
+
+std::size_t DoseMap::grid_at(double x_um, double y_um) const {
+  const double x = std::clamp(x_um, 0.0, width_um_ - 1e-9);
+  const double y = std::clamp(y_um, 0.0, height_um_ - 1e-9);
+  const auto i = static_cast<std::size_t>(y / grid_h_um_);
+  const auto j = static_cast<std::size_t>(x / grid_w_um_);
+  return flat_index(std::min(i, rows_ - 1), std::min(j, cols_ - 1));
+}
+
+void DoseMap::set_doses(std::vector<double> doses) {
+  DOSEOPT_CHECK(doses.size() == dose_.size(), "set_doses: size mismatch");
+  dose_ = std::move(doses);
+}
+
+double DoseMap::max_abs_dose_pct() const {
+  double m = 0.0;
+  for (double d : dose_) m = std::max(m, std::abs(d));
+  return m;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> DoseMap::neighbor_pairs()
+    const {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(3 * rows_ * cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (i + 1 < rows_ && j + 1 < cols_)
+        pairs.emplace_back(flat_index(i, j), flat_index(i + 1, j + 1));
+      if (j + 1 < cols_)
+        pairs.emplace_back(flat_index(i, j), flat_index(i, j + 1));
+      if (i + 1 < rows_)
+        pairs.emplace_back(flat_index(i, j), flat_index(i + 1, j));
+    }
+  }
+  return pairs;
+}
+
+double DoseMap::max_neighbor_delta_pct() const {
+  double m = 0.0;
+  for (const auto& [a, b] : neighbor_pairs())
+    m = std::max(m, std::abs(dose_[a] - dose_[b]));
+  return m;
+}
+
+bool DoseMap::satisfies(double lo, double hi, double delta, double tol) const {
+  for (double d : dose_)
+    if (d < lo - tol || d > hi + tol) return false;
+  return max_neighbor_delta_pct() <= delta + tol;
+}
+
+std::vector<std::size_t> bin_cells(const DoseMap& map,
+                                   const place::Placement& placement) {
+  const netlist::Netlist& nl = placement.netlist();
+  std::vector<std::size_t> bins(nl.cell_count());
+  for (std::size_t c = 0; c < nl.cell_count(); ++c)
+    bins[c] = map.grid_at(placement.x_um(static_cast<netlist::CellId>(c)),
+                          placement.y_um(static_cast<netlist::CellId>(c)));
+  return bins;
+}
+
+}  // namespace doseopt::dose

@@ -1,0 +1,78 @@
+// Dose map model (Section II of the paper).
+//
+// The exposure field is partitioned into an M x N grid of rectangles of at
+// most G x G um (the user parameter G of Section II-B); each grid carries a
+// percentage dose delta for one layer (poly modulates gate length, active
+// modulates gate width).  The map knows the equipment constraints it must
+// satisfy: per-grid correction range (eq. (3)/(8)) and neighbor smoothness
+// (eq. (4)/(9), including diagonals).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "place/placement.h"
+
+namespace doseopt::dose {
+
+/// Which mask layer a dose map drives.
+enum class Layer { kPoly, kActive };
+
+/// A dose-delta map over the exposure field.
+class DoseMap {
+ public:
+  /// Trivial 1x1 map of a unit field (useful as a placeholder before a real
+  /// map is assigned).
+  DoseMap() : DoseMap(1.0, 1.0, 1.0) {}
+
+  /// Partition a field of `width_um` x `height_um` into grids of at most
+  /// `g_um` on a side (uniform sizes; M = ceil(h/g), N = ceil(w/g)).
+  DoseMap(double width_um, double height_um, double g_um);
+
+  std::size_t rows() const { return rows_; }     ///< M
+  std::size_t cols() const { return cols_; }     ///< N
+  std::size_t grid_count() const { return rows_ * cols_; }
+  double grid_width_um() const { return grid_w_um_; }
+  double grid_height_um() const { return grid_h_um_; }
+
+  double dose_pct(std::size_t i, std::size_t j) const;
+  void set_dose_pct(std::size_t i, std::size_t j, double dose);
+
+  /// Flat index of grid (i, j): i * cols + j.
+  std::size_t flat_index(std::size_t i, std::size_t j) const;
+
+  /// Grid containing point (x, y) um; clamped to the field.
+  std::size_t grid_at(double x_um, double y_um) const;
+
+  /// Flat dose vector (row-major), for the optimizer.
+  const std::vector<double>& doses() const { return dose_; }
+  void set_doses(std::vector<double> doses);
+
+  /// Maximum |dose| over the map.
+  double max_abs_dose_pct() const;
+
+  /// Maximum |dose_a - dose_b| over all neighbor pairs (horizontal,
+  /// vertical, and diagonal, as in eq. (4)).
+  double max_neighbor_delta_pct() const;
+
+  /// True if every grid is within [lo, hi] and every neighbor pair differs
+  /// by at most `delta` (with tolerance `tol` for solver round-off).
+  bool satisfies(double lo, double hi, double delta, double tol = 1e-6) const;
+
+  /// Neighbor pairs (flat indices) in the eq. (4) pattern: diagonal (i+1,
+  /// j+1), horizontal (i, j+1), and vertical (i+1, j).
+  std::vector<std::pair<std::size_t, std::size_t>> neighbor_pairs() const;
+
+ private:
+  std::size_t rows_, cols_;
+  double grid_w_um_, grid_h_um_;
+  double width_um_, height_um_;
+  std::vector<double> dose_;
+};
+
+/// Bin every cell of a placement into dose-map grids; result[c] is the flat
+/// grid index of cell c.
+std::vector<std::size_t> bin_cells(const DoseMap& map,
+                                   const place::Placement& placement);
+
+}  // namespace doseopt::dose

@@ -1,0 +1,260 @@
+#include "doseplace/doseplace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "place/bbox.h"
+#include "place/placer.h"
+#include "power/leakage.h"
+
+namespace doseopt::doseplace {
+
+using netlist::CellId;
+using netlist::kNoCell;
+
+DosePlacer::DosePlacer(netlist::Netlist* nl, place::Placement* placement,
+                       extract::Parasitics* parasitics,
+                       liberty::LibraryRepository* repo,
+                       const sta::Timer* timer, DosePlOptions options)
+    : nl_(nl), placement_(placement), parasitics_(parasitics), repo_(repo),
+      timer_(timer), options_(options) {
+  DOSEOPT_CHECK(nl_ && placement_ && parasitics_ && repo_ && timer_,
+                "DosePlacer: null dependency");
+}
+
+void DosePlacer::reassign_variants(const dose::DoseMap& poly_map,
+                                   const dose::DoseMap* active_map,
+                                   sta::VariantAssignment& variants) const {
+  for (std::size_t c = 0; c < nl_->cell_count(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    const std::size_t g =
+        poly_map.grid_at(placement_->x_um(id), placement_->y_um(id));
+    const double dp = poly_map.doses()[g];
+    double da = 0.0;
+    if (active_map != nullptr) {
+      const std::size_t ga =
+          active_map->grid_at(placement_->x_um(id), placement_->y_um(id));
+      da = active_map->doses()[ga];
+    }
+    variants.set(id, liberty::dose_to_variant_index(dp),
+                 liberty::dose_to_variant_index(da));
+  }
+}
+
+DosePlResult DosePlacer::run(const dose::DoseMap& poly_map,
+                             const dose::DoseMap* active_map,
+                             sta::VariantAssignment& variants) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DosePlResult result;
+
+  const double gate_pitch_um =
+      placement_->die().width_um /
+      std::sqrt(static_cast<double>(nl_->cell_count()));
+  const double max_distance_um =
+      options_.distance_pitch_factor * gate_pitch_um;
+
+  sta::TimingResult timing = timer_->analyze(variants);
+  result.initial_mct_ns = timing.mct_ns;
+  result.initial_leakage_uw = power::total_leakage_uw(*nl_, *repo_, variants);
+  double best_mct = timing.mct_ns;
+
+  std::unordered_set<CellId> fixed;  // rolled-back cells, never retried
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    ++result.rounds_run;
+
+    // --- golden analysis of the current state ---
+    timing = timer_->analyze(variants);
+    std::vector<sta::TimingPath> paths =
+        timer_->top_paths(variants, timing, options_.top_k_paths);
+    if (paths.empty()) break;
+
+    // Weights (eq. (13)): W(cell) = sum over containing critical paths of
+    // e^{-slack}.  Also mark criticality.
+    std::vector<double> weight(nl_->cell_count(), 0.0);
+    std::vector<bool> critical(nl_->cell_count(), false);
+    for (const sta::TimingPath& p : paths) {
+      const double w = std::exp(-p.slack_ns);
+      for (CellId c : p.cells) {
+        weight[c] += w;
+        critical[c] = true;
+      }
+    }
+
+    // Paths in non-decreasing slack order (most critical first).
+    std::sort(paths.begin(), paths.end(),
+              [](const sta::TimingPath& a, const sta::TimingPath& b) {
+                return a.slack_ns < b.slack_ns;
+              });
+
+    // Cells per grid for candidate lookup.
+    std::vector<std::vector<CellId>> grid_cells(poly_map.grid_count());
+    for (std::size_t c = 0; c < nl_->cell_count(); ++c) {
+      const auto id = static_cast<CellId>(c);
+      grid_cells[poly_map.grid_at(placement_->x_um(id), placement_->y_um(id))]
+          .push_back(id);
+    }
+
+    // Saved state for rollback.
+    struct SavedLoc {
+      CellId cell;
+      place::CellLocation loc;
+    };
+    std::vector<SavedLoc> saved;
+    for (std::size_t c = 0; c < nl_->cell_count(); ++c)
+      saved.push_back({static_cast<CellId>(c),
+                       placement_->location(static_cast<CellId>(c))});
+
+    // --- Algorithm 1: find up to gamma5 swaps ---
+    int swaps_this_round = 0;
+    std::vector<CellId> swapped_cells;
+    std::vector<int> swaps_on_path(paths.size(), 0);
+    // Map cells to the paths that contain them, to update per-path counts.
+    // (Only needed for the paths we touch; rebuilt per swap for simplicity.)
+
+    for (std::size_t pk = 0;
+         pk < paths.size() && swaps_this_round < options_.max_swaps_per_round;
+         ++pk) {
+      const sta::TimingPath& path = paths[pk];
+      if (swaps_on_path[pk] >= options_.max_swaps_per_path) continue;
+
+      // Cells of this path in non-increasing weight order.
+      std::vector<CellId> cells = path.cells;
+      std::sort(cells.begin(), cells.end(), [&weight](CellId a, CellId b) {
+        return weight[a] > weight[b];
+      });
+
+      bool swapped = false;
+      for (CellId cell_l : cells) {
+        if (fixed.contains(cell_l)) continue;
+        const std::size_t gl = poly_map.grid_at(placement_->x_um(cell_l),
+                                                placement_->y_um(cell_l));
+        const double dose_l = poly_map.doses()[gl];
+
+        // Grids intersecting the cell's bounding box, by dose descending.
+        const place::Rect bl = place::cell_bounding_box(*placement_, cell_l);
+        std::vector<std::size_t> grids;
+        {
+          const std::size_t i_lo = poly_map.grid_at(bl.min_x, bl.min_y) /
+                                   poly_map.cols();
+          const std::size_t j_lo = poly_map.grid_at(bl.min_x, bl.min_y) %
+                                   poly_map.cols();
+          const std::size_t i_hi = poly_map.grid_at(bl.max_x, bl.max_y) /
+                                   poly_map.cols();
+          const std::size_t j_hi = poly_map.grid_at(bl.max_x, bl.max_y) %
+                                   poly_map.cols();
+          for (std::size_t gi = i_lo; gi <= i_hi; ++gi)
+            for (std::size_t gj = j_lo; gj <= j_hi; ++gj)
+              grids.push_back(poly_map.flat_index(gi, gj));
+        }
+        std::sort(grids.begin(), grids.end(),
+                  [&poly_map](std::size_t a, std::size_t b) {
+                    return poly_map.doses()[a] > poly_map.doses()[b];
+                  });
+
+        for (const std::size_t g : grids) {
+          if (poly_map.doses()[g] <= dose_l) break;  // no dose gain left
+
+          // Non-critical candidates in this grid, nearest first.
+          std::vector<CellId> candidates;
+          for (CellId cm : grid_cells[g])
+            if (!critical[cm] && !fixed.contains(cm) && cm != cell_l)
+              candidates.push_back(cm);
+          std::sort(candidates.begin(), candidates.end(),
+                    [this, cell_l](CellId a, CellId b) {
+                      return place::cell_distance_um(*placement_, cell_l, a) <
+                             place::cell_distance_um(*placement_, cell_l, b);
+                    });
+
+          for (CellId cell_m : candidates) {
+            if (place::cell_distance_um(*placement_, cell_l, cell_m) >
+                max_distance_um)
+              break;  // sorted by distance: all further ones fail too
+            const place::Rect bm =
+                place::cell_bounding_box(*placement_, cell_m);
+            if (!bm.contains(placement_->x_um(cell_l),
+                             placement_->y_um(cell_l)) ||
+                !bl.contains(placement_->x_um(cell_m),
+                             placement_->y_um(cell_m)))
+              continue;
+
+            // HPWL filter (gamma3) on both cells' incident nets.
+            const double hl0 = place::incident_hpwl_um(*placement_, cell_l);
+            const double hm0 = place::incident_hpwl_um(*placement_, cell_m);
+            placement_->swap_cells(cell_l, cell_m);
+            const double hl1 = place::incident_hpwl_um(*placement_, cell_l);
+            const double hm1 = place::incident_hpwl_um(*placement_, cell_m);
+            const bool hpwl_ok =
+                hl1 <= hl0 * (1.0 + options_.hpwl_increase_limit) + 1e-9 &&
+                hm1 <= hm0 * (1.0 + options_.hpwl_increase_limit) + 1e-9;
+
+            // Leakage filter (gamma4): pair leakage at the swapped grids.
+            const auto master_l = nl_->cell(cell_l).master_index;
+            const auto master_m = nl_->cell(cell_m).master_index;
+            const int vl_old = liberty::dose_to_variant_index(dose_l);
+            const int vm_old =
+                liberty::dose_to_variant_index(poly_map.doses()[g]);
+            const double leak_before =
+                repo_->variant(vl_old, 10).cell(master_l).leakage_nw +
+                repo_->variant(vm_old, 10).cell(master_m).leakage_nw;
+            const double leak_after =
+                repo_->variant(vm_old, 10).cell(master_l).leakage_nw +
+                repo_->variant(vl_old, 10).cell(master_m).leakage_nw;
+            const bool leak_ok =
+                leak_after <=
+                leak_before * (1.0 + options_.leak_increase_limit);
+
+            if (!hpwl_ok || !leak_ok) {
+              placement_->swap_cells(cell_l, cell_m);  // undo
+              continue;
+            }
+
+            // Accept this candidate swap.
+            ++swaps_this_round;
+            ++swaps_on_path[pk];
+            swapped_cells.push_back(cell_l);
+            swapped_cells.push_back(cell_m);
+            swapped = true;
+            break;
+          }
+          if (swapped) break;
+        }
+        if (swapped) break;
+      }
+    }
+
+    if (swaps_this_round == 0) break;  // nothing left to try
+
+    // --- ECO: legalize, re-extract, re-assign variants, golden re-time ---
+    place::legalize(*placement_);
+    *parasitics_ =
+        extract::extract(*placement_,
+                         repo_->device().node());
+    reassign_variants(poly_map, active_map, variants);
+    const sta::TimingResult after = timer_->analyze(variants);
+
+    if (after.mct_ns < best_mct - 1e-9) {
+      best_mct = after.mct_ns;
+      ++result.rounds_accepted;
+      result.swaps_accepted += swaps_this_round;
+    } else {
+      // Roll back: restore every location, re-extract, re-assign.
+      for (const SavedLoc& s : saved) placement_->set_location(s.cell, s.loc);
+      *parasitics_ = extract::extract(*placement_, repo_->device().node());
+      reassign_variants(poly_map, active_map, variants);
+      for (CellId c : swapped_cells) fixed.insert(c);
+    }
+  }
+
+  result.final_mct_ns = best_mct;
+  result.final_leakage_uw = power::total_leakage_uw(*nl_, *repo_, variants);
+  result.runtime_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  return result;
+}
+
+}  // namespace doseopt::doseplace

@@ -1,0 +1,52 @@
+#include "extract/extract.h"
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace doseopt::extract {
+
+namespace {
+
+NetParasitics extract_net(netlist::NetId n, const place::Placement& placement,
+                          const tech::TechNode& node) {
+  NetParasitics p;
+  p.length_um = placement.net_hpwl_um(n);
+  p.wire_cap_ff = node.wire_cap_ff_per_um * p.length_um;
+  p.wire_res_kohm = node.wire_res_kohm_per_um * p.length_um;
+  return p;
+}
+
+}  // namespace
+
+double Parasitics::wire_delay_ns(netlist::NetId n, double sink_cap_ff) const {
+  DOSEOPT_CHECK(n < nets_.size(), "wire_delay_ns: bad net");
+  const NetParasitics& p = nets_[n];
+  return p.wire_res_kohm * (0.5 * p.wire_cap_ff + sink_cap_ff) *
+         units::kPsToNs;
+}
+
+double Parasitics::wire_slew_ns(netlist::NetId n, double sink_cap_ff) const {
+  // 10-90% transition degradation ~ 2.2x the Elmore constant; wires here are
+  // short relative to drivers, so this is a small correction.
+  return 2.2 * wire_delay_ns(n, sink_cap_ff);
+}
+
+void Parasitics::update_net(netlist::NetId n,
+                            const place::Placement& placement,
+                            const tech::TechNode& node) {
+  DOSEOPT_CHECK(n < nets_.size(), "update_net: bad net");
+  nets_[n] = extract_net(n, placement, node);
+}
+
+Parasitics extract(const place::Placement& placement,
+                   const tech::TechNode& node) {
+  Parasitics out;
+  const std::size_t n_nets = placement.netlist().net_count();
+  out.nets_.reserve(n_nets);
+  for (std::size_t n = 0; n < n_nets; ++n)
+    out.nets_.push_back(
+        extract_net(static_cast<netlist::NetId>(n), placement, node));
+  return out;
+}
+
+}  // namespace doseopt::extract

@@ -1,0 +1,54 @@
+// Parasitic extraction from placement geometry.
+//
+// Wire length is estimated as the net's half-perimeter wirelength; per-um
+// resistance and capacitance come from the technology node.  The result is
+// purely geometric (pin capacitances are variant-dependent and are added by
+// the timer), so a dose-map change never alters parasitics -- matching the
+// paper's observation that dose tuning on poly/active does not affect wire
+// layout -- while a dosePl cell swap does (ECO re-extraction).
+#pragma once
+
+#include <vector>
+
+#include "place/placement.h"
+
+namespace doseopt::extract {
+
+/// Lumped RC of one net.
+struct NetParasitics {
+  double length_um = 0.0;
+  double wire_cap_ff = 0.0;
+  double wire_res_kohm = 0.0;
+};
+
+/// Extracted parasitics for every net of a placed design.
+class Parasitics {
+ public:
+  Parasitics() = default;
+
+  const NetParasitics& net(netlist::NetId n) const { return nets_[n]; }
+  std::size_t net_count() const { return nets_.size(); }
+
+  /// Elmore wire delay (ns) from the net's driver to a sink with pin
+  /// capacitance `sink_cap_ff`: R_wire * (C_wire / 2 + C_pin).
+  double wire_delay_ns(netlist::NetId n, double sink_cap_ff) const;
+
+  /// Additional slew degradation along the wire (ns), same Elmore kernel.
+  double wire_slew_ns(netlist::NetId n, double sink_cap_ff) const;
+
+  friend Parasitics extract(const place::Placement& placement,
+                            const tech::TechNode& node);
+
+  /// Re-extract a single net after an incremental placement change.
+  void update_net(netlist::NetId n, const place::Placement& placement,
+                  const tech::TechNode& node);
+
+ private:
+  std::vector<NetParasitics> nets_;
+};
+
+/// Extract every net of `placement`.
+Parasitics extract(const place::Placement& placement,
+                   const tech::TechNode& node);
+
+}  // namespace doseopt::extract

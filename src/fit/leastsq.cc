@@ -1,0 +1,107 @@
+#include "fit/leastsq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "la/cholesky.h"
+
+namespace doseopt::fit {
+
+FitResult fit_linear(const std::vector<Sample>& samples) {
+  DOSEOPT_CHECK(!samples.empty(), "fit_linear: no samples");
+  const std::size_t n = samples.front().features.size();
+  DOSEOPT_CHECK(n > 0, "fit_linear: empty feature vector");
+  DOSEOPT_CHECK(samples.size() >= n, "fit_linear: underdetermined fit");
+
+  la::DenseMatrix a(samples.size(), n);
+  la::Vec b(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    DOSEOPT_CHECK(samples[i].features.size() == n,
+                  "fit_linear: inconsistent feature dimension");
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = samples[i].features[j];
+    b[i] = samples[i].target;
+  }
+
+  FitResult result;
+  result.coefficients = la::least_squares(a, b, /*ridge=*/1e-12);
+
+  double mean = 0.0;
+  for (double y : b) mean += y;
+  mean /= static_cast<double>(b.size());
+  double sst = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    double pred = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      pred += result.coefficients[j] * samples[i].features[j];
+    const double r = pred - samples[i].target;
+    result.sum_squared_residuals += r * r;
+    result.max_abs_residual = std::max(result.max_abs_residual, std::abs(r));
+    sst += (samples[i].target - mean) * (samples[i].target - mean);
+  }
+  result.r_squared =
+      sst > 0.0 ? 1.0 - result.sum_squared_residuals / sst : 0.0;
+  return result;
+}
+
+FitResult fit_polynomial(const std::vector<double>& xs,
+                         const std::vector<double>& ys, int degree) {
+  DOSEOPT_CHECK(xs.size() == ys.size(), "fit_polynomial: size mismatch");
+  DOSEOPT_CHECK(degree >= 0, "fit_polynomial: negative degree");
+  std::vector<Sample> samples(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    samples[i].features.resize(static_cast<std::size_t>(degree) + 1);
+    double p = 1.0;
+    for (int d = 0; d <= degree; ++d) {
+      samples[i].features[static_cast<std::size_t>(d)] = p;
+      p *= xs[i];
+    }
+    samples[i].target = ys[i];
+  }
+  return fit_linear(samples);
+}
+
+double eval_polynomial(const std::vector<double>& coeffs, double x) {
+  double y = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) y = y * x + coeffs[i];
+  return y;
+}
+
+FitResult fit_exponential(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  DOSEOPT_CHECK(xs.size() == ys.size(), "fit_exponential: size mismatch");
+  std::vector<double> log_ys(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    DOSEOPT_CHECK(ys[i] > 0.0, "fit_exponential: non-positive target");
+    log_ys[i] = std::log(ys[i]);
+  }
+  FitResult lin = fit_polynomial(xs, log_ys, 1);
+  FitResult out;
+  out.coefficients = {std::exp(lin.coefficients[0]), lin.coefficients[1]};
+  // Recompute residuals in the original (non-log) space.
+  double mean = 0.0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double sst = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred =
+        out.coefficients[0] * std::exp(out.coefficients[1] * xs[i]);
+    const double r = pred - ys[i];
+    out.sum_squared_residuals += r * r;
+    out.max_abs_residual = std::max(out.max_abs_residual, std::abs(r));
+    sst += (ys[i] - mean) * (ys[i] - mean);
+  }
+  out.r_squared = sst > 0.0 ? 1.0 - out.sum_squared_residuals / sst : 0.0;
+  return out;
+}
+
+void ResidualStats::accumulate(const FitResult& r) {
+  max_ssr = std::max(max_ssr, r.sum_squared_residuals);
+  mean_ssr = (mean_ssr * static_cast<double>(fit_count) +
+              r.sum_squared_residuals) /
+             static_cast<double>(fit_count + 1);
+  max_abs_residual = std::max(max_abs_residual, r.max_abs_residual);
+  ++fit_count;
+}
+
+}  // namespace doseopt::fit

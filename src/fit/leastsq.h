@@ -1,0 +1,61 @@
+// Curve-fitting utilities (Section III / Section V of the paper).
+//
+// The dose-map formulations consume per-gate fitted coefficients:
+//   delay:    dt      =  A * dL + B * dW                      (linear)
+//   leakage:  dLeak   =  alpha * dL^2 + beta * dL + gamma * dW (quadratic/linear)
+// These are ordinary linear least-squares problems in the coefficients; this
+// module provides the generic fitter plus the residual statistics the paper
+// reports (maximum sum of squared residuals over all fitted curves).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "la/dense.h"
+
+namespace doseopt::fit {
+
+/// One observation: feature vector phi(x) and target value y.
+struct Sample {
+  std::vector<double> features;
+  double target = 0.0;
+};
+
+/// Result of a least-squares fit.
+struct FitResult {
+  std::vector<double> coefficients;
+  double sum_squared_residuals = 0.0;  ///< SSR over the fitting samples
+  double max_abs_residual = 0.0;
+  double r_squared = 0.0;  ///< 1 - SSR/SST (0 when SST == 0)
+};
+
+/// Fit coefficients c minimizing sum_i (c . phi_i - y_i)^2.
+/// All samples must share the same feature dimension; requires at least as
+/// many samples as features.
+FitResult fit_linear(const std::vector<Sample>& samples);
+
+/// Fit y ~= c0 + c1 x (+ c2 x^2 ... up to `degree`). Returns coefficients in
+/// ascending-power order.
+FitResult fit_polynomial(const std::vector<double>& xs,
+                         const std::vector<double>& ys, int degree);
+
+/// Evaluate an ascending-power polynomial at x.
+double eval_polynomial(const std::vector<double>& coeffs, double x);
+
+/// Fit y ~= a * exp(b x) by linear regression on log(y). Requires y > 0.
+/// Returns {a, b}.
+FitResult fit_exponential(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Aggregate residual statistics over many fits (the paper quotes the
+/// maximum SSR over all fitted delay curves in Section V).
+struct ResidualStats {
+  double max_ssr = 0.0;
+  double mean_ssr = 0.0;
+  double max_abs_residual = 0.0;
+  std::size_t fit_count = 0;
+
+  void accumulate(const FitResult& r);
+};
+
+}  // namespace doseopt::fit

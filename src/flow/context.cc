@@ -1,0 +1,48 @@
+#include "flow/context.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace doseopt::flow {
+
+DesignContext::DesignContext(const gen::DesignSpec& spec)
+    : spec_(spec), node_(tech::tech_node_by_name(spec.tech)),
+      repo_(std::make_unique<liberty::LibraryRepository>(node_)) {
+  design_ = gen::generate_design(spec_, repo_->masters(), node_);
+  parasitics_ = extract::extract(*design_.placement, node_);
+  timer_ = std::make_unique<sta::Timer>(design_.netlist.get(), &parasitics_,
+                                        repo_.get());
+  refresh_nominal();
+}
+
+void DesignContext::refresh_nominal() {
+  sta::VariantAssignment nominal(design_.netlist->cell_count());
+  nominal_timing_ = timer_->analyze(nominal);
+  nominal_leakage_uw_ =
+      power::total_leakage_uw(*design_.netlist, *repo_, nominal);
+}
+
+const liberty::CoefficientSet& DesignContext::coefficients(bool width) {
+  if (width) {
+    if (!coeffs_width_.has_value())
+      coeffs_width_.emplace(*repo_, /*fit_width=*/true);
+    return *coeffs_width_;
+  }
+  if (!coeffs_length_.has_value())
+    coeffs_length_.emplace(*repo_, /*fit_width=*/false);
+  return *coeffs_length_;
+}
+
+bool fast_mode() {
+  const char* env = std::getenv("DOSEOPT_FAST");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+double design_scale() { return fast_mode() ? 0.12 : 1.0; }
+
+gen::DesignSpec scaled_spec(const gen::DesignSpec& spec) {
+  return fast_mode() ? spec.scaled(design_scale()) : spec;
+}
+
+}  // namespace doseopt::flow

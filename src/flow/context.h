@@ -1,0 +1,71 @@
+// End-to-end experiment context (the outer flow of Fig. 7/8).
+//
+// Bundles everything the optimization steps need for one design: the
+// technology node, the characterized library repository, the generated
+// netlist with its placement, extracted parasitics, the timer, the nominal
+// timing/leakage baseline, and (lazily) the fitted dose-sensitivity
+// coefficients.  Benchmarks and examples build one of these per testcase.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "extract/extract.h"
+#include "gen/design_gen.h"
+#include "liberty/coeff_fit.h"
+#include "liberty/repository.h"
+#include "power/leakage.h"
+#include "sta/timer.h"
+
+namespace doseopt::flow {
+
+/// One fully analyzed design, ready for dose-map / placement optimization.
+class DesignContext {
+ public:
+  /// Generate, place, extract, and time the design described by `spec`.
+  explicit DesignContext(const gen::DesignSpec& spec);
+
+  const gen::DesignSpec& spec() const { return spec_; }
+  const tech::TechNode& node() const { return node_; }
+  liberty::LibraryRepository& repo() { return *repo_; }
+  netlist::Netlist& netlist() { return *design_.netlist; }
+  place::Placement& placement() { return *design_.placement; }
+  extract::Parasitics& parasitics() { return parasitics_; }
+  const sta::Timer& timer() const { return *timer_; }
+
+  /// Nominal (zero-dose) analysis results.
+  const sta::TimingResult& nominal_timing() const { return nominal_timing_; }
+  double nominal_mct_ns() const { return nominal_timing_.mct_ns; }
+  double nominal_leakage_uw() const { return nominal_leakage_uw_; }
+
+  /// Fitted coefficients; characterizes the 21 (or 21x21) variant libraries
+  /// on first use.  `width` selects whether B/gamma are fitted too.
+  const liberty::CoefficientSet& coefficients(bool width);
+
+  /// Re-run nominal timing (after the placement was perturbed).
+  void refresh_nominal();
+
+ private:
+  gen::DesignSpec spec_;
+  tech::TechNode node_;
+  std::unique_ptr<liberty::LibraryRepository> repo_;
+  gen::GeneratedDesign design_;
+  extract::Parasitics parasitics_;
+  std::unique_ptr<sta::Timer> timer_;
+  sta::TimingResult nominal_timing_;
+  double nominal_leakage_uw_ = 0.0;
+  std::optional<liberty::CoefficientSet> coeffs_length_;
+  std::optional<liberty::CoefficientSet> coeffs_width_;
+};
+
+/// True when the environment requests reduced-size runs (DOSEOPT_FAST=1);
+/// benches use this to scale the Table I designs down for smoke testing.
+bool fast_mode();
+
+/// Scale factor implied by fast mode (1.0 full size, 0.12 in fast mode).
+double design_scale();
+
+/// Table I spec, scaled for the current mode.
+gen::DesignSpec scaled_spec(const gen::DesignSpec& spec);
+
+}  // namespace doseopt::flow

@@ -1,0 +1,39 @@
+#include "flow/optimize.h"
+
+namespace doseopt::flow {
+
+FlowResult run_flow(DesignContext& ctx, const FlowOptions& options) {
+  FlowResult result;
+  result.nominal_mct_ns = ctx.nominal_mct_ns();
+  result.nominal_leakage_uw = ctx.nominal_leakage_uw();
+
+  const liberty::CoefficientSet& coeffs =
+      ctx.coefficients(options.dmopt.modulate_width);
+
+  dmopt::DoseMapOptimizer optimizer(
+      &ctx.netlist(), &ctx.placement(), &ctx.parasitics(), &ctx.repo(),
+      &coeffs, &ctx.timer(), &ctx.nominal_timing(), options.dmopt);
+
+  result.dmopt = options.mode == DmoptMode::kMinimizeLeakage
+                     ? optimizer.minimize_leakage()
+                     : optimizer.minimize_cycle_time();
+  result.final_mct_ns = result.dmopt.golden_mct_ns;
+  result.final_leakage_uw = result.dmopt.golden_leakage_uw;
+
+  if (options.run_dose_placement) {
+    doseplace::DosePlacer placer(&ctx.netlist(), &ctx.placement(),
+                                 &ctx.parasitics(), &ctx.repo(), &ctx.timer(),
+                                 options.dosepl);
+    const dose::DoseMap* active = result.dmopt.active_map.has_value()
+                                      ? &*result.dmopt.active_map
+                                      : nullptr;
+    result.dosepl =
+        placer.run(result.dmopt.poly_map, active, result.dmopt.variants);
+    result.dosepl_run = true;
+    result.final_mct_ns = result.dosepl.final_mct_ns;
+    result.final_leakage_uw = result.dosepl.final_leakage_uw;
+  }
+  return result;
+}
+
+}  // namespace doseopt::flow

@@ -1,0 +1,44 @@
+// One-call timing & leakage optimization flow (Fig. 7 of the paper):
+// dose-map optimization (DMopt) followed by dose map-aware cell swapping
+// (dosePl), with golden signoff at each stage.
+#pragma once
+
+#include "dmopt/dmopt.h"
+#include "doseplace/doseplace.h"
+#include "flow/context.h"
+
+namespace doseopt::flow {
+
+/// Which DMopt formulation to run.
+enum class DmoptMode {
+  kMinimizeLeakage,    ///< QP: min leakage s.t. timing
+  kMinimizeCycleTime,  ///< QCP: min cycle time s.t. leakage
+};
+
+/// Flow controls.
+struct FlowOptions {
+  DmoptMode mode = DmoptMode::kMinimizeCycleTime;
+  dmopt::DmoptOptions dmopt;
+  bool run_dose_placement = false;  ///< run the dosePl cell-swapping stage
+  doseplace::DosePlOptions dosepl;
+};
+
+/// Flow outcome: per-stage golden metrics.
+struct FlowResult {
+  double nominal_mct_ns = 0.0;
+  double nominal_leakage_uw = 0.0;
+  dmopt::DmoptResult dmopt;
+  bool dosepl_run = false;
+  doseplace::DosePlResult dosepl;
+
+  /// Final golden MCT/leakage after every enabled stage.
+  double final_mct_ns = 0.0;
+  double final_leakage_uw = 0.0;
+};
+
+/// Run the flow on `ctx`.  When dosePl is enabled the context's placement
+/// and parasitics are modified in place (call ctx.refresh_nominal() to
+/// re-baseline afterwards if needed).
+FlowResult run_flow(DesignContext& ctx, const FlowOptions& options);
+
+}  // namespace doseopt::flow

@@ -1,0 +1,473 @@
+#include "gen/design_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace doseopt::gen {
+
+using netlist::CellId;
+using netlist::kNoCell;
+using netlist::NetId;
+
+DesignSpec DesignSpec::scaled(double factor) const {
+  DOSEOPT_CHECK(factor > 0.0 && factor <= 1.0, "DesignSpec::scaled: factor");
+  DesignSpec s = *this;
+  s.target_cells = std::max<std::size_t>(200, static_cast<std::size_t>(
+                                                  target_cells * factor));
+  const std::size_t pis = target_nets - target_cells;
+  s.target_nets =
+      s.target_cells + std::max<std::size_t>(8, static_cast<std::size_t>(
+                                                    pis * factor));
+  s.chip_area_mm2 = chip_area_mm2 * factor;
+  return s;
+}
+
+DesignSpec aes65_spec() {
+  DesignSpec s;
+  s.name = "AES-65";
+  s.tech = "65nm";
+  s.target_cells = 16187;
+  s.target_nets = 16450;
+  s.chip_area_mm2 = 0.058;
+  s.flop_fraction = 0.12;
+  s.logic_depth = 26;
+  s.depth_balance = 0.80;
+  s.depth_taper = 0.0;
+  s.seed = 0xae565;
+  return s;
+}
+
+DesignSpec jpeg65_spec() {
+  DesignSpec s;
+  s.name = "JPEG-65";
+  s.tech = "65nm";
+  s.target_cells = 68286;
+  s.target_nets = 68311;
+  s.chip_area_mm2 = 0.268;
+  s.flop_fraction = 0.10;
+  s.logic_depth = 32;
+  s.depth_balance = 0.50;
+  s.depth_taper = 0.10;
+  s.seed = 0x19e65;
+  return s;
+}
+
+DesignSpec aes90_spec() {
+  DesignSpec s;
+  s.name = "AES-90";
+  s.tech = "90nm";
+  s.target_cells = 21944;
+  s.target_nets = 22581;
+  s.chip_area_mm2 = 0.25;
+  s.flop_fraction = 0.12;
+  s.logic_depth = 26;
+  s.depth_balance = 0.0;
+  s.depth_taper = 0.30;
+  s.seed = 0xae590;
+  return s;
+}
+
+DesignSpec jpeg90_spec() {
+  DesignSpec s;
+  s.name = "JPEG-90";
+  s.tech = "90nm";
+  s.target_cells = 98555;
+  s.target_nets = 105955;
+  s.chip_area_mm2 = 1.09;
+  s.flop_fraction = 0.10;
+  s.logic_depth = 30;
+  s.depth_balance = 0.0;
+  s.depth_taper = 0.60;
+  s.seed = 0x19e90;
+  return s;
+}
+
+std::vector<DesignSpec> table1_specs() {
+  return {aes65_spec(), jpeg65_spec(), aes90_spec(), jpeg90_spec()};
+}
+
+namespace {
+
+/// Combinational master mix: (master, relative weight, input count).
+struct MixEntry {
+  const char* master;
+  double weight;
+  int inputs;
+};
+
+const std::vector<MixEntry>& master_mix() {
+  static const std::vector<MixEntry> mix = {
+      {"INVX1", 10.0, 1},   {"INVX2", 5.0, 1},    {"BUFX1", 3.0, 1},
+      {"BUFX2", 2.0, 1},    {"NAND2X1", 18.0, 2}, {"NAND2X2", 6.0, 2},
+      {"NOR2X1", 12.0, 2},  {"NOR2X2", 4.0, 2},   {"NAND3X1", 6.0, 3},
+      {"NOR3X1", 4.0, 3},   {"NAND4X1", 2.0, 4},  {"NOR4X1", 1.5, 4},
+      {"AND2X1", 5.0, 2},   {"OR2X1", 4.0, 2},    {"AND3X1", 2.0, 3},
+      {"OR3X1", 1.5, 3},    {"XOR2X1", 5.0, 2},   {"XNOR2X1", 2.5, 2},
+      {"AOI21X1", 4.0, 3},  {"OAI21X1", 4.0, 3},  {"AOI22X1", 2.0, 4},
+      {"OAI22X1", 2.0, 4},  {"MUX2X1", 3.0, 3},
+  };
+  return mix;
+}
+
+const std::vector<std::pair<const char*, double>>& flop_mix() {
+  static const std::vector<std::pair<const char*, double>> mix = {
+      {"DFFX1", 10.0}, {"DFFX2", 3.0},  {"DFFRX1", 6.0},
+      {"DFFRX2", 2.0}, {"SDFFX1", 4.0}, {"DFFSX1", 2.0},
+  };
+  return mix;
+}
+
+/// One net plus its spatial position hint in [0, 1).
+struct PlacedNet {
+  NetId net;
+  double u;
+};
+
+/// Master-mix index for the 65 nm near-critical "wall" band: a regular
+/// 2-input fabric (XOR-tree-like, as in an AES S-box / MixColumns datapath)
+/// whose uniform stage delays produce many near-equal critical paths.
+std::size_t wall_mix_pick(Rng& rng) {
+  static const std::size_t nand2 = [] {
+    for (std::size_t i = 0; i < master_mix().size(); ++i)
+      if (std::string_view(master_mix()[i].master) == "NAND2X1") return i;
+    throw Error("wall_mix_pick: NAND2X1 missing from mix");
+  }();
+  static const std::size_t xor2 = [] {
+    for (std::size_t i = 0; i < master_mix().size(); ++i)
+      if (std::string_view(master_mix()[i].master) == "XOR2X1") return i;
+    throw Error("wall_mix_pick: XOR2X1 missing from mix");
+  }();
+  static const std::size_t nor2 = [] {
+    for (std::size_t i = 0; i < master_mix().size(); ++i)
+      if (std::string_view(master_mix()[i].master) == "NOR2X1") return i;
+    throw Error("wall_mix_pick: NOR2X1 missing from mix");
+  }();
+  const double r = rng.uniform();
+  if (r < 0.5) return nand2;
+  if (r < 0.8) return xor2;
+  return nor2;
+}
+
+/// Pick a net from a u-sorted list near position `u`, with a Gaussian spread
+/// of `sigma_u` in u-space.  The anchor is found by binary search on the
+/// actual u values (lists may cover only a sub-range of [0, 1]), and the
+/// spread is converted to an index offset through the list's local density.
+NetId pick_near(const netlist::Netlist& nl, const std::vector<PlacedNet>& list,
+                double u, double sigma_u, Rng& rng) {
+  DOSEOPT_CHECK(!list.empty(), "pick_near: empty candidate list");
+  const double n = static_cast<double>(list.size());
+  const auto anchor = std::lower_bound(
+      list.begin(), list.end(), u,
+      [](const PlacedNet& a, double val) { return a.u < val; });
+  const double center =
+      static_cast<double>(std::min<std::ptrdiff_t>(
+          anchor - list.begin(), static_cast<std::ptrdiff_t>(n) - 1));
+  const double span =
+      std::max(1e-6, list.back().u - list.front().u);
+  const double sigma_idx = std::max(0.9, sigma_u / span * n);
+  // Fanout-aware: retry a few times before accepting an overloaded net, so
+  // thin levels do not dump every consumer onto one driver.
+  constexpr std::size_t kMaxPickFanout = 16;
+  NetId best = list.front().net;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const double idx = center + rng.normal(0.0, sigma_idx * (1.0 + attempt));
+    const auto i =
+        static_cast<std::size_t>(std::clamp(idx, 0.0, n - 1.0));
+    best = list[i].net;
+    if (nl.net(best).sinks.size() < kMaxPickFanout) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+GeneratedDesign generate_design(const DesignSpec& spec,
+                                const std::vector<liberty::CellMaster>& masters,
+                                const tech::TechNode& node) {
+  DOSEOPT_CHECK(spec.target_nets > spec.target_cells,
+                "generate_design: nets must exceed cells");
+  DOSEOPT_CHECK(spec.logic_depth >= 2, "generate_design: depth too small");
+  DOSEOPT_CHECK(node.name == spec.tech, "generate_design: node mismatch");
+
+  Rng rng(spec.seed);
+
+  GeneratedDesign out;
+  out.spec = spec;
+  out.netlist = std::make_unique<netlist::Netlist>(spec.name, spec.tech,
+                                                   &masters);
+  netlist::Netlist& nl = *out.netlist;
+
+  auto master_index = [&masters](const std::string& name) {
+    for (std::size_t i = 0; i < masters.size(); ++i)
+      if (masters[i].name == name) return i;
+    throw Error("generate_design: unknown master " + name);
+  };
+
+  // Spatial locality: fanins are drawn from a Gaussian neighborhood of the
+  // consuming cell's 1-D locality coordinate u in [0, 1).  The u-line is
+  // folded onto the die as K horizontal bands traversed boustrophedon, so
+  // cells with nearby u are nearby in 2-D regardless of logic level.  The
+  // locality radius is fixed in *micrometers* (independent of design size),
+  // as in real placed netlists.
+  const double die_side_um =
+      std::sqrt(spec.chip_area_mm2 * units::kMm2ToUm2);
+  const double kBandHeightUm = 18.0;   // vertical pitch of the u-snake
+  const double kLocalitySigmaUm = 4.0; // fanin neighborhood radius
+  const int kBands =
+      std::max(4, static_cast<int>(std::lround(die_side_um / kBandHeightUm)));
+  const double kFaninSigma = kLocalitySigmaUm / (kBands * die_side_um);
+  auto snake_hint = [kBands, kFaninSigma](double u, Rng& r) {
+    const double t = std::clamp(u, 0.0, 1.0 - 1e-9) * kBands;
+    const int band = static_cast<int>(t);
+    double x = t - band;                    // position within the band
+    if (band % 2 == 1) x = 1.0 - x;         // boustrophedon
+    const double y = (band + 0.5) / kBands;
+    return place::PlacementHint{x + r.normal(0.0, 0.2 * kFaninSigma * kBands),
+                                y + r.normal(0.0, 0.30 / kBands)};
+  };
+
+  // Per-cell placement hints, filled as cells are created.
+  std::vector<place::PlacementHint> hints;
+
+  const int depth = spec.logic_depth;
+
+  // --- primary inputs ---
+  const std::size_t n_pis = spec.target_nets - spec.target_cells;
+  std::vector<PlacedNet> level0;
+  for (std::size_t i = 0; i < n_pis; ++i) {
+    const NetId n = nl.add_net("pi" + std::to_string(i));
+    nl.mark_primary_input(n);
+    level0.push_back(
+        {n, (static_cast<double>(i) + 0.5) / static_cast<double>(n_pis)});
+  }
+
+  // --- flops (launch points; D inputs connected at the end) ---
+  const auto n_flops = static_cast<std::size_t>(
+      spec.flop_fraction * static_cast<double>(spec.target_cells));
+  std::vector<CellId> flops;
+  std::vector<double> flop_u;
+  {
+    std::vector<double> w;
+    for (const auto& [name, weight] : flop_mix()) w.push_back(weight);
+    for (std::size_t i = 0; i < n_flops; ++i) {
+      const auto& [name, weight] = flop_mix()[rng.weighted_index(w)];
+      const NetId q = nl.add_net("q" + std::to_string(i));
+      const CellId f =
+          nl.add_cell("ff" + std::to_string(i), master_index(name), q);
+      const double u =
+          (static_cast<double>(i) + 0.5) / static_cast<double>(n_flops);
+      flops.push_back(f);
+      flop_u.push_back(u);
+      level0.push_back({q, u});
+      hints.push_back(snake_hint(u, rng));
+    }
+    std::sort(level0.begin(), level0.end(),
+              [](const PlacedNet& a, const PlacedNet& b) { return a.u < b.u; });
+  }
+
+  // --- levelized combinational logic ---
+  const std::size_t n_comb = spec.target_cells - n_flops;
+
+  // Cells per level: mixture of uniform over [1, D] and a band near D that
+  // produces the near-critical-path "wall" (Table VII shaping).
+  std::vector<double> level_weight(static_cast<std::size_t>(depth) + 1, 0.0);
+  for (int l = 1; l <= depth; ++l) {
+    const double frac = static_cast<double>(l) / depth;
+    double w = 1.0;
+    if (frac > 0.6)
+      w *= std::exp(-spec.depth_taper * (frac - 0.6) * depth);
+    if (l >= static_cast<int>(0.82 * depth)) w += spec.depth_balance * 5.0;
+    level_weight[static_cast<std::size_t>(l)] = w;
+  }
+  std::vector<std::size_t> count_per_level(
+      static_cast<std::size_t>(depth) + 1, 0);
+  for (std::size_t i = 0; i < n_comb; ++i)
+    ++count_per_level[rng.weighted_index(level_weight)];
+  int deepest = depth;
+  while (deepest > 1 &&
+         count_per_level[static_cast<std::size_t>(deepest)] == 0)
+    --deepest;
+  for (int l = 1; l <= deepest; ++l) {
+    auto& cnt = count_per_level[static_cast<std::size_t>(l)];
+    if (cnt == 0) cnt = 1;
+  }
+
+  // A small pool of high-fanout "control" nets (clock-enable / reset-like):
+  // picked over a medium range (10x the local radius) with a fanout cap, as
+  // a buffered control tree would present.
+  std::vector<PlacedNet> control_pool;
+  for (std::size_t i = 0; i < level0.size(); i += 20)
+    control_pool.push_back(level0[i]);
+  if (control_pool.size() < 2) control_pool = level0;
+  constexpr std::size_t kMaxControlFanout = 24;
+
+  std::vector<double> comb_weights;
+  for (const MixEntry& e : master_mix()) comb_weights.push_back(e.weight);
+
+  std::vector<std::vector<PlacedNet>> nets_by_level(
+      static_cast<std::size_t>(depth) + 1);
+  nets_by_level[0] = level0;
+
+  std::size_t cell_serial = 0;
+  for (int level = 1; level <= depth; ++level) {
+    const std::size_t count =
+        count_per_level[static_cast<std::size_t>(level)];
+    auto& this_level = nets_by_level[static_cast<std::size_t>(level)];
+    this_level.reserve(count);
+    // A level is part of the compact "tube" only once tapering has actually
+    // thinned it; wide levels stay spread across the die.
+    const double avg_level_count =
+        static_cast<double>(n_comb) / static_cast<double>(depth);
+    const bool in_tube = spec.depth_taper > 0.0 &&
+                         level > static_cast<int>(0.6 * depth) &&
+                         static_cast<double>(count) < 0.25 * avg_level_count;
+    const bool in_wall = spec.depth_balance > 0.0 &&
+                         level >= static_cast<int>(0.82 * depth);
+    for (std::size_t i = 0; i < count; ++i) {
+      double u = (static_cast<double>(i) + 0.5) / static_cast<double>(count);
+      // Tapered designs keep their thin critical tail spatially compact (a
+      // single functional unit), otherwise sparse levels force die-scale
+      // wires between consecutive tube stages.  The tube occupies a fixed
+      // ~120 um stretch of the u-snake (u distance maps to physical distance
+      // at rate kBands * die_side per unit u).
+      if (in_tube) {
+        const double tube_span_u = 80.0 / (kBands * die_side_um);
+        u = 0.5 + (u - 0.5) * tube_span_u;
+      }
+      const MixEntry& mix =
+          in_wall ? master_mix()[wall_mix_pick(rng)]
+                  : master_mix()[rng.weighted_index(comb_weights)];
+      const NetId out_net = nl.add_net("n" + std::to_string(nl.net_count()));
+      const CellId c = nl.add_cell("u" + std::to_string(cell_serial++),
+                                   master_index(mix.master), out_net);
+      std::vector<NetId> chosen;
+      for (int pin = 0; pin < mix.inputs; ++pin) {
+        NetId src = netlist::kNoNet;
+        // Retry a few times to avoid wiring one net to several pins of the
+        // same cell (harmless but unrealistic, and it collapses distinct
+        // timing paths).
+        for (int attempt = 0; attempt < 6; ++attempt) {
+          if (pin == 0) {
+            // Guarantees the cell's level.
+            src = pick_near(nl,
+                nets_by_level[static_cast<std::size_t>(level - 1)],
+                            u, kFaninSigma, rng);
+          } else if (rng.bernoulli(0.04)) {
+            src = pick_near(nl, control_pool, u, 10.0 * kFaninSigma, rng);
+            if (nl.net(src).sinks.size() >= kMaxControlFanout)
+              src = pick_near(nl,
+                              nets_by_level[static_cast<std::size_t>(
+                                  level - 1)],
+                              u, kFaninSigma, rng);
+          } else {
+            int lo;
+            if (spec.depth_balance > 0.0 &&
+                level >= static_cast<int>(0.82 * depth) &&
+                rng.bernoulli(0.8)) {
+              // Walled (65 nm-like) designs: extra reconvergence inside the
+              // near-critical band multiplies the near-equal path count.
+              lo = level - 1;
+            } else if (spec.depth_taper > 0.0 &&
+                       level > static_cast<int>(0.6 * depth)) {
+              // Tapered (90 nm-like) designs: side inputs of deep cells come
+              // from shallow logic, so the thin critical tail stays a tube
+              // with little reconvergence -- few near-critical paths.
+              lo = rng.uniform_int(0, std::max(1, static_cast<int>(
+                                                      0.6 * depth) - 1));
+            } else {
+              // Default: an earlier level, biased recent for short wires.
+              lo = level - 1 - rng.uniform_int(0, 5);
+            }
+            lo = std::clamp(lo, 0, level - 1);
+            while (lo > 0 &&
+                   nets_by_level[static_cast<std::size_t>(lo)].empty())
+              --lo;
+            src = pick_near(nl, nets_by_level[static_cast<std::size_t>(lo)],
+                            u, kFaninSigma, rng);
+          }
+          if (std::find(chosen.begin(), chosen.end(), src) == chosen.end())
+            break;
+        }
+        chosen.push_back(src);
+        nl.connect_input(c, pin, src);
+      }
+      this_level.push_back({out_net, u});
+      hints.push_back(snake_hint(u, rng));
+    }
+  }
+
+  // --- flop D inputs: capture from deep nets near the flop's position ---
+  {
+    std::vector<PlacedNet> deep;
+    for (int l = std::max(1, static_cast<int>(0.45 * deepest)); l <= depth;
+         ++l)
+      for (const PlacedNet& pn : nets_by_level[static_cast<std::size_t>(l)])
+        deep.push_back(pn);
+    DOSEOPT_CHECK(!deep.empty(), "generate_design: no deep nets");
+    std::sort(deep.begin(), deep.end(),
+              [](const PlacedNet& a, const PlacedNet& b) { return a.u < b.u; });
+    for (std::size_t fi = 0; fi < flops.size(); ++fi) {
+      const CellId f = flops[fi];
+      const auto& m = nl.master_of(f);
+      for (int pin = 0; pin < m.num_inputs; ++pin) {
+        const NetId src =
+            (pin == 0)
+                ? pick_near(nl, deep, flop_u[fi], kFaninSigma, rng)
+                : pick_near(nl, control_pool, flop_u[fi],
+                            10.0 * kFaninSigma, rng);
+        nl.connect_input(f, pin, src);
+      }
+    }
+  }
+
+  // --- primary outputs & sink cleanup: every net must have a reader ---
+  std::size_t n_pos = 0;
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& n = nl.net(static_cast<NetId>(ni));
+    if (n.sinks.empty() && !n.is_primary_output) {
+      nl.mark_primary_output(static_cast<NetId>(ni));
+      ++n_pos;
+    }
+  }
+  DOSEOPT_CHECK(n_pos > 0, "generate_design: no primary outputs");
+
+  // --- drive-strength refinement: upsize drivers of high-fanout nets ---
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const auto c = static_cast<CellId>(ci);
+    const netlist::Cell& cell = nl.cell(c);
+    const std::size_t fanout = nl.net(cell.output_net).sinks.size();
+    if (fanout < 4) continue;
+    const liberty::CellMaster& m = masters[cell.master_index];
+    const int want_drive = fanout >= 12 ? 8 : (fanout >= 8 ? 4 : 2);
+    for (int d = want_drive; d > m.drive; d /= 2) {
+      const std::string candidate = m.base_name + "X" + std::to_string(d);
+      const auto it = std::find_if(
+          masters.begin(), masters.end(),
+          [&candidate](const liberty::CellMaster& mm) {
+            return mm.name == candidate;
+          });
+      if (it != masters.end()) {
+        nl.set_master(c, static_cast<std::size_t>(it - masters.begin()));
+        break;
+      }
+    }
+  }
+
+  nl.validate();
+
+  // --- placement from the generator's spatial hints ---
+  for (auto& h : hints) {
+    h.x_frac = std::clamp(h.x_frac, 0.0, 1.0);
+    h.y_frac = std::clamp(h.y_frac, 0.0, 1.0);
+  }
+  out.die = place::make_die(node, nl, spec.chip_area_mm2 * units::kMm2ToUm2);
+  out.placement = std::make_unique<place::Placement>(
+      place::placement_from_hints(nl, out.die, hints));
+  return out;
+}
+
+}  // namespace doseopt::gen

@@ -1,0 +1,67 @@
+// Synthetic benchmark design generator.
+//
+// Substitutes for the paper's industrial AES/JPEG testcases (Table I).  The
+// generator builds a levelized random DAG whose observable statistics are
+// matched to the paper: cell count, net count (=> primary-input count), chip
+// area, and -- via the depth-balance parameter -- the slack criticality
+// profile of Table VII (65 nm designs have a "wall" of near-critical paths;
+// 90 nm designs have few).  The logic function is arbitrary; every consumer
+// in this project (STA, leakage, dose-map optimization, cell swapping)
+// depends only on these statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "liberty/cell_master.h"
+#include "netlist/netlist.h"
+#include "place/placer.h"
+
+namespace doseopt::gen {
+
+/// Parameters of one synthetic design.
+struct DesignSpec {
+  std::string name;
+  std::string tech;  ///< "65nm" or "90nm"
+  std::size_t target_cells = 0;
+  std::size_t target_nets = 0;  ///< > target_cells; difference = PI count
+  double chip_area_mm2 = 0.0;
+  double flop_fraction = 0.12;
+  int logic_depth = 30;        ///< deepest combinational level
+  double depth_balance = 0.3;  ///< extra weight on the near-max-depth band
+                               ///< (creates the 65 nm "wall" of Table VII)
+  double depth_taper = 0.0;    ///< per-level exponential decay of cell count
+                               ///< beyond 60% depth (thins the critical tail
+                               ///< the way the 90 nm designs are thin)
+  std::uint64_t seed = 1;
+
+  /// Scale the design down by `factor` (cells, nets, area) for fast runs.
+  DesignSpec scaled(double factor) const;
+};
+
+/// Table I specs.
+DesignSpec aes65_spec();
+DesignSpec jpeg65_spec();
+DesignSpec aes90_spec();
+DesignSpec jpeg90_spec();
+/// All four, in the paper's order.
+std::vector<DesignSpec> table1_specs();
+
+/// A generated design: netlist + legal placement on a die sized to the
+/// spec's chip area.
+struct GeneratedDesign {
+  DesignSpec spec;
+  std::unique_ptr<netlist::Netlist> netlist;
+  place::Die die;
+  std::unique_ptr<place::Placement> placement;
+};
+
+/// Generate a design.  `masters` must outlive the returned object (pass the
+/// LibraryRepository's master list so netlist indices align with
+/// characterized-library indices).
+GeneratedDesign generate_design(const DesignSpec& spec,
+                                const std::vector<liberty::CellMaster>& masters,
+                                const tech::TechNode& node);
+
+}  // namespace doseopt::gen

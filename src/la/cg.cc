@@ -1,0 +1,66 @@
+#include "la/cg.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace doseopt::la {
+
+CgResult conjugate_gradient(const std::function<void(const Vec&, Vec&)>& op,
+                            const Vec& b, const Vec& precond_diag, Vec& x,
+                            const CgOptions& options) {
+  const std::size_t n = b.size();
+  DOSEOPT_CHECK(x.size() == n, "cg: x size mismatch");
+  DOSEOPT_CHECK(precond_diag.size() == n, "cg: preconditioner size mismatch");
+
+  CgResult result;
+  Vec r(n), z(n), p(n), ap(n);
+
+  op(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+  const double b_norm = norm2(b);
+  const double stop = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  auto apply_precond = [&](const Vec& in, Vec& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = precond_diag[i];
+      out[i] = (d > 0.0) ? in[i] / d : in[i];
+    }
+  };
+
+  apply_precond(r, z);
+  p = z;
+  double rz = dot(r, z);
+
+  double r_norm = norm2(r);
+  if (r_norm <= stop) {
+    result.converged = true;
+    result.residual_norm = r_norm;
+    return result;
+  }
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    op(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // loss of positive-definiteness / stagnation
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    result.iterations = it + 1;
+    r_norm = norm2(r);
+    if (r_norm <= stop) {
+      result.converged = true;
+      break;
+    }
+    apply_precond(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.residual_norm = r_norm;
+  return result;
+}
+
+}  // namespace doseopt::la

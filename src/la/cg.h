@@ -1,0 +1,32 @@
+// Preconditioned conjugate gradient for symmetric positive-definite operators
+// given implicitly as matrix-vector products.  Used by the ADMM QP solver for
+// its (P + sigma*I + rho*A^T A) x = b inner solves.
+#pragma once
+
+#include <functional>
+
+#include "la/dense.h"
+
+namespace doseopt::la {
+
+/// Result of a CG solve.
+struct CgResult {
+  int iterations = 0;
+  double residual_norm = 0.0;  ///< final ||b - Ax||_2
+  bool converged = false;
+};
+
+/// Options for a CG solve.
+struct CgOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-9;  ///< relative: stop when ||r|| <= tol * ||b||
+};
+
+/// Solve op(x) = b where op is SPD.  `x` holds the initial guess on entry and
+/// the solution on exit.  `precond_diag` is the diagonal of a Jacobi
+/// preconditioner (pass all-ones for unpreconditioned CG).
+CgResult conjugate_gradient(
+    const std::function<void(const Vec&, Vec&)>& op, const Vec& b,
+    const Vec& precond_diag, Vec& x, const CgOptions& options = {});
+
+}  // namespace doseopt::la

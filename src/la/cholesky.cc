@@ -1,0 +1,65 @@
+#include "la/cholesky.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace doseopt::la {
+
+Vec cholesky_solve(const DenseMatrix& a, const Vec& b) {
+  const std::size_t n = a.rows();
+  DOSEOPT_CHECK(a.cols() == n, "cholesky_solve: matrix not square");
+  DOSEOPT_CHECK(b.size() == n, "cholesky_solve: rhs size mismatch");
+
+  // Factor A = L L^T (lower triangular L).
+  DenseMatrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        DOSEOPT_CHECK(s > 0.0, "cholesky_solve: matrix not positive definite");
+        l.at(i, i) = std::sqrt(s);
+      } else {
+        l.at(i, j) = s / l.at(j, j);
+      }
+    }
+  }
+
+  // Forward solve L y = b.
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l.at(i, k) * y[k];
+    y[i] = s / l.at(i, i);
+  }
+  // Backward solve L^T x = y.
+  Vec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l.at(k, ii) * x[k];
+    x[ii] = s / l.at(ii, ii);
+  }
+  return x;
+}
+
+Vec least_squares(const DenseMatrix& a, const Vec& b, double ridge) {
+  const std::size_t m = a.rows(), n = a.cols();
+  DOSEOPT_CHECK(b.size() == m, "least_squares: rhs size mismatch");
+  DOSEOPT_CHECK(m >= n, "least_squares: underdetermined system");
+
+  DenseMatrix ata(n, n);
+  Vec atb(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ari = a.at(r, i);
+      if (ari == 0.0) continue;
+      atb[i] += ari * b[r];
+      for (std::size_t j = 0; j < n; ++j) ata.at(i, j) += ari * a.at(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) ata.at(i, i) += ridge;
+  return cholesky_solve(ata, atb);
+}
+
+}  // namespace doseopt::la

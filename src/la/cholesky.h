@@ -1,0 +1,40 @@
+// Small dense symmetric positive-definite solver (Cholesky LL^T).
+// Used by the least-squares fitter (normal equations are tiny: the fits in
+// this project have at most 3 unknowns) and as a reference solver in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense.h"
+
+namespace doseopt::la {
+
+/// Dense row-major square matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b for SPD A by Cholesky factorization.
+/// Throws doseopt::Error if A is not (numerically) positive definite.
+Vec cholesky_solve(const DenseMatrix& a, const Vec& b);
+
+/// Dense least squares: minimize ||A x - b||_2 via normal equations with a
+/// small ridge (lambda) for conditioning. A is m x n with m >= n.
+Vec least_squares(const DenseMatrix& a, const Vec& b, double ridge = 0.0);
+
+}  // namespace doseopt::la

@@ -1,0 +1,49 @@
+#include "la/dense.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace doseopt::la {
+
+double dot(const Vec& a, const Vec& b) {
+  DOSEOPT_CHECK(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vec& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void axpy(double alpha, const Vec& x, Vec& y) {
+  DOSEOPT_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, Vec& x) {
+  for (double& v : x) v *= alpha;
+}
+
+void clamp(const Vec& lo, const Vec& hi, Vec& x) {
+  DOSEOPT_CHECK(lo.size() == x.size() && hi.size() == x.size(),
+                "clamp: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::clamp(x[i], lo[i], hi[i]);
+}
+
+double max_abs_diff(const Vec& a, const Vec& b) {
+  DOSEOPT_CHECK(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace doseopt::la

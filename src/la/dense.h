@@ -1,0 +1,34 @@
+// Dense vector helpers.
+//
+// Vectors are std::vector<double>; these free functions provide the handful
+// of BLAS-1 style operations the solvers need, with explicit size checks.
+#pragma once
+
+#include <vector>
+
+namespace doseopt::la {
+
+using Vec = std::vector<double>;
+
+/// Dot product. Requires equal sizes.
+double dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double norm2(const Vec& a);
+
+/// Infinity norm.
+double norm_inf(const Vec& a);
+
+/// y += alpha * x. Requires equal sizes.
+void axpy(double alpha, const Vec& x, Vec& y);
+
+/// x *= alpha.
+void scale(double alpha, Vec& x);
+
+/// Element-wise clamp of x into [lo, hi] (vectors of equal size).
+void clamp(const Vec& lo, const Vec& hi, Vec& x);
+
+/// max_i |a_i - b_i|.
+double max_abs_diff(const Vec& a, const Vec& b);
+
+}  // namespace doseopt::la

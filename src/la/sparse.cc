@@ -1,0 +1,116 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace doseopt::la {
+
+void TripletMatrix::add(std::size_t r, std::size_t c, double v) {
+  DOSEOPT_CHECK(r < rows_ && c < cols_, "TripletMatrix::add: out of bounds");
+  row_.push_back(r);
+  col_.push_back(c);
+  values_.push_back(v);
+}
+
+CsrMatrix::CsrMatrix(const TripletMatrix& t) : rows_(t.rows()), cols_(t.cols()) {
+  DOSEOPT_CHECK(cols_ <= UINT32_MAX, "CsrMatrix: too many columns");
+  const auto& tr = t.row_indices();
+  const auto& tc = t.col_indices();
+  const auto& tv = t.values();
+  const std::size_t n = tv.size();
+
+  // Counting sort by row.
+  std::vector<std::size_t> count(rows_ + 1, 0);
+  for (std::size_t k = 0; k < n; ++k) count[tr[k] + 1]++;
+  std::partial_sum(count.begin(), count.end(), count.begin());
+  row_ptr_ = count;
+
+  std::vector<std::uint32_t> cols(n);
+  std::vector<double> vals(n);
+  {
+    std::vector<std::size_t> next = row_ptr_;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t pos = next[tr[k]]++;
+      cols[pos] = static_cast<std::uint32_t>(tc[k]);
+      vals[pos] = tv[k];
+    }
+  }
+
+  // Within each row: sort by column and merge duplicates.
+  col_idx_.reserve(n);
+  val_.reserve(n);
+  std::vector<std::size_t> perm;
+  std::vector<std::size_t> new_ptr(rows_ + 1, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::size_t lo = row_ptr_[r], hi = row_ptr_[r + 1];
+    perm.resize(hi - lo);
+    std::iota(perm.begin(), perm.end(), lo);
+    std::sort(perm.begin(), perm.end(), [&cols](std::size_t a, std::size_t b) {
+      return cols[a] < cols[b];
+    });
+    for (std::size_t k : perm) {
+      if (!col_idx_.empty() && val_.size() > new_ptr[r] &&
+          col_idx_.back() == cols[k]) {
+        val_.back() += vals[k];
+      } else {
+        col_idx_.push_back(cols[k]);
+        val_.push_back(vals[k]);
+      }
+    }
+    new_ptr[r + 1] = val_.size();
+  }
+  row_ptr_ = std::move(new_ptr);
+}
+
+void CsrMatrix::multiply(const Vec& x, Vec& y) const {
+  DOSEOPT_CHECK(x.size() == cols_, "multiply: x size mismatch");
+  y.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      s += val_[k] * x[col_idx_[k]];
+    y[r] = s;
+  }
+}
+
+void CsrMatrix::multiply_transpose(const Vec& x, Vec& y) const {
+  DOSEOPT_CHECK(x.size() == rows_, "multiply_transpose: x size mismatch");
+  y.assign(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      y[col_idx_[k]] += val_[k] * xr;
+  }
+}
+
+void CsrMatrix::add_gram_product(double alpha, const Vec& x, Vec& y,
+                                 Vec& scratch) const {
+  DOSEOPT_CHECK(y.size() == cols_, "add_gram_product: y size mismatch");
+  multiply(x, scratch);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double s = alpha * scratch[r];
+    if (s == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      y[col_idx_[k]] += val_[k] * s;
+  }
+}
+
+Vec CsrMatrix::gram_diagonal() const {
+  Vec d(cols_, 0.0);
+  for (std::size_t k = 0; k < val_.size(); ++k)
+    d[col_idx_[k]] += val_[k] * val_[k];
+  return d;
+}
+
+Vec CsrMatrix::row_dense(std::size_t r) const {
+  DOSEOPT_CHECK(r < rows_, "row_dense: out of range");
+  Vec out(cols_, 0.0);
+  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+    out[col_idx_[k]] = val_[k];
+  return out;
+}
+
+}  // namespace doseopt::la

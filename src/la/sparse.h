@@ -1,0 +1,76 @@
+// Sparse matrix support: triplet assembly and compressed-sparse-row storage
+// with the matrix-vector products the ADMM QP solver needs (A*x, A^T*y, and
+// the Gram diagonal of A^T*A for preconditioning).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense.h"
+
+namespace doseopt::la {
+
+/// Triplet (coordinate-format) accumulator for building sparse matrices.
+/// Duplicate entries are summed on conversion to CSR.
+class TripletMatrix {
+ public:
+  TripletMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  /// Accumulate value v at (r, c). Bounds-checked.
+  void add(std::size_t r, std::size_t c, double v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  const std::vector<std::size_t>& row_indices() const { return row_; }
+  const std::vector<std::size_t>& col_indices() const { return col_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::size_t> row_, col_;
+  std::vector<double> values_;
+};
+
+/// Immutable CSR sparse matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from triplets; duplicates are summed, explicit zeros kept.
+  explicit CsrMatrix(const TripletMatrix& t);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return val_.size(); }
+
+  /// y = A x.
+  void multiply(const Vec& x, Vec& y) const;
+
+  /// y = A^T x.
+  void multiply_transpose(const Vec& x, Vec& y) const;
+
+  /// y += alpha * A^T (A x); scratch must have size rows().
+  void add_gram_product(double alpha, const Vec& x, Vec& y,
+                        Vec& scratch) const;
+
+  /// diag(A^T A): column-wise sum of squared entries.
+  Vec gram_diagonal() const;
+
+  /// Dense row extraction for tests/debugging.
+  Vec row_dense(std::size_t r) const;
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return val_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> val_;
+};
+
+}  // namespace doseopt::la

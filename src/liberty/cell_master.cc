@@ -1,0 +1,174 @@
+#include "liberty/cell_master.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace doseopt::liberty {
+
+const char* to_string(Function f) {
+  switch (f) {
+    case Function::kInv: return "INV";
+    case Function::kBuf: return "BUF";
+    case Function::kNand: return "NAND";
+    case Function::kNor: return "NOR";
+    case Function::kAnd: return "AND";
+    case Function::kOr: return "OR";
+    case Function::kXor: return "XOR";
+    case Function::kXnor: return "XNOR";
+    case Function::kAoi21: return "AOI21";
+    case Function::kAoi22: return "AOI22";
+    case Function::kOai21: return "OAI21";
+    case Function::kOai22: return "OAI22";
+    case Function::kMux2: return "MUX2";
+    case Function::kDff: return "DFF";
+    case Function::kLatch: return "LATCH";
+  }
+  return "?";
+}
+
+int CellMaster::fingers(double max_finger_width_nm) const {
+  double w_max = 0.0;
+  for (const StageTemplate& s : stages)
+    w_max = std::max({w_max, s.wp_nm, s.wn_nm});
+  return std::max(1, static_cast<int>(std::ceil(w_max / max_finger_width_nm)));
+}
+
+namespace {
+
+// Beta ratio: PMOS/NMOS width for balanced rise/fall.
+constexpr double kBeta = 1.5;
+
+struct MasterSpec {
+  const char* base;
+  Function function;
+  int num_inputs;
+  int stages;              // 1 = single inverting stage, 2 = two stages
+  double rise_stack;       // pull-up series stack depth
+  double fall_stack;       // pull-down series stack depth
+  double leak_state;       // state-averaged leakage factor
+  double width_mult;       // device widths vs INV of same drive
+  std::vector<int> drives;
+};
+
+CellMaster build_master(const MasterSpec& spec, int drive,
+                        const tech::TechNode& node) {
+  CellMaster m;
+  m.base_name = spec.base;
+  m.name = std::string(spec.base) + "X" + std::to_string(drive);
+  m.function = spec.function;
+  m.drive = drive;
+  m.num_inputs = spec.num_inputs;
+  m.sequential =
+      spec.function == Function::kDff || spec.function == Function::kLatch;
+
+  const double wn_unit = node.min_width_nm * 1.3;  // X1 inverter NMOS width
+  const double wp_unit = wn_unit * kBeta;
+
+  for (int s = 0; s < spec.stages; ++s) {
+    StageTemplate st;
+    const bool output_stage = (s == spec.stages - 1);
+    // Internal stages are smaller than the output stage (tapered).
+    const double stage_mult =
+        output_stage ? static_cast<double>(drive) * spec.width_mult
+                     : std::max(1.0, 0.5 * drive) * spec.width_mult;
+    st.wn_nm = wn_unit * stage_mult;
+    st.wp_nm = wp_unit * stage_mult;
+    if (output_stage) {
+      // Stacked devices are upsized by the stack depth in real cells; the
+      // residual resistance penalty is the sqrt of the stack.
+      st.res_factor_rise = std::sqrt(spec.rise_stack);
+      st.res_factor_fall = std::sqrt(spec.fall_stack);
+      st.wp_nm *= std::sqrt(spec.rise_stack);
+      st.wn_nm *= std::sqrt(spec.fall_stack);
+    }
+    st.cpar_factor = 0.7 + 0.15 * static_cast<double>(spec.num_inputs);
+    m.stages.push_back(st);
+  }
+
+  // Input cap: first-stage device gates; multi-input cells present one
+  // transistor pair per pin, so the per-pin cap does not grow with fanin.
+  m.input_cap_factor = 1.0;
+
+  // Leakage geometry: every input pin contributes a transistor pair on
+  // single-stage cells; two-stage cells add their first stage.
+  const StageTemplate& out = m.stages.back();
+  m.wn_total_nm = out.wn_nm * std::max(1, spec.num_inputs);
+  m.wp_total_nm = out.wp_nm * std::max(1, spec.num_inputs);
+  if (spec.stages > 1) {
+    m.wn_total_nm += m.stages.front().wn_nm;
+    m.wp_total_nm += m.stages.front().wp_nm;
+  }
+  m.leak_state_factor = spec.leak_state;
+  m.nmos_count = std::max(1, spec.num_inputs) + (spec.stages > 1 ? 1 : 0);
+  m.pmos_count = m.nmos_count;
+
+  if (m.sequential) {
+    // Flops carry extra internal devices (master/slave, feedback).
+    m.wn_total_nm *= 2.6;
+    m.wp_total_nm *= 2.6;
+    m.nmos_count = m.nmos_count * 2 + 4;
+    m.pmos_count = m.pmos_count * 2 + 4;
+    m.setup_ns = 0.045;
+    m.hold_ns = 0.010;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<CellMaster> make_standard_masters(const tech::TechNode& node) {
+  // 36 combinational masters.
+  const std::vector<MasterSpec> comb = {
+      {"INV",   Function::kInv,   1, 1, 1.0, 1.0, 0.50, 1.00, {1, 2, 4, 8}},
+      {"BUF",   Function::kBuf,   1, 2, 1.0, 1.0, 0.50, 1.00, {1, 2, 4}},
+      {"NAND2", Function::kNand,  2, 1, 1.0, 2.0, 0.38, 0.95, {1, 2, 4}},
+      {"NAND3", Function::kNand,  3, 1, 1.0, 3.0, 0.30, 0.92, {1, 2}},
+      {"NAND4", Function::kNand,  4, 1, 1.0, 4.0, 0.26, 0.90, {1}},
+      {"NOR2",  Function::kNor,   2, 1, 2.0, 1.0, 0.38, 0.95, {1, 2, 4}},
+      {"NOR3",  Function::kNor,   3, 1, 3.0, 1.0, 0.30, 0.92, {1, 2}},
+      {"NOR4",  Function::kNor,   4, 1, 4.0, 1.0, 0.26, 0.90, {1}},
+      {"AND2",  Function::kAnd,   2, 2, 1.0, 2.0, 0.42, 0.95, {1, 2}},
+      {"AND3",  Function::kAnd,   3, 2, 1.0, 3.0, 0.36, 0.92, {1}},
+      {"OR2",   Function::kOr,    2, 2, 2.0, 1.0, 0.42, 0.95, {1, 2}},
+      {"OR3",   Function::kOr,    3, 2, 3.0, 1.0, 0.36, 0.92, {1}},
+      {"XOR2",  Function::kXor,   2, 2, 2.0, 2.0, 0.55, 1.30, {1, 2}},
+      {"XNOR2", Function::kXnor,  2, 2, 2.0, 2.0, 0.55, 1.30, {1}},
+      {"AOI21", Function::kAoi21, 3, 1, 2.0, 2.0, 0.34, 0.95, {1, 2}},
+      {"AOI22", Function::kAoi22, 4, 1, 2.0, 2.0, 0.32, 0.95, {1}},
+      {"OAI21", Function::kOai21, 3, 1, 2.0, 2.0, 0.34, 0.95, {1, 2}},
+      {"OAI22", Function::kOai22, 4, 1, 2.0, 2.0, 0.32, 0.95, {1}},
+      {"MUX2",  Function::kMux2,  3, 2, 2.0, 2.0, 0.48, 1.20, {1, 2}},
+  };
+  // 9 sequential masters.
+  const std::vector<MasterSpec> seq = {
+      {"DFF",    Function::kDff,   1, 2, 1.0, 1.0, 0.55, 1.40, {1, 2}},
+      {"DFFR",   Function::kDff,   2, 2, 2.0, 2.0, 0.50, 1.45, {1, 2}},
+      {"DFFS",   Function::kDff,   2, 2, 2.0, 2.0, 0.50, 1.45, {1}},
+      {"SDFF",   Function::kDff,   2, 2, 2.0, 2.0, 0.52, 1.55, {1, 2}},
+      {"DFFRS",  Function::kDff,   3, 2, 2.0, 2.0, 0.48, 1.60, {1}},
+      {"LAT",    Function::kLatch, 1, 2, 1.0, 1.0, 0.55, 1.10, {1}},
+  };
+
+  std::vector<CellMaster> masters;
+  for (const auto& spec : comb)
+    for (int d : spec.drives) masters.push_back(build_master(spec, d, node));
+  for (const auto& spec : seq)
+    for (int d : spec.drives) masters.push_back(build_master(spec, d, node));
+
+  std::size_t n_comb = 0, n_seq = 0;
+  for (const auto& m : masters) (m.sequential ? n_seq : n_comb)++;
+  DOSEOPT_CHECK(n_comb == 36, "expected 36 combinational masters");
+  DOSEOPT_CHECK(n_seq == 9, "expected 9 sequential masters");
+  return masters;
+}
+
+const CellMaster& master_by_name(const std::vector<CellMaster>& masters,
+                                 const std::string& name) {
+  for (const CellMaster& m : masters)
+    if (m.name == name) return m;
+  throw Error("master not found: " + name);
+}
+
+}  // namespace doseopt::liberty

@@ -1,0 +1,97 @@
+// Standard-cell master templates.
+//
+// A master template is the transistor-level description the characterizer
+// turns into NLDM tables: per-stage driver widths and stack factors, input
+// pin capacitance, parasitic output capacitance, and state-averaged leakage
+// geometry.  The production library the paper uses has 36 combinational and
+// 9 sequential masters; make_standard_masters() builds the same inventory
+// for a given technology node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tech/tech_node.h"
+
+namespace doseopt::liberty {
+
+/// Logic function of a master (what the netlist generator needs to know).
+enum class Function {
+  kInv,
+  kBuf,
+  kNand,
+  kNor,
+  kAnd,
+  kOr,
+  kXor,
+  kXnor,
+  kAoi21,
+  kAoi22,
+  kOai21,
+  kOai22,
+  kMux2,
+  kDff,
+  kLatch,
+};
+
+const char* to_string(Function f);
+
+/// One CMOS stage inside a cell.
+struct StageTemplate {
+  double wp_nm = 0.0;  ///< pull-up driver width (single finger equivalent)
+  double wn_nm = 0.0;  ///< pull-down driver width
+  double res_factor_rise = 1.0;  ///< series-stack multiplier on pull-up R
+  double res_factor_fall = 1.0;  ///< series-stack multiplier on pull-down R
+  /// Parasitic capacitance at the stage output, as a multiple of the stage's
+  /// own gate capacitance (diffusion + local wiring).
+  double cpar_factor = 0.8;
+};
+
+/// Transistor-level template of one cell master.
+struct CellMaster {
+  std::string name;       ///< e.g. "NAND2X2"
+  std::string base_name;  ///< e.g. "NAND2"
+  Function function = Function::kInv;
+  int drive = 1;       ///< X-drive multiplier
+  int num_inputs = 1;  ///< data inputs (excludes clock)
+  bool sequential = false;
+
+  std::vector<StageTemplate> stages;  ///< signal path, input to output
+
+  /// Input pin capacitance factor: pin cap = factor * gate cap of the first
+  /// stage's devices at the current (L, W) variant.
+  double input_cap_factor = 1.0;
+
+  /// Total transistor widths for leakage (all devices, all stages).
+  double wn_total_nm = 0.0;
+  double wp_total_nm = 0.0;
+
+  /// Device counts: an active-layer width delta dW applies to each printed
+  /// device, so total leakage width shifts by count * dW.
+  int nmos_count = 1;
+  int pmos_count = 1;
+
+  /// State-averaged leakage multiplier (stack effect: series stacks leak
+  /// less than a lone device).
+  double leak_state_factor = 0.5;
+
+  /// Sequential-only timing (constant across variants; the clk->Q arc is
+  /// characterized like a combinational arc).
+  double setup_ns = 0.0;
+  double hold_ns = 0.0;
+
+  /// Number of printed gate fingers; the dose-driven width delta applies to
+  /// each finger, so total width change = fingers * dW.
+  int fingers(double max_finger_width_nm) const;
+};
+
+/// Build the full standard inventory for `node`: 36 combinational masters
+/// (INV/BUF/NAND/NOR/AND/OR/XOR/XNOR/AOI/OAI/MUX at multiple drives) and 9
+/// sequential masters (DFF variants, scan flop, latch).
+std::vector<CellMaster> make_standard_masters(const tech::TechNode& node);
+
+/// Locate a master by name; throws if absent.
+const CellMaster& master_by_name(const std::vector<CellMaster>& masters,
+                                 const std::string& name);
+
+}  // namespace doseopt::liberty

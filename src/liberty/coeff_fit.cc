@@ -1,0 +1,179 @@
+#include "liberty/coeff_fit.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace doseopt::liberty {
+
+double LeakageCoeffs::delta_leak_nw(double delta_l_nm,
+                                    double delta_w_nm) const {
+  return alpha_nw_per_nm2 * delta_l_nm * delta_l_nm +
+         beta_nw_per_nm * delta_l_nm + gamma_nw_per_nm * delta_w_nm;
+}
+
+namespace {
+
+constexpr int kNominalIndex = kVariantsPerLayer / 2;
+
+/// Through-origin linear fit: target = c * x.
+double fit_slope(const std::vector<double>& xs, const std::vector<double>& ys,
+                 fit::FitResult* result_out = nullptr) {
+  std::vector<fit::Sample> samples(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    samples[i] = {{xs[i]}, ys[i]};
+  fit::FitResult r = fit::fit_linear(samples);
+  if (result_out != nullptr) *result_out = r;
+  return r.coefficients[0];
+}
+
+}  // namespace
+
+CoefficientSet::CoefficientSet(LibraryRepository& repo, bool fit_width)
+    : fit_width_(fit_width) {
+  const std::vector<CellMaster>& masters = repo.masters();
+  const Library& nominal = repo.nominal();
+
+  // Geometry deltas of each variant index.
+  std::vector<double> delta_cd(kVariantsPerLayer);
+  for (int i = 0; i < kVariantsPerLayer; ++i)
+    delta_cd[i] = dose_to_delta_cd_nm(variant_index_to_dose_pct(i));
+
+  delay_.reserve(masters.size());
+  leakage_.reserve(masters.size());
+
+  const NldmTable& proto = nominal.cell(0).arc.delay_rise;
+  const std::size_t ns = proto.slew_points();
+  const std::size_t nl = proto.load_points();
+
+  for (std::size_t mi = 0; mi < masters.size(); ++mi) {
+    DelayCoeffGrid grid;
+    grid.a_length = NldmTable(proto.slew_axis(), proto.load_axis());
+    grid.b_width = NldmTable(proto.slew_axis(), proto.load_axis());
+
+    // ---- A_p: delay vs dL at each entry, over the 21 poly variants.
+    for (std::size_t i = 0; i < ns; ++i) {
+      for (std::size_t j = 0; j < nl; ++j) {
+        std::vector<double> dl(kVariantsPerLayer);
+        std::vector<double> dd(kVariantsPerLayer);       // worst-edge deltas
+        std::vector<double> dd_rise(kVariantsPerLayer);  // per-edge, for QA
+        std::vector<double> dd_fall(kVariantsPerLayer);
+        const CharacterizedCell& nom = nominal.cell(mi);
+        const double t0 = std::max(nom.arc.delay_rise.at(i, j),
+                                   nom.arc.delay_fall.at(i, j));
+        for (int v = 0; v < kVariantsPerLayer; ++v) {
+          const CharacterizedCell& c =
+              repo.variant(v, kNominalIndex).cell(mi);
+          dl[v] = delta_cd[v];
+          dd[v] = std::max(c.arc.delay_rise.at(i, j),
+                           c.arc.delay_fall.at(i, j)) - t0;
+          dd_rise[v] =
+              c.arc.delay_rise.at(i, j) - nom.arc.delay_rise.at(i, j);
+          dd_fall[v] =
+              c.arc.delay_fall.at(i, j) - nom.arc.delay_fall.at(i, j);
+        }
+        grid.a_length.at(i, j) = fit_slope(dl, dd);
+        fit::FitResult qr;
+        fit_slope(dl, dd_rise, &qr);
+        quality_.length_only.accumulate(qr);
+        fit_slope(dl, dd_fall, &qr);
+        quality_.length_only.accumulate(qr);
+      }
+    }
+
+    // ---- B_p and joint-fit quality over the 21x21 grid.
+    if (fit_width_) {
+      for (std::size_t i = 0; i < ns; ++i) {
+        for (std::size_t j = 0; j < nl; ++j) {
+          const CharacterizedCell& nom = nominal.cell(mi);
+          const double t0 = std::max(nom.arc.delay_rise.at(i, j),
+                                     nom.arc.delay_fall.at(i, j));
+          // B from the width-only sweep.
+          std::vector<double> dw(kVariantsPerLayer), dd(kVariantsPerLayer);
+          for (int v = 0; v < kVariantsPerLayer; ++v) {
+            const CharacterizedCell& c =
+                repo.variant(kNominalIndex, v).cell(mi);
+            dw[v] = delta_cd[v];
+            dd[v] = std::max(c.arc.delay_rise.at(i, j),
+                             c.arc.delay_fall.at(i, j)) - t0;
+          }
+          grid.b_width.at(i, j) = fit_slope(dw, dd);
+
+          // Joint quality: fit dt = A*dL + B*dW over all 441 variants for
+          // the rise edge (the paper reports the max SSR over all fitted
+          // curves; one edge per entry keeps the sweep affordable while
+          // covering every master and every entry).
+          std::vector<fit::Sample> joint;
+          joint.reserve(static_cast<std::size_t>(kVariantsPerLayer) *
+                        kVariantsPerLayer);
+          for (int vl = 0; vl < kVariantsPerLayer; ++vl) {
+            for (int vw = 0; vw < kVariantsPerLayer; ++vw) {
+              const CharacterizedCell& c = repo.variant(vl, vw).cell(mi);
+              joint.push_back(
+                  {{delta_cd[vl], delta_cd[vw]},
+                   c.arc.delay_rise.at(i, j) - nom.arc.delay_rise.at(i, j)});
+            }
+          }
+          quality_.length_width.accumulate(fit::fit_linear(joint));
+        }
+      }
+    }
+    delay_.push_back(std::move(grid));
+
+    // ---- Leakage coefficients.
+    LeakageCoeffs lk;
+    lk.nominal_nw = nominal.cell(mi).leakage_nw;
+    {
+      std::vector<fit::Sample> samples;
+      samples.reserve(kVariantsPerLayer);
+      for (int v = 0; v < kVariantsPerLayer; ++v) {
+        const double dl_nm = delta_cd[v];
+        const double leak = repo.variant(v, kNominalIndex).cell(mi).leakage_nw;
+        samples.push_back({{dl_nm * dl_nm, dl_nm}, leak - lk.nominal_nw});
+      }
+      const fit::FitResult r = fit::fit_linear(samples);
+      lk.alpha_nw_per_nm2 = r.coefficients[0];
+      lk.beta_nw_per_nm = r.coefficients[1];
+      DOSEOPT_CHECK(lk.alpha_nw_per_nm2 >= 0.0,
+                    "leakage fit: non-convex quadratic for " +
+                        masters[mi].name);
+    }
+    if (fit_width_) {
+      std::vector<double> dw(kVariantsPerLayer), dleak(kVariantsPerLayer);
+      for (int v = 0; v < kVariantsPerLayer; ++v) {
+        dw[v] = delta_cd[v];
+        dleak[v] =
+            repo.variant(kNominalIndex, v).cell(mi).leakage_nw - lk.nominal_nw;
+      }
+      lk.gamma_nw_per_nm = fit_slope(dw, dleak);
+    }
+    leakage_.push_back(lk);
+  }
+}
+
+const DelayCoeffGrid& CoefficientSet::delay_coeffs(
+    std::size_t master_index) const {
+  DOSEOPT_CHECK(master_index < delay_.size(),
+                "delay_coeffs: master index out of range");
+  return delay_[master_index];
+}
+
+const LeakageCoeffs& CoefficientSet::leakage_coeffs(
+    std::size_t master_index) const {
+  DOSEOPT_CHECK(master_index < leakage_.size(),
+                "leakage_coeffs: master index out of range");
+  return leakage_[master_index];
+}
+
+double CoefficientSet::a_length(std::size_t master_index, double slew_ns,
+                                double load_ff) const {
+  return delay_coeffs(master_index).a_length.evaluate(slew_ns, load_ff);
+}
+
+double CoefficientSet::b_width(std::size_t master_index, double slew_ns,
+                               double load_ff) const {
+  if (!fit_width_) return 0.0;
+  return delay_coeffs(master_index).b_width.evaluate(slew_ns, load_ff);
+}
+
+}  // namespace doseopt::liberty

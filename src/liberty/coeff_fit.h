@@ -1,0 +1,79 @@
+// Fitted dose-sensitivity coefficients (Sections II-C / III of the paper).
+//
+// From the characterized variant libraries, extract per-master:
+//
+//   * delay coefficients  A_p = d(delay)/d(L)  and  B_p = d(delay)/d(W),
+//     fitted independently at every (slew, load) NLDM entry so that an
+//     instance's coefficients can be looked up from its analyzed input slew
+//     and output load ("the coefficients associated with the nearest entry
+//     (or, entries with interpolation) in the table will be applied");
+//
+//   * leakage coefficients  dLeak = alpha*dL^2 + beta*dL + gamma*dW
+//     (quadratic in gate length, linear in gate width).
+//
+// Units: delays ns, CDs nm, leakage nW  =>  A,B in ns/nm; alpha nW/nm^2;
+// beta, gamma nW/nm.
+#pragma once
+
+#include <vector>
+
+#include "fit/leastsq.h"
+#include "liberty/nldm.h"
+#include "liberty/repository.h"
+
+namespace doseopt::liberty {
+
+/// Per-entry delay sensitivity grids for one master.
+struct DelayCoeffGrid {
+  NldmTable a_length;  ///< d(delay)/dL at each (slew, load) entry [ns/nm]
+  NldmTable b_width;   ///< d(delay)/dW at each (slew, load) entry [ns/nm]
+};
+
+/// Leakage sensitivity of one master.
+struct LeakageCoeffs {
+  double alpha_nw_per_nm2 = 0.0;  ///< quadratic in dL; >= 0 (convex)
+  double beta_nw_per_nm = 0.0;    ///< linear in dL; < 0 (leak falls as L grows)
+  double gamma_nw_per_nm = 0.0;   ///< linear in dW; > 0
+  double nominal_nw = 0.0;        ///< leakage at (dL, dW) = (0, 0)
+
+  /// Model evaluation: delta leakage at (dL, dW).
+  double delta_leak_nw(double delta_l_nm, double delta_w_nm) const;
+};
+
+/// Residual quality of the delay fits, as the paper reports in Section V
+/// (max sum-of-squared-residuals over all fitted curves).
+struct DelayFitQuality {
+  fit::ResidualStats length_only;   ///< fits over the 21 dL variants
+  fit::ResidualStats length_width;  ///< joint fits over the 21x21 variants
+};
+
+/// All fitted coefficients for a master set.
+class CoefficientSet {
+ public:
+  /// Fit from `repo` for all masters.  `fit_width` additionally fits the
+  /// B/gamma width coefficients from the 21x21 grid (only needed for
+  /// both-layer optimization; characterizing 441 variants costs more).
+  CoefficientSet(LibraryRepository& repo, bool fit_width);
+
+  const DelayCoeffGrid& delay_coeffs(std::size_t master_index) const;
+  const LeakageCoeffs& leakage_coeffs(std::size_t master_index) const;
+
+  /// Interpolated A_p for an instance with the given analyzed slew/load.
+  double a_length(std::size_t master_index, double slew_ns,
+                  double load_ff) const;
+
+  /// Interpolated B_p (0 when width fitting was disabled).
+  double b_width(std::size_t master_index, double slew_ns,
+                 double load_ff) const;
+
+  bool width_fitted() const { return fit_width_; }
+  const DelayFitQuality& quality() const { return quality_; }
+
+ private:
+  bool fit_width_;
+  std::vector<DelayCoeffGrid> delay_;
+  std::vector<LeakageCoeffs> leakage_;
+  DelayFitQuality quality_;
+};
+
+}  // namespace doseopt::liberty

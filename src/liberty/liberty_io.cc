@@ -1,0 +1,328 @@
+#include "liberty/liberty_io.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace doseopt::liberty {
+
+namespace {
+
+void write_axis(std::ostream& os, const char* key,
+                const std::vector<double>& axis, int indent) {
+  os << std::string(indent, ' ') << key << " (\"";
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (i) os << ", ";
+    os << str_format("%.6g", axis[i]);
+  }
+  os << "\");\n";
+}
+
+void write_table(std::ostream& os, const char* group, const NldmTable& t,
+                 int indent) {
+  const std::string pad(indent, ' ');
+  os << pad << group << " (nldm_7x7) {\n";
+  write_axis(os, "index_1", t.slew_axis(), indent + 2);
+  write_axis(os, "index_2", t.load_axis(), indent + 2);
+  os << pad << "  values ( \\\n";
+  for (std::size_t i = 0; i < t.slew_points(); ++i) {
+    os << pad << "    \"";
+    for (std::size_t j = 0; j < t.load_points(); ++j) {
+      if (j) os << ", ";
+      os << str_format("%.6f", t.at(i, j));
+    }
+    os << "\"" << (i + 1 < t.slew_points() ? ", \\" : " \\") << "\n";
+  }
+  os << pad << "  );\n" << pad << "}\n";
+}
+
+}  // namespace
+
+void write_liberty(const Library& lib, std::ostream& os) {
+  os << str_format("library (%s_dl%g_dw%g) {\n", lib.node().name.c_str(),
+                   lib.delta_l_nm(), lib.delta_w_nm());
+  os << "  delay_model : table_lookup;\n";
+  os << "  time_unit : \"1ns\";\n";
+  os << "  leakage_power_unit : \"1nW\";\n";
+  os << "  capacitive_load_unit (1, ff);\n";
+  os << str_format("  voltage_map (VDD, %.3f);\n", lib.node().vdd_v);
+  os << str_format("  /* variant: delta_l=%.3fnm delta_w=%.3fnm */\n",
+                   lib.delta_l_nm(), lib.delta_w_nm());
+  for (const CharacterizedCell& c : lib.cells()) {
+    os << str_format("  cell (%s) {\n", c.name.c_str());
+    os << str_format("    cell_leakage_power : %.6f;\n", c.leakage_nw);
+    os << "    pin (A) {\n";
+    os << "      direction : input;\n";
+    os << str_format("      capacitance : %.6f;\n", c.input_cap_ff);
+    os << "    }\n";
+    os << "    pin (Y) {\n";
+    os << "      direction : output;\n";
+    os << "      timing () {\n";
+    os << "        related_pin : \"A\";\n";
+    write_table(os, "cell_rise", c.arc.delay_rise, 8);
+    write_table(os, "cell_fall", c.arc.delay_fall, 8);
+    write_table(os, "rise_transition", c.arc.slew_rise, 8);
+    write_table(os, "fall_transition", c.arc.slew_fall, 8);
+    os << "      }\n";
+    os << "    }\n";
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+std::string to_liberty_string(const Library& lib) {
+  std::ostringstream os;
+  write_liberty(lib, os);
+  return os.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent tokenizer/parser state for the Liberty subset.
+class LibertyParser {
+ public:
+  explicit LibertyParser(std::istream& is) { slurp(is); }
+
+  Library parse(const tech::TechNode& node) {
+    expect_keyword("library");
+    const std::string libname = paren_arg();
+    // Recover the variant deltas from the library name suffix
+    // "<node>_dl<dL>_dw<dW>".
+    double dl = 0.0, dw = 0.0;
+    const std::size_t pdl = libname.rfind("_dl");
+    const std::size_t pdw = libname.rfind("_dw");
+    DOSEOPT_CHECK(pdl != std::string::npos && pdw != std::string::npos,
+                  "liberty parse: library name lacks variant suffix");
+    dl = std::stod(libname.substr(pdl + 3, pdw - (pdl + 3)));
+    dw = std::stod(libname.substr(pdw + 3));
+
+    Library lib(node, dl, dw);
+    expect("{");
+    while (!peek_is("}")) {
+      if (peek_is("cell")) {
+        lib.add_cell(parse_cell());
+      } else {
+        skip_statement();
+      }
+    }
+    expect("}");
+    return lib;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+
+  void slurp(std::istream& is) {
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    // Strip /* */ comments and line continuations.
+    std::string clean;
+    clean.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+        const std::size_t end = text.find("*/", i + 2);
+        DOSEOPT_CHECK(end != std::string::npos,
+                      "liberty parse: unterminated comment");
+        i = end + 1;
+      } else if (text[i] == '\\') {
+        // line continuation: skip
+      } else {
+        clean.push_back(text[i]);
+      }
+    }
+    // Tokenize: punctuation () {} ; : , and quoted strings.
+    std::string cur;
+    auto flush = [&] {
+      if (!cur.empty()) {
+        tokens_.push_back(cur);
+        cur.clear();
+      }
+    };
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      const char ch = clean[i];
+      if (ch == '"') {
+        flush();
+        std::string s;
+        ++i;
+        while (i < clean.size() && clean[i] != '"') s.push_back(clean[i++]);
+        DOSEOPT_CHECK(i < clean.size(), "liberty parse: unterminated string");
+        tokens_.push_back("\"" + s + "\"");
+      } else if (std::string("(){};:,").find(ch) != std::string::npos) {
+        flush();
+        tokens_.push_back(std::string(1, ch));
+      } else if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+        flush();
+      } else {
+        cur.push_back(ch);
+      }
+    }
+    flush();
+  }
+
+  const std::string& peek() const {
+    DOSEOPT_CHECK(pos_ < tokens_.size(), "liberty parse: unexpected EOF");
+    return tokens_[pos_];
+  }
+  bool peek_is(std::string_view t) const {
+    return pos_ < tokens_.size() && tokens_[pos_] == t;
+  }
+  std::string next() {
+    DOSEOPT_CHECK(pos_ < tokens_.size(), "liberty parse: unexpected EOF");
+    return tokens_[pos_++];
+  }
+  void expect(std::string_view t) {
+    const std::string got = next();
+    DOSEOPT_CHECK(got == t, "liberty parse: expected '" + std::string(t) +
+                                "', got '" + got + "'");
+  }
+  void expect_keyword(std::string_view kw) { expect(kw); }
+
+  std::string paren_arg() {
+    expect("(");
+    std::string arg;
+    while (!peek_is(")")) {
+      if (!arg.empty()) arg += " ";
+      arg += next();
+    }
+    expect(")");
+    return arg;
+  }
+
+  /// Skip "name : value ;" or "name ( ... ) ;" or a whole "name (...) { ... }".
+  void skip_statement() {
+    next();  // name
+    if (peek_is(":")) {
+      while (!peek_is(";")) next();
+      expect(";");
+      return;
+    }
+    if (peek_is("(")) paren_arg();
+    if (peek_is("{")) {
+      expect("{");
+      int depth = 1;
+      while (depth > 0) {
+        const std::string t = next();
+        if (t == "{") ++depth;
+        if (t == "}") --depth;
+      }
+      return;
+    }
+    if (peek_is(";")) expect(";");
+  }
+
+  std::vector<double> parse_quoted_numbers(const std::string& quoted) {
+    DOSEOPT_CHECK(quoted.size() >= 2 && quoted.front() == '"',
+                  "liberty parse: expected quoted number list");
+    std::vector<double> out;
+    for (const std::string& tok :
+         split(quoted.substr(1, quoted.size() - 2), ", "))
+      out.push_back(std::stod(tok));
+    return out;
+  }
+
+  NldmTable parse_table() {
+    paren_arg();  // template name
+    expect("{");
+    std::vector<double> idx1, idx2, values;
+    while (!peek_is("}")) {
+      const std::string name = next();
+      if (name == "index_1" || name == "index_2") {
+        expect("(");
+        auto nums = parse_quoted_numbers(next());
+        expect(")");
+        expect(";");
+        (name == "index_1" ? idx1 : idx2) = std::move(nums);
+      } else if (name == "values") {
+        expect("(");
+        while (!peek_is(")")) {
+          const std::string tok = next();
+          if (tok == ",") continue;
+          for (double v : parse_quoted_numbers(tok)) values.push_back(v);
+        }
+        expect(")");
+        expect(";");
+      } else {
+        DOSEOPT_FAIL("liberty parse: unexpected table member " + name);
+      }
+    }
+    expect("}");
+    DOSEOPT_CHECK(values.size() == idx1.size() * idx2.size(),
+                  "liberty parse: table shape mismatch");
+    NldmTable t(idx1, idx2);
+    for (std::size_t i = 0; i < idx1.size(); ++i)
+      for (std::size_t j = 0; j < idx2.size(); ++j)
+        t.at(i, j) = values[i * idx2.size() + j];
+    return t;
+  }
+
+  CharacterizedCell parse_cell() {
+    expect("cell");
+    CharacterizedCell c;
+    c.name = paren_arg();
+    c.master_index = 0;  // resolved by the caller if needed
+    expect("{");
+    while (!peek_is("}")) {
+      const std::string name = peek();
+      if (name == "cell_leakage_power") {
+        next();
+        expect(":");
+        c.leakage_nw = std::stod(next());
+        expect(";");
+      } else if (name == "pin") {
+        next();
+        const std::string pin = paren_arg();
+        expect("{");
+        while (!peek_is("}")) {
+          const std::string member = peek();
+          if (member == "capacitance") {
+            next();
+            expect(":");
+            c.input_cap_ff = std::stod(next());
+            expect(";");
+          } else if (member == "timing") {
+            next();
+            paren_arg();
+            expect("{");
+            while (!peek_is("}")) {
+              const std::string tm = peek();
+              if (tm == "cell_rise") { next(); c.arc.delay_rise = parse_table(); }
+              else if (tm == "cell_fall") { next(); c.arc.delay_fall = parse_table(); }
+              else if (tm == "rise_transition") { next(); c.arc.slew_rise = parse_table(); }
+              else if (tm == "fall_transition") { next(); c.arc.slew_fall = parse_table(); }
+              else skip_statement();
+            }
+            expect("}");
+          } else {
+            skip_statement();
+          }
+        }
+        expect("}");
+        (void)pin;
+      } else {
+        skip_statement();
+      }
+    }
+    expect("}");
+    return c;
+  }
+};
+
+}  // namespace
+
+Library parse_liberty(const tech::TechNode& node, std::istream& is) {
+  LibertyParser parser(is);
+  return parser.parse(node);
+}
+
+Library parse_liberty_string(const tech::TechNode& node,
+                             const std::string& text) {
+  std::istringstream is(text);
+  return parse_liberty(node, is);
+}
+
+}  // namespace doseopt::liberty

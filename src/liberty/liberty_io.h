@@ -1,0 +1,33 @@
+// Liberty-format subset writer and reader.
+//
+// Serializes a characterized Library to the industry Liberty (.lib) text
+// syntax -- `library`, `cell`, `pin`, `timing`, `lu_table` groups with
+// `index_1`/`index_2`/`values` -- and parses the same subset back.  Round-
+// tripping through this format is covered by tests; it also lets a
+// downstream user inspect our characterized variants in standard tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "liberty/library.h"
+
+namespace doseopt::liberty {
+
+/// Write `lib` as Liberty text to `os`.  The library is named
+/// "<node>_dl<dL>_dw<dW>".
+void write_liberty(const Library& lib, std::ostream& os);
+
+/// Convenience: Liberty text as a string.
+std::string to_liberty_string(const Library& lib);
+
+/// Parse a library previously produced by write_liberty.  `node` supplies
+/// the technology parameters (Liberty does not carry our device model).
+/// Throws doseopt::Error on malformed input.
+Library parse_liberty(const tech::TechNode& node, std::istream& is);
+
+/// Parse from a string.
+Library parse_liberty_string(const tech::TechNode& node,
+                             const std::string& text);
+
+}  // namespace doseopt::liberty

@@ -1,0 +1,45 @@
+#include "liberty/library.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace doseopt::liberty {
+
+double TimingArc::delay_ns(double slew_ns, double load_ff) const {
+  return std::max(delay_rise.evaluate(slew_ns, load_ff),
+                  delay_fall.evaluate(slew_ns, load_ff));
+}
+
+double TimingArc::out_slew_ns(double slew_ns, double load_ff) const {
+  return std::max(slew_rise.evaluate(slew_ns, load_ff),
+                  slew_fall.evaluate(slew_ns, load_ff));
+}
+
+void Library::add_cell(CharacterizedCell cell) {
+  DOSEOPT_CHECK(!by_name_.contains(cell.name),
+                "Library::add_cell: duplicate cell " + cell.name);
+  by_name_.emplace(cell.name, cells_.size());
+  cells_.push_back(std::move(cell));
+}
+
+const CharacterizedCell& Library::cell(std::size_t i) const {
+  DOSEOPT_CHECK(i < cells_.size(), "Library::cell: index out of range");
+  return cells_[i];
+}
+
+const CharacterizedCell& Library::cell_by_name(const std::string& name) const {
+  return cells_[cell_index(name)];
+}
+
+bool Library::has_cell(const std::string& name) const {
+  return by_name_.contains(name);
+}
+
+std::size_t Library::cell_index(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  DOSEOPT_CHECK(it != by_name_.end(), "Library: unknown cell " + name);
+  return it->second;
+}
+
+}  // namespace doseopt::liberty

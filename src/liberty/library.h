@@ -1,0 +1,73 @@
+// A characterized cell library at one (delta-L, delta-W) geometry variant.
+//
+// The optimization flow of the paper uses 21 characterized libraries for
+// gate-length-only modulation (dose -5%..+5% in 0.5% steps at Ds = -2 nm/%)
+// and 21x21 libraries when the active layer is modulated too.  A Library is
+// one such variant: every master's NLDM delay/slew tables, pin caps, and
+// leakage, all evaluated at (L_nominal + dL, W + dW).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/cell_master.h"
+#include "liberty/nldm.h"
+#include "tech/tech_node.h"
+
+namespace doseopt::liberty {
+
+/// One timing arc (input pin -> output), rise and fall.
+struct TimingArc {
+  NldmTable delay_rise;
+  NldmTable delay_fall;
+  NldmTable slew_rise;
+  NldmTable slew_fall;
+
+  /// Worst (max) of rise/fall delay at (slew, load).
+  double delay_ns(double slew_ns, double load_ff) const;
+
+  /// Worst (max) of rise/fall output slew at (slew, load).
+  double out_slew_ns(double slew_ns, double load_ff) const;
+};
+
+/// A master characterized at this library's variant geometry.
+struct CharacterizedCell {
+  std::string name;          ///< master name, e.g. "NAND2X2"
+  std::size_t master_index;  ///< index into the master list
+  double input_cap_ff = 0.0;
+  double leakage_nw = 0.0;
+  TimingArc arc;  ///< identical template for every input pin
+};
+
+/// A characterized library: all masters at one (dL, dW).
+class Library {
+ public:
+  Library(tech::TechNode node, double delta_l_nm, double delta_w_nm)
+      : node_(std::move(node)), delta_l_nm_(delta_l_nm),
+        delta_w_nm_(delta_w_nm) {}
+
+  const tech::TechNode& node() const { return node_; }
+  double delta_l_nm() const { return delta_l_nm_; }
+  double delta_w_nm() const { return delta_w_nm_; }
+
+  void add_cell(CharacterizedCell cell);
+
+  std::size_t cell_count() const { return cells_.size(); }
+  const CharacterizedCell& cell(std::size_t i) const;
+  const CharacterizedCell& cell_by_name(const std::string& name) const;
+  bool has_cell(const std::string& name) const;
+  /// Index of a cell by name; throws if absent.
+  std::size_t cell_index(const std::string& name) const;
+
+  const std::vector<CharacterizedCell>& cells() const { return cells_; }
+
+ private:
+  tech::TechNode node_;
+  double delta_l_nm_;
+  double delta_w_nm_;
+  std::vector<CharacterizedCell> cells_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+};
+
+}  // namespace doseopt::liberty

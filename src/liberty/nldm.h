@@ -1,0 +1,53 @@
+// Non-linear delay model (NLDM) lookup tables.
+//
+// A table is a grid of values indexed by input transition time (slew, ns)
+// and output load capacitance (fF), exactly as in Liberty `cell_delay` /
+// `output_transition` groups.  Evaluation is bilinear interpolation inside
+// the grid and linear extrapolation from the edge cells outside it, matching
+// common STA tool behavior.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace doseopt::liberty {
+
+/// A rectangular lookup table over (slew, load).
+class NldmTable {
+ public:
+  NldmTable() = default;
+
+  /// Construct with strictly increasing axes; values are zero-initialized.
+  NldmTable(std::vector<double> slew_axis_ns, std::vector<double> load_axis_ff);
+
+  std::size_t slew_points() const { return slew_axis_.size(); }
+  std::size_t load_points() const { return load_axis_.size(); }
+
+  const std::vector<double>& slew_axis() const { return slew_axis_; }
+  const std::vector<double>& load_axis() const { return load_axis_; }
+
+  double& at(std::size_t slew_idx, std::size_t load_idx);
+  double at(std::size_t slew_idx, std::size_t load_idx) const;
+
+  /// Bilinear interpolation (linear extrapolation beyond the axes).
+  double evaluate(double slew_ns, double load_ff) const;
+
+  /// Index of the axis point nearest to `slew_ns` (used for per-entry
+  /// coefficient lookup, "nearest entry" in Section IV-B).
+  std::size_t nearest_slew_index(double slew_ns) const;
+  std::size_t nearest_load_index(double load_ff) const;
+
+  /// True if axes and all values match exactly.
+  bool operator==(const NldmTable& other) const = default;
+
+ private:
+  std::vector<double> slew_axis_;
+  std::vector<double> load_axis_;
+  std::vector<double> values_;  // row-major: slew index major
+};
+
+/// Default 7-point characterization axes used across the library.
+std::vector<double> default_slew_axis_ns();
+std::vector<double> default_load_axis_ff();
+
+}  // namespace doseopt::liberty

@@ -1,0 +1,51 @@
+#include "liberty/repository.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace doseopt::liberty {
+
+double dose_to_delta_cd_nm(double dose_pct) {
+  return kDoseSensitivityNmPerPct * dose_pct;
+}
+
+double variant_index_to_dose_pct(int index) {
+  DOSEOPT_CHECK(index >= 0 && index < kVariantsPerLayer,
+                "variant_index_to_dose_pct: out of range");
+  return kDoseMinPct + kDoseStepPct * index;
+}
+
+int dose_to_variant_index(double dose_pct) {
+  const double clamped = std::clamp(dose_pct, kDoseMinPct, kDoseMaxPct);
+  return static_cast<int>(std::lround((clamped - kDoseMinPct) / kDoseStepPct));
+}
+
+LibraryRepository::LibraryRepository(const tech::TechNode& node)
+    : device_(node), masters_(make_standard_masters(node)) {}
+
+const Library& LibraryRepository::variant(int il, int iw) {
+  DOSEOPT_CHECK(il >= 0 && il < kVariantsPerLayer &&
+                    iw >= 0 && iw < kVariantsPerLayer,
+                "LibraryRepository::variant: index out of range");
+  const auto key = std::make_pair(il, iw);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    const double dose_l = variant_index_to_dose_pct(il);
+    const double dose_w = variant_index_to_dose_pct(iw);
+    auto lib = std::make_unique<Library>(
+        characterize(device_, masters_, dose_to_delta_cd_nm(dose_l),
+                     dose_to_delta_cd_nm(dose_w)));
+    it = cache_.emplace(key, std::move(lib)).first;
+  }
+  return *it->second;
+}
+
+const Library& LibraryRepository::variant_for_dose(double dose_poly_pct,
+                                                   double dose_active_pct) {
+  return variant(dose_to_variant_index(dose_poly_pct),
+                 dose_to_variant_index(dose_active_pct));
+}
+
+}  // namespace doseopt::liberty

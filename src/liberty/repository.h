@@ -1,0 +1,71 @@
+// Repository of characterized library variants over the dose grid.
+//
+// The paper's flow characterizes 21 libraries for poly-only modulation
+// (dose -5%..+5% in 0.5% steps; at Ds = -2 nm/% each step is a 1 nm gate-
+// length change) and 21x21 libraries for simultaneous poly+active
+// modulation.  The repository owns the master list and lazily characterizes
+// and caches variants on demand, and provides the dose <-> variant-index
+// snapping used when applying an optimized dose map ("rounding step" of
+// Section IV-A).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "liberty/characterizer.h"
+#include "liberty/library.h"
+#include "tech/device.h"
+
+namespace doseopt::liberty {
+
+/// Dose sensitivity used throughout the paper's experiments (nm per %).
+inline constexpr double kDoseSensitivityNmPerPct = -2.0;
+
+/// Dose grid: -5% .. +5% in 0.5% steps -> 21 variants per layer.
+inline constexpr int kVariantsPerLayer = 21;
+inline constexpr double kDoseStepPct = 0.5;
+inline constexpr double kDoseMinPct = -5.0;
+inline constexpr double kDoseMaxPct = 5.0;
+
+/// Convert a dose percentage to the CD delta it prints (nm).
+double dose_to_delta_cd_nm(double dose_pct);
+
+/// Dose value of variant index i in [0, kVariantsPerLayer).
+double variant_index_to_dose_pct(int index);
+
+/// Nearest variant index for an arbitrary dose percentage (clamped to range).
+int dose_to_variant_index(double dose_pct);
+
+/// Lazily characterized variant library cache.
+class LibraryRepository {
+ public:
+  /// Build masters for `node` and prepare the cache (no characterization
+  /// happens until a variant is requested).
+  explicit LibraryRepository(const tech::TechNode& node);
+
+  const tech::DeviceModel& device() const { return device_; }
+  const std::vector<CellMaster>& masters() const { return masters_; }
+
+  /// The nominal (0, 0) variant.
+  const Library& nominal() { return variant(kVariantsPerLayer / 2,
+                                            kVariantsPerLayer / 2); }
+
+  /// Variant at poly index `il` and active index `iw` (each 0..20, 10 =
+  /// nominal). Characterizes on first use.
+  const Library& variant(int il, int iw);
+
+  /// Variant for dose percentages, snapped to the characterization grid.
+  const Library& variant_for_dose(double dose_poly_pct, double dose_active_pct);
+
+  /// Number of variants characterized so far (tests/telemetry).
+  std::size_t characterized_count() const { return cache_.size(); }
+
+ private:
+  tech::DeviceModel device_;
+  std::vector<CellMaster> masters_;
+  std::map<std::pair<int, int>, std::unique_ptr<Library>> cache_;
+};
+
+}  // namespace doseopt::liberty

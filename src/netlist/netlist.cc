@@ -1,0 +1,133 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace doseopt::netlist {
+
+NetId Netlist::add_net(std::string name) {
+  nets_.push_back(Net{std::move(name), kNoCell, {}, false, false});
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+CellId Netlist::add_cell(std::string name, std::size_t master_index,
+                         NetId out) {
+  DOSEOPT_CHECK(master_index < masters_->size(),
+                "add_cell: master index out of range");
+  DOSEOPT_CHECK(out < nets_.size(), "add_cell: bad output net");
+  DOSEOPT_CHECK(nets_[out].driver == kNoCell && !nets_[out].is_primary_input,
+                "add_cell: output net already driven");
+  const CellId id = static_cast<CellId>(cells_.size());
+  const liberty::CellMaster& m = (*masters_)[master_index];
+  Cell c;
+  c.name = std::move(name);
+  c.master_index = master_index;
+  c.output_net = out;
+  c.input_nets.assign(static_cast<std::size_t>(m.num_inputs), kNoNet);
+  c.sequential = m.sequential;
+  if (c.sequential) ++sequential_count_;
+  cells_.push_back(std::move(c));
+  nets_[out].driver = id;
+  return id;
+}
+
+void Netlist::connect_input(CellId c, int pin, NetId n) {
+  DOSEOPT_CHECK(c < cells_.size(), "connect_input: bad cell");
+  DOSEOPT_CHECK(n < nets_.size(), "connect_input: bad net");
+  Cell& cell = cells_[c];
+  DOSEOPT_CHECK(pin >= 0 &&
+                    static_cast<std::size_t>(pin) < cell.input_nets.size(),
+                "connect_input: bad pin index");
+  DOSEOPT_CHECK(cell.input_nets[static_cast<std::size_t>(pin)] == kNoNet,
+                "connect_input: pin already connected");
+  cell.input_nets[static_cast<std::size_t>(pin)] = n;
+  nets_[n].sinks.push_back(SinkPin{c, pin});
+}
+
+void Netlist::mark_primary_input(NetId n) {
+  DOSEOPT_CHECK(n < nets_.size(), "mark_primary_input: bad net");
+  DOSEOPT_CHECK(nets_[n].driver == kNoCell,
+                "mark_primary_input: net already has a driver");
+  if (!nets_[n].is_primary_input) {
+    nets_[n].is_primary_input = true;
+    primary_inputs_.push_back(n);
+  }
+}
+
+void Netlist::mark_primary_output(NetId n) {
+  DOSEOPT_CHECK(n < nets_.size(), "mark_primary_output: bad net");
+  if (!nets_[n].is_primary_output) {
+    nets_[n].is_primary_output = true;
+    primary_outputs_.push_back(n);
+  }
+}
+
+void Netlist::set_master(CellId c, std::size_t master_index) {
+  DOSEOPT_CHECK(c < cells_.size(), "set_master: bad cell");
+  DOSEOPT_CHECK(master_index < masters_->size(),
+                "set_master: master index out of range");
+  const liberty::CellMaster& old_m = (*masters_)[cells_[c].master_index];
+  const liberty::CellMaster& new_m = (*masters_)[master_index];
+  DOSEOPT_CHECK(old_m.num_inputs == new_m.num_inputs &&
+                    old_m.sequential == new_m.sequential,
+                "set_master: incompatible master swap");
+  cells_[c].master_index = master_index;
+}
+
+std::vector<CellId> Netlist::topological_order() const {
+  // Kahn's algorithm over combinational timing edges: an edge exists from
+  // the driver of net n to sink cell s unless s is sequential (its D input
+  // is a capture point, not a propagation point).
+  std::vector<std::uint32_t> indegree(cells_.size(), 0);
+  for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
+    const Cell& c = cells_[ci];
+    if (c.sequential) continue;  // launch point: indegree 0 by construction
+    for (NetId n : c.input_nets) {
+      if (n != kNoNet && nets_[n].driver != kNoCell) ++indegree[ci];
+    }
+  }
+
+  std::vector<CellId> order;
+  order.reserve(cells_.size());
+  std::vector<CellId> queue;
+  for (std::size_t ci = 0; ci < cells_.size(); ++ci)
+    if (indegree[ci] == 0) queue.push_back(static_cast<CellId>(ci));
+
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const CellId c = queue[head++];
+    order.push_back(c);
+    const Net& out = nets_[cells_[c].output_net];
+    for (const SinkPin& s : out.sinks) {
+      if (cells_[s.cell].sequential) continue;
+      if (--indegree[s.cell] == 0) queue.push_back(s.cell);
+    }
+  }
+  DOSEOPT_CHECK(order.size() == cells_.size(),
+                "topological_order: combinational cycle detected");
+  return order;
+}
+
+void Netlist::validate() const {
+  for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
+    const Cell& c = cells_[ci];
+    const liberty::CellMaster& m = (*masters_)[c.master_index];
+    DOSEOPT_CHECK(c.input_nets.size() ==
+                      static_cast<std::size_t>(m.num_inputs),
+                  "validate: pin count mismatch on " + c.name);
+    DOSEOPT_CHECK(c.output_net != kNoNet, "validate: floating output on " +
+                                              c.name);
+    for (NetId n : c.input_nets)
+      DOSEOPT_CHECK(n != kNoNet, "validate: unconnected input on " + c.name);
+  }
+  for (std::size_t ni = 0; ni < nets_.size(); ++ni) {
+    const Net& n = nets_[ni];
+    DOSEOPT_CHECK(n.driver != kNoCell || n.is_primary_input,
+                  "validate: undriven net " + n.name);
+    for (const SinkPin& s : n.sinks)
+      DOSEOPT_CHECK(s.cell < cells_.size(), "validate: bad sink on " + n.name);
+  }
+}
+
+}  // namespace doseopt::netlist

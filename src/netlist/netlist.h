@@ -1,0 +1,110 @@
+// Gate-level netlist.
+//
+// Cells reference masters by index into the library's master list; nets
+// connect one driver (a cell output or a primary input) to a set of sink
+// pins (cell inputs and/or primary outputs).  Sequential cells partition the
+// design into combinational stages: for timing, flop outputs behave as
+// launch points and flop D-inputs as capture points ("unrolling" of
+// Section II-C).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "liberty/cell_master.h"
+
+namespace doseopt::netlist {
+
+using CellId = std::uint32_t;
+using NetId = std::uint32_t;
+inline constexpr CellId kNoCell = std::numeric_limits<CellId>::max();
+inline constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+
+/// A sink pin: input pin `pin` of cell `cell`.
+struct SinkPin {
+  CellId cell = kNoCell;
+  int pin = 0;
+  bool operator==(const SinkPin&) const = default;
+};
+
+/// One cell instance.
+struct Cell {
+  std::string name;
+  std::size_t master_index = 0;  ///< into the masters vector
+  NetId output_net = kNoNet;
+  std::vector<NetId> input_nets;  ///< data inputs, in pin order
+  bool sequential = false;
+};
+
+/// One net.
+struct Net {
+  std::string name;
+  CellId driver = kNoCell;  ///< kNoCell => driven by a primary input
+  std::vector<SinkPin> sinks;
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+};
+
+/// A complete design netlist.
+class Netlist {
+ public:
+  Netlist(std::string design_name, std::string tech_name,
+          const std::vector<liberty::CellMaster>* masters)
+      : design_name_(std::move(design_name)), tech_name_(std::move(tech_name)),
+        masters_(masters) {}
+
+  const std::string& design_name() const { return design_name_; }
+  const std::string& tech_name() const { return tech_name_; }
+  const std::vector<liberty::CellMaster>& masters() const { return *masters_; }
+  const liberty::CellMaster& master_of(CellId c) const {
+    return (*masters_)[cell(c).master_index];
+  }
+
+  // --- construction ---
+  NetId add_net(std::string name);
+  /// Create a cell driving `out`; inputs are connected afterwards.
+  CellId add_cell(std::string name, std::size_t master_index, NetId out);
+  /// Connect net `n` to input pin `pin` of cell `c`.
+  void connect_input(CellId c, int pin, NetId n);
+  void mark_primary_input(NetId n);
+  void mark_primary_output(NetId n);
+  /// Change the master of a cell (used by dose-map application / swapping).
+  void set_master(CellId c, std::size_t master_index);
+
+  // --- access ---
+  std::size_t cell_count() const { return cells_.size(); }
+  std::size_t net_count() const { return nets_.size(); }
+  const Cell& cell(CellId c) const { return cells_[c]; }
+  const Net& net(NetId n) const { return nets_[n]; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<NetId>& primary_inputs() const { return primary_inputs_; }
+  const std::vector<NetId>& primary_outputs() const {
+    return primary_outputs_;
+  }
+  std::size_t sequential_count() const { return sequential_count_; }
+
+  /// Combinational topological order of all cells.  Sequential cells appear
+  /// in the order (they launch at their position) but no edge is followed
+  /// *into* a sequential cell's D pin, so the result exists iff the
+  /// combinational logic is acyclic; throws on a combinational cycle.
+  std::vector<CellId> topological_order() const;
+
+  /// Structural checks: every net has a driver or is a PI, every cell input
+  /// is connected, pin counts match masters.  Throws on violations.
+  void validate() const;
+
+ private:
+  std::string design_name_;
+  std::string tech_name_;
+  const std::vector<liberty::CellMaster>* masters_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<NetId> primary_inputs_;
+  std::vector<NetId> primary_outputs_;
+  std::size_t sequential_count_ = 0;
+};
+
+}  // namespace doseopt::netlist

@@ -1,0 +1,35 @@
+// Structural Verilog subset writer and reader.
+//
+// Serializes a netlist as a flat gate-level Verilog module (one instance per
+// cell, named port connections) and parses the same subset back.  Pin names
+// follow the simple convention A, B, C, D for inputs and Y for the output
+// (D/CK-style names are not needed because the clock network is implicit in
+// this timing model).  Round-tripping is covered by tests; the writer also
+// lets generated designs be inspected with standard netlist tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace doseopt::netlist {
+
+/// Write `nl` as a structural Verilog module named after the design.
+void write_verilog(const Netlist& nl, std::ostream& os);
+
+/// Verilog text as a string.
+std::string to_verilog_string(const Netlist& nl);
+
+/// Parse a module produced by write_verilog.  `masters` supplies the cell
+/// library (instances reference masters by name).  Throws doseopt::Error on
+/// malformed input or unknown masters.
+Netlist parse_verilog(const std::vector<liberty::CellMaster>* masters,
+                      const std::string& tech_name, std::istream& is);
+
+/// Parse from a string.
+Netlist parse_verilog_string(const std::vector<liberty::CellMaster>* masters,
+                             const std::string& tech_name,
+                             const std::string& text);
+
+}  // namespace doseopt::netlist

@@ -1,0 +1,42 @@
+#include "place/bbox.h"
+
+#include <algorithm>
+
+namespace doseopt::place {
+
+Rect cell_bounding_box(const Placement& placement, netlist::CellId c) {
+  const netlist::Netlist& nl = placement.netlist();
+  Rect r{1e30, 1e30, -1e30, -1e30};
+  auto add = [&r, &placement](netlist::CellId cell) {
+    const double x = placement.x_um(cell);
+    const double y = placement.y_um(cell);
+    r.min_x = std::min(r.min_x, x);
+    r.min_y = std::min(r.min_y, y);
+    r.max_x = std::max(r.max_x, x);
+    r.max_y = std::max(r.max_y, y);
+  };
+  add(c);
+  for (netlist::NetId n : nl.cell(c).input_nets) {
+    const netlist::CellId drv = nl.net(n).driver;
+    if (drv != netlist::kNoCell) add(drv);
+  }
+  for (const netlist::SinkPin& s : nl.net(nl.cell(c).output_net).sinks)
+    add(s.cell);
+  return r;
+}
+
+double cell_distance_um(const Placement& placement, netlist::CellId a,
+                        netlist::CellId b) {
+  return std::abs(placement.x_um(a) - placement.x_um(b)) +
+         std::abs(placement.y_um(a) - placement.y_um(b));
+}
+
+double incident_hpwl_um(const Placement& placement, netlist::CellId c) {
+  const netlist::Netlist& nl = placement.netlist();
+  double total = placement.net_hpwl_um(nl.cell(c).output_net);
+  for (netlist::NetId n : nl.cell(c).input_nets)
+    total += placement.net_hpwl_um(n);
+  return total;
+}
+
+}  // namespace doseopt::place

@@ -1,0 +1,36 @@
+// Cell bounding boxes for the dosePl swapping heuristic (Appendix A of the
+// paper): the bounding box of a cell is the bounding box of the cell itself,
+// all of its fanin cells, and all of its fanout cells.
+#pragma once
+
+#include "place/placement.h"
+
+namespace doseopt::place {
+
+/// Axis-aligned rectangle in um.
+struct Rect {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+
+  bool contains(double x, double y) const {
+    return x >= min_x && x <= max_x && y >= min_y && y <= max_y;
+  }
+  bool intersects(const Rect& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+};
+
+/// Bounding box of cell `c`, its fanins, and its fanouts (Fig. 9).
+Rect cell_bounding_box(const Placement& placement, netlist::CellId c);
+
+/// Manhattan distance between the centers of two cells (um).
+double cell_distance_um(const Placement& placement, netlist::CellId a,
+                        netlist::CellId b);
+
+/// Sum of HPWL over the nets incident to cell `c` (output net + every input
+/// net); the dosePl heuristic bounds the relative increase of this quantity.
+double incident_hpwl_um(const Placement& placement, netlist::CellId c);
+
+}  // namespace doseopt::place

@@ -1,0 +1,121 @@
+#include "place/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace doseopt::place {
+
+int Die::row_count() const {
+  return std::max(1, static_cast<int>(height_um / row_height_um));
+}
+
+int Die::sites_per_row() const {
+  return std::max(1, static_cast<int>(width_um / site_width_um));
+}
+
+int master_width_sites(const liberty::CellMaster& master) {
+  // One diffusion-contact site per pin plus drive-dependent driver area;
+  // sequential cells are substantially larger.
+  int sites = 2 + master.num_inputs + master.drive;
+  if (master.sequential) sites += 8;
+  return sites;
+}
+
+double master_width_um(const liberty::CellMaster& master, const Die& die) {
+  return master_width_sites(master) * die.site_width_um;
+}
+
+Placement::Placement(const netlist::Netlist* nl, Die die)
+    : netlist_(nl), die_(die), locations_(nl->cell_count()) {
+  DOSEOPT_CHECK(die_.width_um > 0 && die_.height_um > 0 &&
+                    die_.row_height_um > 0 && die_.site_width_um > 0,
+                "Placement: bad die geometry");
+}
+
+void Placement::set_location(netlist::CellId c, CellLocation loc) {
+  DOSEOPT_CHECK(c < locations_.size(), "set_location: bad cell");
+  DOSEOPT_CHECK(loc.row >= 0 && loc.row < die_.row_count(),
+                "set_location: row out of die");
+  DOSEOPT_CHECK(loc.site >= 0 &&
+                    loc.site + width_sites(c) <= die_.sites_per_row(),
+                "set_location: site out of die");
+  locations_[c] = loc;
+}
+
+double Placement::x_um(netlist::CellId c) const {
+  return (locations_[c].site + 0.5 * width_sites(c)) * die_.site_width_um;
+}
+
+double Placement::y_um(netlist::CellId c) const {
+  return (locations_[c].row + 0.5) * die_.row_height_um;
+}
+
+int Placement::width_sites(netlist::CellId c) const {
+  return master_width_sites(netlist_->master_of(c));
+}
+
+bool Placement::is_legal() const {
+  // Sort cells per row by site and check for overlap.
+  std::vector<std::vector<netlist::CellId>> by_row(
+      static_cast<std::size_t>(die_.row_count()));
+  for (std::size_t c = 0; c < locations_.size(); ++c) {
+    const CellLocation& loc = locations_[c];
+    if (loc.row < 0 || loc.row >= die_.row_count()) return false;
+    if (loc.site < 0 ||
+        loc.site + width_sites(static_cast<netlist::CellId>(c)) >
+            die_.sites_per_row())
+      return false;
+    by_row[static_cast<std::size_t>(loc.row)].push_back(
+        static_cast<netlist::CellId>(c));
+  }
+  for (auto& row : by_row) {
+    std::sort(row.begin(), row.end(),
+              [this](netlist::CellId a, netlist::CellId b) {
+                return locations_[a].site < locations_[b].site;
+              });
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      const netlist::CellId prev = row[i - 1];
+      if (locations_[prev].site + width_sites(prev) >
+          locations_[row[i]].site)
+        return false;
+    }
+  }
+  return true;
+}
+
+void Placement::swap_cells(netlist::CellId a, netlist::CellId b) {
+  DOSEOPT_CHECK(a < locations_.size() && b < locations_.size(),
+                "swap_cells: bad cell");
+  std::swap(locations_[a], locations_[b]);
+}
+
+double Placement::net_hpwl_um(netlist::NetId n) const {
+  const netlist::Net& net = netlist_->net(n);
+  double min_x = 1e30, max_x = -1e30, min_y = 1e30, max_y = -1e30;
+  int pins = 0;
+  auto add = [&](double x, double y) {
+    min_x = std::min(min_x, x);
+    max_x = std::max(max_x, x);
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+    ++pins;
+  };
+  // Primary I/O nets span only their cell pins: chip-level I/O is assumed
+  // to be buffered at the boundary, so the core-side net starts at the
+  // buffer (modeled as the net's pin cluster).
+  if (net.driver != netlist::kNoCell) add(x_um(net.driver), y_um(net.driver));
+  for (const netlist::SinkPin& s : net.sinks) add(x_um(s.cell), y_um(s.cell));
+  if (pins < 2) return 0.0;
+  return (max_x - min_x) + (max_y - min_y);
+}
+
+double Placement::total_hpwl_um() const {
+  double total = 0.0;
+  for (std::size_t n = 0; n < netlist_->net_count(); ++n)
+    total += net_hpwl_um(static_cast<netlist::NetId>(n));
+  return total;
+}
+
+}  // namespace doseopt::place

@@ -1,0 +1,80 @@
+// Row-based standard-cell placement.
+//
+// The die is a grid of horizontal rows of uniform-width sites.  A Placement
+// assigns each cell a site-aligned lower-left corner.  This substitutes for
+// the placement half of the paper's SOC Encounter flow: it provides the
+// geometry the extractor, the dose-map grid binning, and the cell-swapping
+// optimization (dosePl) operate on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "tech/tech_node.h"
+
+namespace doseopt::place {
+
+/// Die outline and row geometry.
+struct Die {
+  double width_um = 0.0;
+  double height_um = 0.0;
+  double row_height_um = 0.0;
+  double site_width_um = 0.0;
+
+  int row_count() const;
+  int sites_per_row() const;
+};
+
+/// Physical footprint of a master, in sites.
+int master_width_sites(const liberty::CellMaster& master);
+
+/// Width in um of a master on a given die.
+double master_width_um(const liberty::CellMaster& master, const Die& die);
+
+/// Location of one cell: row index and site index (lower-left corner).
+struct CellLocation {
+  std::int32_t row = 0;
+  std::int32_t site = 0;
+};
+
+/// A legal (or candidate) placement of every cell in a netlist.
+class Placement {
+ public:
+  Placement(const netlist::Netlist* nl, Die die);
+
+  const netlist::Netlist& netlist() const { return *netlist_; }
+  const Die& die() const { return die_; }
+
+  CellLocation location(netlist::CellId c) const { return locations_[c]; }
+  void set_location(netlist::CellId c, CellLocation loc);
+
+  /// Center coordinates of a cell in um.
+  double x_um(netlist::CellId c) const;
+  double y_um(netlist::CellId c) const;
+
+  /// Width of a cell in sites.
+  int width_sites(netlist::CellId c) const;
+
+  /// True if no cell overlaps another or the die boundary.
+  bool is_legal() const;
+
+  /// Swap the locations of two cells.  If footprints differ the wider cell
+  /// may overlap a neighbor; callers re-legalize afterwards.
+  void swap_cells(netlist::CellId a, netlist::CellId b);
+
+  /// Half-perimeter wirelength of one net (um); pin positions are cell
+  /// centers, primary I/O pins sit at the die boundary nearest the net's
+  /// center of gravity.
+  double net_hpwl_um(netlist::NetId n) const;
+
+  /// Total HPWL over all nets (um).
+  double total_hpwl_um() const;
+
+ private:
+  const netlist::Netlist* netlist_;
+  Die die_;
+  std::vector<CellLocation> locations_;
+};
+
+}  // namespace doseopt::place

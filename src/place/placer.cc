@@ -1,0 +1,269 @@
+#include "place/placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace doseopt::place {
+
+namespace {
+
+double total_cell_area_um2(const netlist::Netlist& nl, const Die& die) {
+  double area = 0.0;
+  for (std::size_t c = 0; c < nl.cell_count(); ++c)
+    area += master_width_um(nl.master_of(static_cast<netlist::CellId>(c)),
+                            die) *
+            die.row_height_um;
+  return area;
+}
+
+/// Cone-clustered cell order: DFS from each primary output / flop D input
+/// backwards through drivers, emitting cells in post-order.  Cells in the
+/// same logic cone end up contiguous.
+std::vector<netlist::CellId> cone_order(const netlist::Netlist& nl) {
+  std::vector<netlist::CellId> order;
+  order.reserve(nl.cell_count());
+  std::vector<bool> visited(nl.cell_count(), false);
+
+  std::vector<netlist::CellId> stack;
+  std::vector<bool> expanded(nl.cell_count(), false);
+  auto visit_cone = [&](netlist::CellId root) {
+    if (root == netlist::kNoCell || visited[root]) return;
+    // Iterative post-order DFS through driver edges.
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const netlist::CellId c = stack.back();
+      if (visited[c]) {
+        stack.pop_back();
+        continue;
+      }
+      if (!expanded[c]) {
+        expanded[c] = true;
+        for (netlist::NetId n : nl.cell(c).input_nets) {
+          const netlist::CellId drv = nl.net(n).driver;
+          if (drv != netlist::kNoCell && !visited[drv] &&
+              !nl.cell(c).sequential)
+            stack.push_back(drv);
+        }
+      } else {
+        visited[c] = true;
+        order.push_back(c);
+        stack.pop_back();
+      }
+    }
+  };
+
+  // Roots: drivers of primary outputs, then flop fanin cones, then flops
+  // themselves, then anything left.
+  for (netlist::NetId n : nl.primary_outputs()) {
+    const netlist::CellId drv = nl.net(n).driver;
+    if (drv != netlist::kNoCell) visit_cone(drv);
+  }
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const auto c = static_cast<netlist::CellId>(ci);
+    if (!nl.cell(c).sequential) continue;
+    for (netlist::NetId n : nl.cell(c).input_nets) {
+      const netlist::CellId drv = nl.net(n).driver;
+      if (drv != netlist::kNoCell) visit_cone(drv);
+    }
+  }
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci)
+    visit_cone(static_cast<netlist::CellId>(ci));
+
+  DOSEOPT_CHECK(order.size() == nl.cell_count(),
+                "cone_order: missed cells");
+  return order;
+}
+
+}  // namespace
+
+Die make_die(const tech::TechNode& node, const netlist::Netlist& nl,
+             double area_um2) {
+  DOSEOPT_CHECK(area_um2 > 0.0, "make_die: bad area");
+  Die die;
+  die.row_height_um = node.row_height_um;
+  die.site_width_um = node.site_width_um;
+  const double side = std::sqrt(area_um2);
+  // Snap height to whole rows and width to whole sites.
+  die.height_um =
+      std::max(1.0, std::round(side / die.row_height_um)) * die.row_height_um;
+  die.width_um =
+      std::max(1.0, std::round(side / die.site_width_um)) * die.site_width_um;
+  const double cells = total_cell_area_um2(nl, die);
+  DOSEOPT_CHECK(cells <= 0.97 * die.width_um * die.height_um,
+                "make_die: design does not fit in requested area");
+  return die;
+}
+
+Placement initial_placement(const netlist::Netlist& nl, const Die& die,
+                            std::uint64_t seed) {
+  Placement placement(&nl, die);
+  std::vector<netlist::CellId> order = cone_order(nl);
+
+  // Seeded perturbation: rotate the order by a random offset and swap a few
+  // percent of adjacent pairs, so different seeds explore different layouts
+  // without destroying locality.
+  Rng rng(seed);
+  if (!order.empty()) {
+    std::rotate(order.begin(),
+                order.begin() + static_cast<std::ptrdiff_t>(
+                                    rng.uniform_index(order.size())),
+                order.end());
+    const std::size_t swaps = order.size() / 50;
+    for (std::size_t i = 0; i < swaps; ++i) {
+      const std::size_t j = rng.uniform_index(order.size() - 1);
+      std::swap(order[j], order[j + 1]);
+    }
+  }
+
+  // Boustrophedon snake fill with uniform spreading: scale the packing so
+  // the whole die is used rather than packing tightly into the first rows.
+  const int rows = die.row_count();
+  const int sites = die.sites_per_row();
+  double total_sites_needed = 0.0;
+  for (netlist::CellId c : order)
+    total_sites_needed += placement.width_sites(c);
+  // Leave one row of headroom so rounding never overflows the die.
+  const double spread = std::max(
+      1.0, static_cast<double>(std::max(1, rows - 1)) * sites /
+               total_sites_needed);
+
+  int row = 0;
+  double cursor = 0.0;
+  bool left_to_right = true;
+  for (netlist::CellId c : order) {
+    const int w = placement.width_sites(c);
+    if (cursor + w * spread > sites) {
+      row = std::min(row + 1, rows - 1);  // legalize() resolves any pile-up
+      cursor = 0.0;
+      left_to_right = !left_to_right;
+    }
+    const int site_pos =
+        left_to_right ? static_cast<int>(cursor)
+                      : sites - static_cast<int>(cursor) - w;
+    placement.set_location(c, CellLocation{row, std::max(0, site_pos)});
+    cursor += w * spread;
+  }
+  legalize(placement);
+  return placement;
+}
+
+Placement placement_from_hints(const netlist::Netlist& nl, const Die& die,
+                               const std::vector<PlacementHint>& hints) {
+  DOSEOPT_CHECK(hints.size() == nl.cell_count(),
+                "placement_from_hints: hint count mismatch");
+  Placement placement(&nl, die);
+  const int rows = die.row_count();
+  const int sites = die.sites_per_row();
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const auto c = static_cast<netlist::CellId>(ci);
+    const PlacementHint& h = hints[ci];
+    const int w = placement.width_sites(c);
+    const int row = std::clamp(static_cast<int>(h.y_frac * rows), 0, rows - 1);
+    const int site = std::clamp(static_cast<int>(h.x_frac * sites) - w / 2, 0,
+                                sites - w);
+    placement.set_location(c, CellLocation{row, site});
+  }
+  legalize(placement);
+  return placement;
+}
+
+void legalize(Placement& placement) {
+  const netlist::Netlist& nl = placement.netlist();
+  const Die& die = placement.die();
+  const int rows = die.row_count();
+  const int sites = die.sites_per_row();
+
+  std::vector<std::vector<netlist::CellId>> by_row(
+      static_cast<std::size_t>(rows));
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const auto c = static_cast<netlist::CellId>(ci);
+    const int r = std::clamp(placement.location(c).row, 0, rows - 1);
+    by_row[static_cast<std::size_t>(r)].push_back(c);
+  }
+
+  // Phase 1: balance row capacity.  Rows whose total cell width exceeds the
+  // row evict their rightmost cells; evicted cells go to the nearest row
+  // with spare capacity.
+  std::vector<int> row_used(static_cast<std::size_t>(rows), 0);
+  auto width_of = [&placement](netlist::CellId c) {
+    return placement.width_sites(c);
+  };
+  for (int r = 0; r < rows; ++r) {
+    auto& row = by_row[static_cast<std::size_t>(r)];
+    std::sort(row.begin(), row.end(),
+              [&placement](netlist::CellId a, netlist::CellId b) {
+                return placement.location(a).site < placement.location(b).site;
+              });
+    for (const netlist::CellId c : row)
+      row_used[static_cast<std::size_t>(r)] += width_of(c);
+  }
+  std::vector<netlist::CellId> carry;
+  for (int r = 0; r < rows; ++r) {
+    auto& row = by_row[static_cast<std::size_t>(r)];
+    while (row_used[static_cast<std::size_t>(r)] > sites && !row.empty()) {
+      const netlist::CellId c = row.back();
+      row.pop_back();
+      row_used[static_cast<std::size_t>(r)] -= width_of(c);
+      carry.push_back(c);
+    }
+  }
+  for (const netlist::CellId c : carry) {
+    const int w = width_of(c);
+    const int desired = std::clamp(placement.location(c).row, 0, rows - 1);
+    bool placed = false;
+    for (int d = 0; d < rows && !placed; ++d) {
+      for (const int r : {desired - d, desired + d}) {
+        if (r < 0 || r >= rows) continue;
+        if (row_used[static_cast<std::size_t>(r)] + w <= sites) {
+          auto& row = by_row[static_cast<std::size_t>(r)];
+          // Keep the row sorted by desired site.
+          const auto it = std::lower_bound(
+              row.begin(), row.end(), c,
+              [&placement](netlist::CellId a, netlist::CellId b) {
+                return placement.location(a).site < placement.location(b).site;
+              });
+          row.insert(it, c);
+          row_used[static_cast<std::size_t>(r)] += w;
+          placed = true;
+          break;
+        }
+      }
+      if (placed) break;
+    }
+    DOSEOPT_CHECK(placed, "legalize: die has no remaining capacity");
+  }
+
+  // Phase 2: pack each row.  Every cell sits as close to its desired site as
+  // the cells to its right allow (suffix capping), so the whole row is
+  // guaranteed to fit.
+  std::vector<int> suffix;
+  for (int r = 0; r < rows; ++r) {
+    auto& row = by_row[static_cast<std::size_t>(r)];
+    suffix.assign(row.size() + 1, 0);
+    for (std::size_t i = row.size(); i-- > 0;)
+      suffix[i] = suffix[i + 1] + width_of(row[i]);
+    int cursor = 0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const netlist::CellId c = row[i];
+      const int cap = sites - suffix[i];  // rightmost start that still fits
+      const int pos =
+          std::max(cursor, std::min(placement.location(c).site, cap));
+      placement.set_location(c, CellLocation{r, pos});
+      cursor = pos + width_of(c);
+    }
+  }
+  DOSEOPT_CHECK(placement.is_legal(),
+                "legalize: failed to produce legal result");
+}
+
+double utilization(const Placement& placement) {
+  const Die& die = placement.die();
+  return total_cell_area_um2(placement.netlist(), die) /
+         (die.width_um * die.height_um);
+}
+
+}  // namespace doseopt::place

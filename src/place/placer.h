@@ -1,0 +1,49 @@
+// Initial placement and legalization.
+//
+// The initial placer lays cells in connectivity (cone) order along a
+// boustrophedon scan of the rows, which keeps topologically adjacent cells
+// physically close -- the locality property the dose-map grid binning and
+// the dosePl bounding-box heuristics rely on.  The legalizer restores a
+// non-overlapping site-aligned placement after perturbations (cell swaps),
+// standing in for the ECO placement step of the paper's flow.
+#pragma once
+
+#include <cstdint>
+
+#include "place/placement.h"
+
+namespace doseopt::place {
+
+/// Build a die for `nl` with the given target core area (um^2).  Row height
+/// and site width come from the technology node; the die is square.  Throws
+/// if the netlist cannot fit at >= 97% utilization.
+Die make_die(const tech::TechNode& node, const netlist::Netlist& nl,
+             double area_um2);
+
+/// Deterministic initial placement: cone-ordered snake fill with a small
+/// seeded perturbation so distinct seeds give distinct-but-comparable
+/// layouts.  The result is legal.
+Placement initial_placement(const netlist::Netlist& nl, const Die& die,
+                            std::uint64_t seed);
+
+/// Fractional position hint for one cell (both in [0, 1]).
+struct PlacementHint {
+  double x_frac = 0.5;
+  double y_frac = 0.5;
+};
+
+/// Placement from per-cell position hints (e.g. from the synthetic design
+/// generator, which knows the intended spatial structure).  Each cell is
+/// dropped at its hinted location and the result legalized.
+Placement placement_from_hints(const netlist::Netlist& nl, const Die& die,
+                               const std::vector<PlacementHint>& hints);
+
+/// Restore legality after perturbations, moving cells as little as possible
+/// (row-local repacking; overflowing cells spill to neighboring rows).
+/// Throws if the design cannot be legalized (die too full).
+void legalize(Placement& placement);
+
+/// Utilization: total cell area / core area.
+double utilization(const Placement& placement);
+
+}  // namespace doseopt::place

@@ -1,0 +1,45 @@
+#include "power/leakage.h"
+
+#include "common/error.h"
+
+namespace doseopt::power {
+
+double cell_leakage_nw(const netlist::Netlist& nl,
+                       liberty::LibraryRepository& repo,
+                       const sta::VariantAssignment& variants,
+                       netlist::CellId c) {
+  DOSEOPT_CHECK(c < nl.cell_count(), "cell_leakage_nw: bad cell");
+  const auto [il, iw] = variants.get(c);
+  return repo.variant(il, iw).cell(nl.cell(c).master_index).leakage_nw;
+}
+
+double total_leakage_uw(const netlist::Netlist& nl,
+                        liberty::LibraryRepository& repo,
+                        const sta::VariantAssignment& variants) {
+  DOSEOPT_CHECK(variants.size() == nl.cell_count(),
+                "total_leakage_uw: size mismatch");
+  double total_nw = 0.0;
+  for (std::size_t c = 0; c < nl.cell_count(); ++c)
+    total_nw +=
+        cell_leakage_nw(nl, repo, variants, static_cast<netlist::CellId>(c));
+  return total_nw * 1e-3;
+}
+
+double model_delta_leakage_uw(const netlist::Netlist& nl,
+                              const liberty::CoefficientSet& coeffs,
+                              const std::vector<double>& delta_l_nm,
+                              const std::vector<double>& delta_w_nm) {
+  DOSEOPT_CHECK(delta_l_nm.size() == nl.cell_count() &&
+                    delta_w_nm.size() == nl.cell_count(),
+                "model_delta_leakage_uw: size mismatch");
+  double total_nw = 0.0;
+  for (std::size_t c = 0; c < nl.cell_count(); ++c) {
+    const liberty::LeakageCoeffs& lc =
+        coeffs.leakage_coeffs(nl.cell(static_cast<netlist::CellId>(c))
+                                  .master_index);
+    total_nw += lc.delta_leak_nw(delta_l_nm[c], delta_w_nm[c]);
+  }
+  return total_nw * 1e-3;
+}
+
+}  // namespace doseopt::power

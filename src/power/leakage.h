@@ -1,0 +1,36 @@
+// Leakage power analysis (the SOC Encounter power-report substitute).
+//
+// Total leakage of a design is the sum of each instance's characterized
+// leakage at its assigned library variant.  Also provides the fitted-model
+// estimate (alpha/beta/gamma form of eq. (2)) used inside the optimizer, so
+// tests can compare model vs. golden values.
+#pragma once
+
+#include "liberty/coeff_fit.h"
+#include "liberty/repository.h"
+#include "netlist/netlist.h"
+#include "sta/timer.h"
+
+namespace doseopt::power {
+
+/// Golden total leakage (uW) under a variant assignment: sums the
+/// characterized per-variant leakage of every instance.
+double total_leakage_uw(const netlist::Netlist& nl,
+                        liberty::LibraryRepository& repo,
+                        const sta::VariantAssignment& variants);
+
+/// Golden leakage of a single instance (nW).
+double cell_leakage_nw(const netlist::Netlist& nl,
+                       liberty::LibraryRepository& repo,
+                       const sta::VariantAssignment& variants,
+                       netlist::CellId c);
+
+/// Fitted-model *delta* leakage (uW) for per-cell CD deltas, eq. (2):
+/// sum_p alpha_p dL_p^2 + beta_p dL_p + gamma_p dW_p.  `delta_l_nm` /
+/// `delta_w_nm` are per-cell.
+double model_delta_leakage_uw(const netlist::Netlist& nl,
+                              const liberty::CoefficientSet& coeffs,
+                              const std::vector<double>& delta_l_nm,
+                              const std::vector<double>& delta_w_nm);
+
+}  // namespace doseopt::power

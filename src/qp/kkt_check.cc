@@ -1,0 +1,63 @@
+#include "qp/kkt_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace doseopt::qp {
+
+bool KktReport::passes(double tol) const {
+  return stationarity <= tol && primal_violation <= tol &&
+         complementarity <= tol && dual_sign_violation <= tol;
+}
+
+KktReport check_kkt(const QpProblem& problem, const la::Vec& x,
+                    const la::Vec& y) {
+  problem.validate();
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+  DOSEOPT_CHECK(x.size() == n && y.size() == m, "check_kkt: size mismatch");
+
+  KktReport report;
+
+  la::Vec aty(n);
+  problem.a.multiply_transpose(y, aty);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double g = problem.p_diag[i] * x[i] + problem.q[i] + aty[i];
+    report.stationarity = std::max(report.stationarity, std::abs(g));
+  }
+
+  la::Vec ax(m);
+  problem.a.multiply(x, ax);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double below = problem.lower[i] - ax[i];
+    const double above = ax[i] - problem.upper[i];
+    report.primal_violation =
+        std::max({report.primal_violation, below, above, 0.0});
+
+    // Multiplier sign: y_i > 0 only if the upper bound is active,
+    // y_i < 0 only if the lower bound is active.
+    if (y[i] > 0.0) {
+      const double gap =
+          problem.upper[i] >= kInfinity ? kInfinity : problem.upper[i] - ax[i];
+      report.complementarity =
+          std::max(report.complementarity, y[i] * std::max(gap, 0.0));
+      if (gap >= kInfinity)
+        report.dual_sign_violation =
+            std::max(report.dual_sign_violation, y[i]);
+    } else if (y[i] < 0.0) {
+      const double gap =
+          problem.lower[i] <= -kInfinity ? kInfinity
+                                         : ax[i] - problem.lower[i];
+      report.complementarity =
+          std::max(report.complementarity, -y[i] * std::max(gap, 0.0));
+      if (gap >= kInfinity)
+        report.dual_sign_violation =
+            std::max(report.dual_sign_violation, -y[i]);
+    }
+  }
+  return report;
+}
+
+}  // namespace doseopt::qp

@@ -1,0 +1,28 @@
+// Independent KKT optimality verification for QP solutions.
+//
+// Used by tests and by debug assertions in the flow: given a QpProblem and a
+// candidate (x, y), measure stationarity, primal feasibility, and
+// complementary slackness violations without trusting the solver's own
+// residual bookkeeping.
+#pragma once
+
+#include "qp/qp_solver.h"
+
+namespace doseopt::qp {
+
+/// Worst-case KKT violations of a candidate primal/dual pair.
+struct KktReport {
+  double stationarity = 0.0;      ///< ||Px + q + A'y||_inf
+  double primal_violation = 0.0;  ///< max bound violation of Ax
+  double complementarity = 0.0;   ///< max |y_i| * dist(Ax_i, active bound)
+  double dual_sign_violation = 0.0;  ///< y sign inconsistent with active side
+
+  /// True if all violations are within `tol`.
+  bool passes(double tol) const;
+};
+
+/// Compute the report for (x, y) on `problem`.
+KktReport check_kkt(const QpProblem& problem, const la::Vec& x,
+                    const la::Vec& y);
+
+}  // namespace doseopt::qp

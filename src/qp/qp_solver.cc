@@ -1,0 +1,307 @@
+#include "qp/qp_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "la/cg.h"
+
+namespace doseopt::qp {
+
+void QpProblem::validate() const {
+  const std::size_t n = q.size();
+  const std::size_t m = lower.size();
+  DOSEOPT_CHECK(p_diag.size() == n, "QpProblem: p_diag size mismatch");
+  DOSEOPT_CHECK(a.cols() == n, "QpProblem: A column count mismatch");
+  DOSEOPT_CHECK(a.rows() == m, "QpProblem: A row count mismatch");
+  DOSEOPT_CHECK(upper.size() == m, "QpProblem: bound size mismatch");
+  for (double p : p_diag)
+    DOSEOPT_CHECK(p >= 0.0, "QpProblem: negative quadratic diagonal");
+  for (std::size_t i = 0; i < m; ++i)
+    DOSEOPT_CHECK(lower[i] <= upper[i], "QpProblem: crossed bounds");
+}
+
+double QpProblem::objective(const la::Vec& x) const {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    obj += 0.5 * p_diag[i] * x[i] * x[i] + q[i] * x[i];
+  return obj;
+}
+
+const char* to_string(QpStatus s) {
+  switch (s) {
+    case QpStatus::kSolved:
+      return "solved";
+    case QpStatus::kMaxIterations:
+      return "max_iterations";
+    case QpStatus::kPrimalInfeasible:
+      return "primal_infeasible";
+  }
+  return "unknown";
+}
+
+QpSolution QpSolver::solve(const QpProblem& problem) const {
+  la::Vec x0(problem.num_variables(), 0.0);
+  la::Vec y0(problem.num_constraints(), 0.0);
+  return solve(problem, x0, y0);
+}
+
+namespace {
+
+/// Ruiz equilibration of [P, A'; A, 0] plus cost normalization, as in OSQP.
+/// Produces column scales e (n), row scales d (m), and cost scale c such
+/// that the scaled problem P~ = c E P E, q~ = c E q, A~ = D A E is well
+/// conditioned for ADMM.
+struct Scaling {
+  la::Vec e;  // n
+  la::Vec d;  // m
+  double c = 1.0;
+};
+
+Scaling ruiz_equilibrate(const QpProblem& problem, int iterations) {
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+  Scaling s;
+  s.e.assign(n, 1.0);
+  s.d.assign(m, 1.0);
+
+  const auto& row_ptr = problem.a.row_ptr();
+  const auto& col_idx = problem.a.col_idx();
+  const auto& val = problem.a.values();
+
+  la::Vec col_norm(n), row_norm(m);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(col_norm.begin(), col_norm.end(), 0.0);
+    std::fill(row_norm.begin(), row_norm.end(), 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const double v = std::abs(val[k] * s.d[r] * s.e[col_idx[k]]);
+        row_norm[r] = std::max(row_norm[r], v);
+        col_norm[col_idx[k]] = std::max(col_norm[col_idx[k]], v);
+      }
+    }
+    // Columns also see the (diagonal) quadratic block.
+    for (std::size_t j = 0; j < n; ++j) {
+      const double pv = std::abs(problem.p_diag[j]) * s.e[j] * s.e[j] * s.c;
+      col_norm[j] = std::max(col_norm[j], pv);
+    }
+    for (std::size_t r = 0; r < m; ++r)
+      if (row_norm[r] > 1e-12) s.d[r] /= std::sqrt(row_norm[r]);
+    for (std::size_t j = 0; j < n; ++j)
+      if (col_norm[j] > 1e-12) s.e[j] /= std::sqrt(col_norm[j]);
+
+    // Cost scaling: normalize the scaled gradient magnitude.
+    double g = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      g = std::max(g, std::abs(problem.p_diag[j]) * s.e[j] * s.e[j]);
+      g = std::max(g, std::abs(problem.q[j]) * s.e[j]);
+    }
+    if (g > 1e-12) s.c = 1.0 / g;
+  }
+  return s;
+}
+
+}  // namespace
+
+QpSolution QpSolver::solve(const QpProblem& problem, const la::Vec& x0,
+                           const la::Vec& y0) const {
+  problem.validate();
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+  DOSEOPT_CHECK(x0.size() == n && y0.size() == m,
+                "QpSolver: warm-start size mismatch");
+
+  const QpSettings& s = settings_;
+
+  // --- build the scaled problem ---
+  const Scaling sc = ruiz_equilibrate(problem, /*iterations=*/10);
+  la::Vec p_s(n), q_s(n), l_s(m), u_s(m);
+  for (std::size_t j = 0; j < n; ++j) {
+    p_s[j] = sc.c * sc.e[j] * sc.e[j] * problem.p_diag[j];
+    q_s[j] = sc.c * sc.e[j] * problem.q[j];
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    l_s[i] = problem.lower[i] <= -kInfinity ? -kInfinity
+                                            : problem.lower[i] * sc.d[i];
+    u_s[i] = problem.upper[i] >= kInfinity ? kInfinity
+                                           : problem.upper[i] * sc.d[i];
+  }
+  // Scaled A: copy the CSR and scale values in place.
+  la::CsrMatrix a_s = problem.a;
+  {
+    // CsrMatrix is immutable by interface; rebuild via triplets.
+    la::TripletMatrix t(m, n);
+    const auto& row_ptr = problem.a.row_ptr();
+    const auto& col_idx = problem.a.col_idx();
+    const auto& val = problem.a.values();
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+        t.add(r, col_idx[k], val[k] * sc.d[r] * sc.e[col_idx[k]]);
+    a_s = la::CsrMatrix(t);
+  }
+
+  double rho = s.rho;
+
+  // Warm start in scaled coordinates.
+  la::Vec x(n), y(m);
+  for (std::size_t j = 0; j < n; ++j) x[j] = x0[j] / sc.e[j];
+  for (std::size_t i = 0; i < m; ++i) y[i] = sc.c * y0[i] / sc.d[i];
+
+  la::Vec z(m);
+  a_s.multiply(x, z);
+  for (std::size_t i = 0; i < m; ++i) z[i] = std::clamp(z[i], l_s[i], u_s[i]);
+
+  la::Vec rhs(n), x_tilde(n), z_tilde(m), ax(m), aty(n);
+  la::Vec cg_scratch(m);
+  la::Vec gram_diag = a_s.gram_diagonal();
+  la::Vec precond(n);
+  la::Vec work_m(m), work_n(n);
+
+  auto build_precond = [&]() {
+    for (std::size_t j = 0; j < n; ++j)
+      precond[j] = p_s[j] + s.sigma + rho * gram_diag[j];
+  };
+  build_precond();
+
+  auto kkt_op = [&](const la::Vec& v, la::Vec& out) {
+    for (std::size_t j = 0; j < n; ++j) out[j] = (p_s[j] + s.sigma) * v[j];
+    a_s.add_gram_product(rho, v, out, cg_scratch);
+  };
+
+  QpSolution sol;
+  la::CgOptions cg_opts;
+  cg_opts.max_iterations = s.cg_max_iterations;
+  // Inexact ADMM: the inner CG tolerance starts loose and tightens with the
+  // outer residuals, which cuts the dominant per-iteration cost by an order
+  // of magnitude on large dose-map problems without affecting the fixed
+  // point (standard inexact-ADMM argument).
+  double cg_tol = 1e-4;
+
+  for (int iter = 1; iter <= s.max_iterations; ++iter) {
+    // x update: (P + sigma I + rho A'A) x~ = sigma x - q + A'(rho z - y).
+    for (std::size_t i = 0; i < m; ++i) work_m[i] = rho * z[i] - y[i];
+    a_s.multiply_transpose(work_m, rhs);
+    for (std::size_t j = 0; j < n; ++j) rhs[j] += s.sigma * x[j] - q_s[j];
+    x_tilde = x;
+    cg_opts.tolerance = std::max(s.cg_tolerance, cg_tol);
+    la::conjugate_gradient(kkt_op, rhs, precond, x_tilde, cg_opts);
+
+    // z and y updates with over-relaxation.
+    a_s.multiply(x_tilde, z_tilde);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double zr = s.alpha * z_tilde[i] + (1.0 - s.alpha) * z[i];
+      const double z_new = std::clamp(zr + y[i] / rho, l_s[i], u_s[i]);
+      y[i] += rho * (zr - z_new);
+      z[i] = z_new;
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      x[j] = s.alpha * x_tilde[j] + (1.0 - s.alpha) * x[j];
+
+    sol.iterations = iter;
+    if (iter % s.check_interval != 0 && iter != s.max_iterations) continue;
+
+    // --- termination on *unscaled* residuals ---
+    a_s.multiply(x, ax);
+    double prim_res = 0.0, ax_norm = 0.0, z_norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double inv_d = 1.0 / sc.d[i];
+      prim_res = std::max(prim_res, std::abs(ax[i] - z[i]) * inv_d);
+      ax_norm = std::max(ax_norm, std::abs(ax[i]) * inv_d);
+      z_norm = std::max(z_norm, std::abs(z[i]) * inv_d);
+    }
+    a_s.multiply_transpose(y, aty);
+    double dual_res = 0.0, px_norm = 0.0, aty_norm = 0.0, q_norm = 0.0;
+    const double inv_c = 1.0 / sc.c;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double scale = sc.e[j] * inv_c;
+      const double px = p_s[j] * x[j];
+      dual_res =
+          std::max(dual_res, std::abs(px + q_s[j] + aty[j]) * scale);
+      px_norm = std::max(px_norm, std::abs(px) * scale);
+      aty_norm = std::max(aty_norm, std::abs(aty[j]) * scale);
+      q_norm = std::max(q_norm, std::abs(q_s[j]) * scale);
+    }
+
+    const double eps_prim = s.eps_abs + s.eps_rel * std::max(ax_norm, z_norm);
+    const double eps_dual =
+        s.eps_abs + s.eps_rel * std::max({px_norm, aty_norm, q_norm});
+
+    sol.primal_residual = prim_res;
+    sol.dual_residual = dual_res;
+
+    // Tighten the inner CG with outer progress (scaled-space residuals).
+    {
+      double sp = 0.0, sd = 0.0;
+      for (std::size_t i = 0; i < m; ++i)
+        sp = std::max(sp, std::abs(ax[i] - z[i]));
+      for (std::size_t j = 0; j < n; ++j)
+        sd = std::max(sd, std::abs(p_s[j] * x[j] + q_s[j] + aty[j]));
+      cg_tol = std::clamp(0.1 * std::min(sp, sd), 1e-10, 1e-4);
+    }
+
+    if (prim_res <= eps_prim && dual_res <= eps_dual) {
+      sol.status = QpStatus::kSolved;
+      break;
+    }
+
+    // Primal infeasibility certificate on the scaled problem.
+    const double y_norm = la::norm_inf(y);
+    if (y_norm > 1e-10 && iter > 100) {
+      if (la::norm_inf(aty) <= 1e-8 * y_norm) {
+        double support = 0.0;
+        bool bounded = true;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (y[i] > 0.0) {
+            if (u_s[i] >= kInfinity) { bounded = false; break; }
+            support += u_s[i] * y[i];
+          } else if (y[i] < 0.0) {
+            if (l_s[i] <= -kInfinity) { bounded = false; break; }
+            support += l_s[i] * y[i];
+          }
+        }
+        if (bounded && support < -1e-8 * y_norm) {
+          sol.status = QpStatus::kPrimalInfeasible;
+          break;
+        }
+      }
+    }
+
+    // Adaptive rho: balance scaled primal/dual residuals.
+    if (s.adaptive_rho && iter % s.rho_update_interval == 0) {
+      double sp = 0.0, sd = 0.0, saxn = 0.0, szn = 0.0, spxn = 0.0,
+             satn = 0.0, sqn = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        sp = std::max(sp, std::abs(ax[i] - z[i]));
+        saxn = std::max(saxn, std::abs(ax[i]));
+        szn = std::max(szn, std::abs(z[i]));
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        const double px = p_s[j] * x[j];
+        sd = std::max(sd, std::abs(px + q_s[j] + aty[j]));
+        spxn = std::max(spxn, std::abs(px));
+        satn = std::max(satn, std::abs(aty[j]));
+        sqn = std::max(sqn, std::abs(q_s[j]));
+      }
+      const double scaled_prim = sp / std::max({saxn, szn, 1e-12});
+      const double scaled_dual = sd / std::max({spxn, satn, sqn, 1e-12});
+      const double ratio =
+          std::sqrt(scaled_prim / std::max(scaled_dual, 1e-16));
+      if (ratio > 5.0 || ratio < 0.2) {
+        rho = std::clamp(rho * ratio, 1e-6, 1e6);
+        build_precond();
+      }
+    }
+  }
+
+  // --- unscale the solution ---
+  sol.x.resize(n);
+  for (std::size_t j = 0; j < n; ++j) sol.x[j] = sc.e[j] * x[j];
+  sol.y.resize(m);
+  for (std::size_t i = 0; i < m; ++i) sol.y[i] = sc.d[i] * y[i] / sc.c;
+  sol.z.resize(m);
+  for (std::size_t i = 0; i < m; ++i) sol.z[i] = z[i] / sc.d[i];
+  sol.objective = problem.objective(sol.x);
+  return sol;
+}
+
+}  // namespace doseopt::qp

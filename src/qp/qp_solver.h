@@ -1,0 +1,103 @@
+// Convex quadratic program solver (the CPLEX substitute).
+//
+// Solves
+//     minimize    (1/2) x' diag(p) x + q' x
+//     subject to  l <= A x <= u
+// with p >= 0 elementwise, by the operator-splitting (ADMM) method used by
+// OSQP [Stellato et al.].  The linear system solved each iteration,
+//     (diag(p) + sigma I + rho A'A) x = rhs,
+// is handled matrix-free with Jacobi-preconditioned conjugate gradients, so
+// no sparse factorization is required and problems with hundreds of
+// thousands of constraints (arrival-time rows for ~100k-cell designs) stay
+// tractable.
+//
+// The dose-map formulations of the paper fit this shape exactly: the delta-
+// leakage objective is separable (diagonal quadratic), and dose-range,
+// smoothness, and arrival-time constraints are sparse linear rows.  The QCP
+// variants (linear objective, one convex quadratic constraint) are reduced
+// to a monotone sequence of these QPs by bisection in src/dmopt.
+#pragma once
+
+#include <string>
+
+#include "la/dense.h"
+#include "la/sparse.h"
+
+namespace doseopt::qp {
+
+/// Problem data: minimize 1/2 x'diag(p)x + q'x  s.t.  l <= Ax <= u.
+struct QpProblem {
+  la::Vec p_diag;      ///< n, non-negative
+  la::Vec q;           ///< n
+  la::CsrMatrix a;     ///< m x n
+  la::Vec lower;       ///< m (-inf allowed as -kInfinity)
+  la::Vec upper;       ///< m (+kInfinity allowed)
+
+  std::size_t num_variables() const { return q.size(); }
+  std::size_t num_constraints() const { return lower.size(); }
+
+  /// Throws doseopt::Error if dimensions/bounds are inconsistent.
+  void validate() const;
+
+  /// Objective value at x.
+  double objective(const la::Vec& x) const;
+};
+
+/// Bound value treated as infinite.
+inline constexpr double kInfinity = 1e30;
+
+/// Solver configuration.
+struct QpSettings {
+  int max_iterations = 4000;
+  double eps_abs = 1e-5;
+  double eps_rel = 1e-5;
+  double rho = 0.1;          ///< initial ADMM penalty
+  double sigma = 1e-6;       ///< proximal regularization
+  double alpha = 1.6;        ///< over-relaxation in (0, 2)
+  bool adaptive_rho = true;
+  int rho_update_interval = 50;
+  int cg_max_iterations = 200;
+  double cg_tolerance = 1e-8;
+  int check_interval = 10;   ///< termination-check cadence
+};
+
+/// Solve outcome.
+enum class QpStatus {
+  kSolved,
+  kMaxIterations,     ///< returned best iterate without meeting tolerances
+  kPrimalInfeasible,  ///< infeasibility certificate detected
+};
+
+const char* to_string(QpStatus s);
+
+/// Solution and solve diagnostics.
+struct QpSolution {
+  QpStatus status = QpStatus::kMaxIterations;
+  la::Vec x;  ///< primal solution
+  la::Vec y;  ///< dual solution (multipliers for l <= Ax <= u)
+  la::Vec z;  ///< constraint values Ax at the solution
+  double objective = 0.0;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  int iterations = 0;
+};
+
+/// ADMM QP solver. Stateless between solves except via explicit warm starts.
+class QpSolver {
+ public:
+  explicit QpSolver(QpSettings settings = {}) : settings_(settings) {}
+
+  /// Solve from a cold start.
+  QpSolution solve(const QpProblem& problem) const;
+
+  /// Solve warm-started from a previous solution's (x, y).
+  QpSolution solve(const QpProblem& problem, const la::Vec& x0,
+                   const la::Vec& y0) const;
+
+  const QpSettings& settings() const { return settings_; }
+
+ private:
+  QpSettings settings_;
+};
+
+}  // namespace doseopt::qp

@@ -1,0 +1,329 @@
+#include "sta/timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.h"
+
+namespace doseopt::sta {
+
+using netlist::CellId;
+using netlist::kNoCell;
+using netlist::kNoNet;
+using netlist::NetId;
+
+void VariantAssignment::set(CellId c, int poly_index, int active_index) {
+  DOSEOPT_CHECK(c < variants_.size(), "VariantAssignment::set: bad cell");
+  DOSEOPT_CHECK(poly_index >= 0 && poly_index < liberty::kVariantsPerLayer &&
+                    active_index >= 0 &&
+                    active_index < liberty::kVariantsPerLayer,
+                "VariantAssignment::set: variant out of range");
+  variants_[c] = {poly_index, active_index};
+}
+
+Timer::Timer(const netlist::Netlist* nl, const extract::Parasitics* parasitics,
+             liberty::LibraryRepository* repo, TimingOptions options)
+    : netlist_(nl), parasitics_(parasitics), repo_(repo), options_(options) {
+  DOSEOPT_CHECK(nl != nullptr && parasitics != nullptr && repo != nullptr,
+                "Timer: null dependency");
+  topo_order_ = nl->topological_order();
+}
+
+namespace {
+
+/// Resolve the characterized cell for an instance under `variants`.
+const liberty::CharacterizedCell& variant_cell(
+    liberty::LibraryRepository& repo, const netlist::Netlist& nl,
+    const VariantAssignment& variants, CellId c) {
+  const auto [il, iw] = variants.get(c);
+  return repo.variant(il, iw).cell(nl.cell(c).master_index);
+}
+
+}  // namespace
+
+TimingResult Timer::analyze(const VariantAssignment& variants) const {
+  const netlist::Netlist& nl = *netlist_;
+  DOSEOPT_CHECK(variants.size() == nl.cell_count(),
+                "Timer::analyze: variant assignment size mismatch");
+
+  TimingResult result;
+  result.cells.assign(nl.cell_count(), CellTiming{});
+
+  // --- net loads: wire cap + variant sink pin caps (+ PO load) ---
+  std::vector<double> net_load_ff(nl.net_count(), 0.0);
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<NetId>(ni));
+    double load = parasitics_->net(static_cast<NetId>(ni)).wire_cap_ff;
+    for (const netlist::SinkPin& s : net.sinks)
+      load += variant_cell(*repo_, nl, variants, s.cell).input_cap_ff;
+    if (net.is_primary_output) load += options_.output_load_ff;
+    net_load_ff[ni] = load;
+  }
+
+  // --- arrival/slew at net sources (PIs start at 0 / input slew) ---
+  std::vector<double> net_arrival(nl.net_count(), 0.0);
+  std::vector<double> net_min_arrival(nl.net_count(), 0.0);
+  std::vector<double> net_slew(nl.net_count(), options_.input_slew_ns);
+
+  auto sink_pin_cap = [&](const netlist::SinkPin& s) {
+    return variant_cell(*repo_, nl, variants, s.cell).input_cap_ff;
+  };
+
+  for (CellId c : topo_order_) {
+    const netlist::Cell& cell = nl.cell(c);
+    const liberty::CharacterizedCell& lib_cell =
+        variant_cell(*repo_, nl, variants, c);
+    CellTiming& ct = result.cells[c];
+    ct.load_ff = net_load_ff[cell.output_net];
+
+    if (cell.sequential) {
+      // Launch point: clk->Q delay from the clock edge.
+      ct.input_slew_ns = options_.clock_slew_ns;
+      ct.gate_delay_ns =
+          lib_cell.arc.delay_ns(options_.clock_slew_ns, ct.load_ff);
+      ct.arrival_ns = ct.gate_delay_ns;
+      ct.min_arrival_ns = ct.gate_delay_ns;
+      ct.output_slew_ns =
+          lib_cell.arc.out_slew_ns(options_.clock_slew_ns, ct.load_ff);
+    } else {
+      double worst_arrival = 0.0;
+      double best_arrival = 1e30;
+      double worst_slew = options_.input_slew_ns;
+      for (std::size_t pi = 0; pi < cell.input_nets.size(); ++pi) {
+        const NetId n = cell.input_nets[pi];
+        const double cap = lib_cell.input_cap_ff;
+        const double wire = parasitics_->wire_delay_ns(n, cap);
+        const double arr = net_arrival[n] + wire;
+        const double min_arr = net_min_arrival[n] + wire;
+        const double slew =
+            net_slew[n] + parasitics_->wire_slew_ns(n, cap);
+        worst_arrival = std::max(worst_arrival, arr);
+        best_arrival = std::min(best_arrival, min_arr);
+        worst_slew = std::max(worst_slew, slew);
+      }
+      if (cell.input_nets.empty()) best_arrival = 0.0;
+      ct.input_slew_ns = worst_slew;
+      ct.gate_delay_ns = lib_cell.arc.delay_ns(worst_slew, ct.load_ff);
+      ct.arrival_ns = worst_arrival + ct.gate_delay_ns;
+      ct.min_arrival_ns = best_arrival + ct.gate_delay_ns;
+      ct.output_slew_ns = lib_cell.arc.out_slew_ns(worst_slew, ct.load_ff);
+    }
+    net_arrival[cell.output_net] = ct.arrival_ns;
+    net_min_arrival[cell.output_net] = ct.min_arrival_ns;
+    net_slew[cell.output_net] = ct.output_slew_ns;
+  }
+
+  // --- MCT over capture points ---
+  double mct = 0.0;
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const netlist::Cell& cell = nl.cell(static_cast<CellId>(ci));
+    if (!cell.sequential) continue;
+    const double setup = nl.master_of(static_cast<CellId>(ci)).setup_ns;
+    const liberty::CharacterizedCell& lib_cell =
+        variant_cell(*repo_, nl, variants, static_cast<CellId>(ci));
+    for (NetId n : cell.input_nets) {
+      const double arr = net_arrival[n] +
+                         parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff);
+      mct = std::max(mct, arr + setup);
+    }
+  }
+  for (NetId n : nl.primary_outputs())
+    mct = std::max(mct,
+                   net_arrival[n] +
+                       parasitics_->wire_delay_ns(n, options_.output_load_ff));
+  result.mct_ns = mct;
+  result.clock_ns = options_.clock_ns > 0.0 ? options_.clock_ns : mct;
+
+  // --- required times (backward) ---
+  const double t_clk = result.clock_ns;
+  std::vector<double> net_required(nl.net_count(), 1e30);
+  // Capture endpoints impose requirements on their driving nets.
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const netlist::Cell& cell = nl.cell(static_cast<CellId>(ci));
+    if (!cell.sequential) continue;
+    const double setup = nl.master_of(static_cast<CellId>(ci)).setup_ns;
+    const liberty::CharacterizedCell& lib_cell =
+        variant_cell(*repo_, nl, variants, static_cast<CellId>(ci));
+    for (NetId n : cell.input_nets) {
+      const double req = t_clk - setup -
+                         parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff);
+      net_required[n] = std::min(net_required[n], req);
+    }
+  }
+  for (NetId n : nl.primary_outputs()) {
+    const double req =
+        t_clk - parasitics_->wire_delay_ns(n, options_.output_load_ff);
+    net_required[n] = std::min(net_required[n], req);
+  }
+  // Backward over combinational cells in reverse topological order.
+  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+    const CellId c = *it;
+    const netlist::Cell& cell = nl.cell(c);
+    CellTiming& ct = result.cells[c];
+    ct.required_ns = net_required[cell.output_net];
+    ct.slack_ns = ct.required_ns - ct.arrival_ns;
+    if (cell.sequential) continue;  // stops propagation at launch points
+    const liberty::CharacterizedCell& lib_cell =
+        variant_cell(*repo_, nl, variants, c);
+    for (NetId n : cell.input_nets) {
+      const double req = ct.required_ns - ct.gate_delay_ns -
+                         parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff);
+      net_required[n] = std::min(net_required[n], req);
+    }
+  }
+
+  double worst = 1e30;
+  for (const CellTiming& ct : result.cells)
+    worst = std::min(worst, ct.slack_ns);
+  result.worst_slack_ns = nl.cell_count() > 0 ? worst : 0.0;
+
+  // --- hold analysis: shortest launch-to-capture path vs hold time ---
+  // (Same-edge capture model: data must not race through before the hold
+  // window closes.  PIs are externally timed and excluded.)
+  double worst_hold = 1e30;
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const netlist::Cell& cell = nl.cell(static_cast<CellId>(ci));
+    if (!cell.sequential) continue;
+    const double hold = nl.master_of(static_cast<CellId>(ci)).hold_ns;
+    const liberty::CharacterizedCell& lib_cell =
+        variant_cell(*repo_, nl, variants, static_cast<CellId>(ci));
+    for (NetId n : cell.input_nets) {
+      if (nl.net(n).driver == kNoCell) continue;
+      const double min_arr =
+          net_min_arrival[n] +
+          parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff);
+      worst_hold = std::min(worst_hold, min_arr - hold);
+    }
+  }
+  result.worst_hold_slack_ns = worst_hold >= 1e30 ? 0.0 : worst_hold;
+  return result;
+}
+
+std::vector<TimingPath> Timer::top_paths(const VariantAssignment& variants,
+                                         std::size_t k) const {
+  return top_paths(variants, analyze(variants), k);
+}
+
+std::vector<TimingPath> Timer::top_paths(const VariantAssignment& variants,
+                                         const TimingResult& timing,
+                                         std::size_t k) const {
+  const netlist::Netlist& nl = *netlist_;
+  DOSEOPT_CHECK(timing.cells.size() == nl.cell_count(),
+                "top_paths: timing result mismatch");
+
+  // Best-first backward enumeration of K longest paths.  A partial path is
+  // anchored at some cell; its bound = arrival(cell) + suffix delay (cell
+  // output -> endpoint).  Since arrival is the exact longest prefix, bounds
+  // are admissible and paths complete in exact non-increasing delay order.
+  struct Partial {
+    double bound;
+    CellId cell;
+    std::int32_t parent;  ///< index into the arena, -1 at an endpoint
+    bool complete;        ///< true once the launch point has been reached
+  };
+  struct Cmp {
+    bool operator()(const std::pair<double, std::size_t>& a,
+                    const std::pair<double, std::size_t>& b) const {
+      return a.first < b.first;
+    }
+  };
+  std::vector<Partial> arena;
+  std::priority_queue<std::pair<double, std::size_t>,
+                      std::vector<std::pair<double, std::size_t>>, Cmp>
+      queue;
+
+  auto push = [&](double bound, CellId cell, std::int32_t parent,
+                  bool complete) {
+    arena.push_back(Partial{bound, cell, parent, complete});
+    queue.emplace(bound, arena.size() - 1);
+  };
+
+  // Seed with endpoints: flop D pins and primary outputs.
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const netlist::Cell& cell = nl.cell(static_cast<CellId>(ci));
+    if (!cell.sequential) continue;
+    const double setup = nl.master_of(static_cast<CellId>(ci)).setup_ns;
+    const liberty::CharacterizedCell& lib_cell =
+        repo_->variant(variants.get(static_cast<CellId>(ci)).first,
+                       variants.get(static_cast<CellId>(ci)).second)
+            .cell(cell.master_index);
+    for (NetId n : cell.input_nets) {
+      const CellId drv = nl.net(n).driver;
+      if (drv == kNoCell) continue;
+      const double bound =
+          timing.cells[drv].arrival_ns +
+          parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff) + setup;
+      push(bound, drv, -1, false);
+    }
+  }
+  for (NetId n : nl.primary_outputs()) {
+    const CellId drv = nl.net(n).driver;
+    if (drv == kNoCell) continue;
+    const double bound =
+        timing.cells[drv].arrival_ns +
+        parasitics_->wire_delay_ns(n, options_.output_load_ff);
+    push(bound, drv, -1, false);
+  }
+
+  std::vector<TimingPath> paths;
+  while (paths.size() < k && !queue.empty()) {
+    const auto [bound, idx] = queue.top();
+    queue.pop();
+    const Partial part = arena[idx];
+    const netlist::Cell& cell = nl.cell(part.cell);
+
+    if (part.complete || cell.sequential) {
+      // Launch point reached: unwind the chain (launch -> capture order).
+      TimingPath p;
+      p.delay_ns = bound;
+      p.slack_ns = timing.clock_ns - bound;
+      for (std::int32_t i = static_cast<std::int32_t>(idx); i >= 0;
+           i = arena[static_cast<std::size_t>(i)].parent)
+        p.cells.push_back(arena[static_cast<std::size_t>(i)].cell);
+      paths.push_back(std::move(p));
+      continue;
+    }
+
+    const liberty::CharacterizedCell& lib_cell =
+        repo_->variant(variants.get(part.cell).first,
+                       variants.get(part.cell).second)
+            .cell(cell.master_index);
+    const double suffix = bound - timing.cells[part.cell].arrival_ns;
+    double best_pi_bound = -1e30;
+    // Distinct input nets only: a net wired to several pins of the same cell
+    // is one timing edge, not several parallel paths.
+    std::vector<NetId> seen_nets;
+    for (NetId n : cell.input_nets) {
+      if (std::find(seen_nets.begin(), seen_nets.end(), n) != seen_nets.end())
+        continue;
+      seen_nets.push_back(n);
+      const CellId drv = nl.net(n).driver;
+      const double stage =
+          parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff) +
+          timing.cells[part.cell].gate_delay_ns + suffix;
+      if (drv == kNoCell) {
+        // Primary-input launch (arrival 0): path completes here.
+        best_pi_bound = std::max(best_pi_bound, stage);
+      } else {
+        push(timing.cells[drv].arrival_ns + stage, drv,
+             static_cast<std::int32_t>(idx), false);
+      }
+    }
+    if (best_pi_bound > -1e30)
+      push(best_pi_bound, part.cell, part.parent, true);
+  }
+  return paths;
+}
+
+double critical_path_percentage(const std::vector<TimingPath>& paths,
+                                double mct_ns, double lo_frac) {
+  if (paths.empty() || mct_ns <= 0.0) return 0.0;
+  std::size_t count = 0;
+  for (const TimingPath& p : paths)
+    if (p.delay_ns >= lo_frac * mct_ns) ++count;
+  return 100.0 * static_cast<double>(count) /
+         static_cast<double>(paths.size());
+}
+
+}  // namespace doseopt::sta

@@ -1,0 +1,109 @@
+// Static timing analysis (the golden-signoff substitute).
+//
+// Block-based STA over the unrolled combinational view of the design:
+// primary inputs and flop outputs launch, primary outputs and flop D inputs
+// capture.  Gate delays and output slews come from the NLDM tables of each
+// instance's assigned library variant (its dose-map grid decides the
+// variant), wire delays from Elmore on the extracted parasitics, loads from
+// wire capacitance plus variant-dependent sink pin capacitances.
+//
+// Produces per-cell arrival/required/slack, the design MCT (minimum cycle
+// time), and the slack data for Table VII and Fig. 10.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "extract/extract.h"
+#include "liberty/repository.h"
+#include "netlist/netlist.h"
+
+namespace doseopt::sta {
+
+/// Per-cell library-variant assignment (poly index, active index);
+/// default-initialized to the nominal variant for every cell.
+class VariantAssignment {
+ public:
+  explicit VariantAssignment(std::size_t cell_count)
+      : variants_(cell_count,
+                  {liberty::kVariantsPerLayer / 2,
+                   liberty::kVariantsPerLayer / 2}) {}
+
+  void set(netlist::CellId c, int poly_index, int active_index);
+  std::pair<int, int> get(netlist::CellId c) const { return variants_[c]; }
+  std::size_t size() const { return variants_.size(); }
+
+ private:
+  std::vector<std::pair<int, int>> variants_;
+};
+
+/// Analysis conditions.
+struct TimingOptions {
+  double clock_ns = 0.0;      ///< 0 => use the computed MCT as the clock
+  double input_slew_ns = 0.05;
+  double clock_slew_ns = 0.04;
+  double output_load_ff = 4.0;
+};
+
+/// Per-cell timing quantities (all at the cell *output* unless noted).
+struct CellTiming {
+  double arrival_ns = 0.0;      ///< latest (max) arrival -- setup analysis
+  double min_arrival_ns = 0.0;  ///< earliest (min) arrival -- hold analysis
+  double required_ns = 0.0;
+  double slack_ns = 0.0;
+  double gate_delay_ns = 0.0;
+  double input_slew_ns = 0.0;  ///< worst slew over input pins
+  double output_slew_ns = 0.0;
+  double load_ff = 0.0;        ///< capacitive load on the output net
+};
+
+/// A timing path: launch-to-capture cell chain with its total delay.
+struct TimingPath {
+  std::vector<netlist::CellId> cells;  ///< launch side first
+  double delay_ns = 0.0;               ///< includes capture setup
+  double slack_ns = 0.0;               ///< vs. the analysis clock
+};
+
+/// Full analysis result.
+struct TimingResult {
+  std::vector<CellTiming> cells;
+  double mct_ns = 0.0;    ///< worst path delay incl. setup = minimum cycle time
+  double clock_ns = 0.0;  ///< the clock slacks were computed against
+  double worst_slack_ns = 0.0;       ///< worst setup slack
+  double worst_hold_slack_ns = 0.0;  ///< worst hold slack (min path - hold)
+};
+
+/// The timer: bound to a netlist + parasitics + variant library repository.
+class Timer {
+ public:
+  Timer(const netlist::Netlist* nl, const extract::Parasitics* parasitics,
+        liberty::LibraryRepository* repo, TimingOptions options = {});
+
+  /// Full timing analysis under a variant assignment.
+  TimingResult analyze(const VariantAssignment& variants) const;
+
+  /// Enumerate the K worst (largest-delay) launch-to-capture paths, in
+  /// non-increasing delay order.  Exact K-longest-paths over the timing DAG.
+  std::vector<TimingPath> top_paths(const VariantAssignment& variants,
+                                    std::size_t k) const;
+  std::vector<TimingPath> top_paths(const VariantAssignment& variants,
+                                    const TimingResult& timing,
+                                    std::size_t k) const;
+
+  const TimingOptions& options() const { return options_; }
+  const netlist::Netlist& netlist() const { return *netlist_; }
+
+ private:
+  const netlist::Netlist* netlist_;
+  const extract::Parasitics* parasitics_;
+  liberty::LibraryRepository* repo_;
+  TimingOptions options_;
+  std::vector<netlist::CellId> topo_order_;
+};
+
+/// Fraction (percent) of `paths` whose delay is within [lo_frac, 1.0] of the
+/// MCT -- the statistic of Table VII.
+double critical_path_percentage(const std::vector<TimingPath>& paths,
+                                double mct_ns, double lo_frac);
+
+}  // namespace doseopt::sta

@@ -1,0 +1,77 @@
+#include "tech/device.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace doseopt::tech {
+
+namespace {
+// Fraction of input transition time that adds to propagation delay.  A real
+// stage speeds up or slows down with input slew; the linear term is the
+// standard first-order model and keeps the characterizer's tables smooth.
+constexpr double kSlewToDelay = 0.07;
+// Output slew as a multiple of the RC time constant (2.2 RC corresponds to
+// the 10%-90% transition of a single pole).
+constexpr double kSlewRcFactor = 2.2;
+// Residual slew feed-through: a slow input edge degrades the output edge.
+constexpr double kSlewFeedThrough = 0.05;
+// ln(2): 50% crossing of a single-pole RC step response.
+const double kLn2 = std::log(2.0);
+}  // namespace
+
+DeviceModel::DeviceModel(const TechNode& node) : node_(node) {
+  DOSEOPT_CHECK(node_.l_nominal_nm > 0.0, "DeviceModel: bad nominal L");
+  vt_thermal_v_ =
+      node_.subthreshold_n * thermal_voltage_v(node_.temperature_c);
+}
+
+double DeviceModel::vth_v(double l_nm) const {
+  DOSEOPT_CHECK(l_nm > 0.0, "vth_v: non-positive channel length");
+  return node_.vth0_v -
+         node_.vth_rolloff_v0_v * std::exp(-l_nm / node_.vth_rolloff_lambda_nm);
+}
+
+double DeviceModel::on_current(double w_nm, double l_nm) const {
+  DOSEOPT_CHECK(w_nm > 0.0 && l_nm > 0.0, "on_current: bad geometry");
+  const double overdrive = node_.vdd_v - vth_v(l_nm);
+  DOSEOPT_CHECK(overdrive > 0.0, "on_current: device does not turn on");
+  return (w_nm / l_nm) * std::pow(overdrive, node_.alpha_sat);
+}
+
+double DeviceModel::drive_resistance_kohm(double w_nm, double l_nm) const {
+  // R = k * Vdd / Ion; folding the node's drive_k into one scale constant.
+  return node_.drive_k_kohm_nm * node_.vdd_v /
+         (on_current(w_nm, l_nm) * node_.l_nominal_nm);
+}
+
+double DeviceModel::leakage_nw(double w_nm, double l_nm) const {
+  DOSEOPT_CHECK(w_nm > 0.0, "leakage_nw: bad width");
+  const double isub_na = node_.leak_i0_na_per_nm * w_nm *
+                         std::exp(-vth_v(l_nm) / vt_thermal_v_);
+  return isub_na * node_.vdd_v;  // nA * V = nW
+}
+
+double DeviceModel::gate_cap_ff(double w_nm, double l_nm) const {
+  return node_.cgate_ff_per_nm * w_nm * (l_nm / node_.l_nominal_nm);
+}
+
+double DeviceModel::stage_delay_ns(double w_nm, double l_nm,
+                                   double res_factor, double cpar_ff,
+                                   double cload_ff, double slew_ns) const {
+  DOSEOPT_CHECK(res_factor > 0.0, "stage_delay_ns: bad res_factor");
+  const double r = res_factor * drive_resistance_kohm(w_nm, l_nm);
+  const double rc_ps = r * (cpar_ff + cload_ff);  // kOhm * fF = ps
+  return kLn2 * rc_ps * units::kPsToNs + kSlewToDelay * slew_ns;
+}
+
+double DeviceModel::stage_slew_ns(double w_nm, double l_nm, double res_factor,
+                                  double cpar_ff, double cload_ff,
+                                  double slew_ns) const {
+  const double r = res_factor * drive_resistance_kohm(w_nm, l_nm);
+  const double rc_ps = r * (cpar_ff + cload_ff);
+  return kSlewRcFactor * rc_ps * units::kPsToNs + kSlewFeedThrough * slew_ns;
+}
+
+}  // namespace doseopt::tech

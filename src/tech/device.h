@@ -1,0 +1,57 @@
+// Analytic transistor / inverter-stage device model.
+//
+// Substitutes for SPICE in the characterization flow.  Provides:
+//   * Vth(L) with exponential short-channel roll-off,
+//   * alpha-power-law on-current and the equivalent switching resistance,
+//   * state-averaged subthreshold leakage power,
+//   * gate capacitance,
+// and, on top of those, the propagation delay / output slew / leakage of a
+// single CMOS stage -- the primitive from which the cell characterizer
+// builds NLDM tables.
+#pragma once
+
+#include "tech/tech_node.h"
+
+namespace doseopt::tech {
+
+/// Device-level model bound to one technology node.
+class DeviceModel {
+ public:
+  explicit DeviceModel(const TechNode& node);
+
+  const TechNode& node() const { return node_; }
+
+  /// Threshold voltage at drawn channel length l_nm (volts).
+  double vth_v(double l_nm) const;
+
+  /// Saturation drive current of a device of width w_nm, length l_nm,
+  /// in arbitrary-but-consistent units (alpha-power law).
+  double on_current(double w_nm, double l_nm) const;
+
+  /// Equivalent switching resistance (kOhm) of a device: R = k * Vdd / Ion.
+  double drive_resistance_kohm(double w_nm, double l_nm) const;
+
+  /// Subthreshold leakage power (nW) of a single always-off device of width
+  /// w_nm and length l_nm at the node's Vdd and temperature.
+  double leakage_nw(double w_nm, double l_nm) const;
+
+  /// Gate capacitance (fF) of a device of width w_nm, length l_nm.
+  double gate_cap_ff(double w_nm, double l_nm) const;
+
+  /// Propagation delay (ns) of a CMOS stage: driving device of width w_nm /
+  /// length l_nm (with `res_factor` for series stacks), parasitic cap
+  /// cpar_ff, external load cload_ff, input slew slew_ns.
+  double stage_delay_ns(double w_nm, double l_nm, double res_factor,
+                        double cpar_ff, double cload_ff,
+                        double slew_ns) const;
+
+  /// Output transition time (ns) of the same stage.
+  double stage_slew_ns(double w_nm, double l_nm, double res_factor,
+                       double cpar_ff, double cload_ff, double slew_ns) const;
+
+ private:
+  TechNode node_;
+  double vt_thermal_v_;  ///< n * vT, precomputed
+};
+
+}  // namespace doseopt::tech

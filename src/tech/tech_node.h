@@ -1,0 +1,75 @@
+// Technology node description.
+//
+// This is the substitute for the paper's SPICE decks and foundry process
+// models.  Each node carries the parameters of an analytic transistor model:
+//
+//   * alpha-power-law saturation current for drive strength / delay,
+//   * exponential Vth roll-off versus channel length (short-channel effect),
+//   * subthreshold leakage exponential in -Vth(L)/(n*vT),
+//
+// which together give exactly the dependencies the paper measures in
+// Figs. 3-6: delay ~linear in L and in dW near nominal, leakage ~exponential
+// in L and ~linear in dW.  The numeric constants are calibrated so the
+// uniform-dose sweep (Tables II/III) reproduces the paper's leakage and MCT
+// ratios in shape and rough magnitude.
+#pragma once
+
+#include <string>
+
+namespace doseopt::tech {
+
+/// Process corner (we model the TT corner the paper uses).
+enum class Corner { kTypical };
+
+/// All parameters of a technology node used by the device model, the cell
+/// characterizer, and the parasitic extractor.
+struct TechNode {
+  std::string name;
+
+  // --- Lithography / geometry ---
+  double l_nominal_nm = 0.0;   ///< drawn nominal gate length
+  double min_width_nm = 0.0;   ///< minimum transistor width
+  double max_width_nm = 0.0;   ///< largest single-finger width in the library
+
+  // --- Electrical ---
+  double vdd_v = 0.0;
+  double temperature_c = 25.0;
+  double vth0_v = 0.0;          ///< long-channel threshold voltage
+  double vth_rolloff_v0_v = 0.0;     ///< Vth(L) = vth0 - V0 * exp(-L/lambda)
+  double vth_rolloff_lambda_nm = 0.0;
+  double subthreshold_n = 1.5;  ///< subthreshold ideality factor
+  double alpha_sat = 1.3;       ///< alpha-power-law exponent
+
+  // --- Calibration scale factors ---
+  /// Leakage current prefactor: nA of subthreshold current per nm of device
+  /// width at Vth = 0 (folded with the Boltzmann exponential at runtime).
+  double leak_i0_na_per_nm = 0.0;
+  /// Equivalent switching resistance scale: kOhm for a device of nominal L
+  /// and 1 nm width at the node's gate overdrive (folded at runtime).
+  double drive_k_kohm_nm = 0.0;
+  /// Gate capacitance per nm of width at nominal L (fF/nm).
+  double cgate_ff_per_nm = 0.0;
+
+  // --- Interconnect (used by the extractor) ---
+  double wire_res_kohm_per_um = 0.0;
+  double wire_cap_ff_per_um = 0.0;
+
+  // --- Standard-cell geometry (used by the placer) ---
+  double row_height_um = 0.0;
+  double site_width_um = 0.0;
+};
+
+/// 65 nm node calibrated against the paper's 65 nm observations
+/// (Tables II, V, VI; Figs. 3-6).
+TechNode make_tech_65nm();
+
+/// 90 nm node calibrated against the paper's 90 nm observations (Table III).
+TechNode make_tech_90nm();
+
+/// Look up a node by name ("65nm" or "90nm"); throws on unknown names.
+TechNode tech_node_by_name(const std::string& name);
+
+/// Thermal voltage kT/q in volts at the given temperature.
+double thermal_voltage_v(double temperature_c);
+
+}  // namespace doseopt::tech

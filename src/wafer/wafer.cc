@@ -1,0 +1,136 @@
+#include "wafer/wafer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "liberty/repository.h"
+
+namespace doseopt::wafer {
+
+Wafer::Wafer(const WaferModel& model) : model_(model) {
+  DOSEOPT_CHECK(model_.wafer_radius_mm > 0 && model_.field_size_mm > 0,
+                "Wafer: bad geometry");
+  Rng rng(model_.seed);
+  const double usable = model_.wafer_radius_mm - model_.edge_exclusion_mm;
+  const double step = model_.field_size_mm;
+  const int n = static_cast<int>(usable / step) + 1;
+  for (int i = -n; i <= n; ++i) {
+    for (int j = -n; j <= n; ++j) {
+      Field f;
+      f.x_mm = (i + 0.5) * step;
+      f.y_mm = (j + 0.5) * step;
+      // A field is printed if it lies fully inside the usable radius
+      // (corner check).
+      const double corner_r =
+          std::hypot(std::abs(f.x_mm) + 0.5 * step,
+                     std::abs(f.y_mm) + 0.5 * step);
+      if (corner_r > usable) continue;
+      const double r = std::hypot(f.x_mm, f.y_mm) / model_.wafer_radius_mm;
+      f.cd_bias_nm = model_.bowl2_nm * r * r +
+                     model_.bowl4_nm * r * r * r * r +
+                     rng.normal(0.0, model_.field_random_sigma_nm);
+      fields_.push_back(f);
+    }
+  }
+  DOSEOPT_CHECK(!fields_.empty(), "Wafer: no fields fit the wafer");
+}
+
+double Wafer::residual_cd_nm(std::size_t field) const {
+  DOSEOPT_CHECK(field < fields_.size(), "residual_cd_nm: bad field");
+  const Field& f = fields_[field];
+  return f.cd_bias_nm +
+         liberty::kDoseSensitivityNmPerPct * f.dose_corr_pct;
+}
+
+double Wafer::awlv_range_nm() const {
+  double lo = 1e30, hi = -1e30;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const double cd = residual_cd_nm(i);
+    lo = std::min(lo, cd);
+    hi = std::max(hi, cd);
+  }
+  return hi - lo;
+}
+
+double Wafer::awlv_sigma_nm() const {
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const double cd = residual_cd_nm(i);
+    sum += cd;
+    sq += cd * cd;
+  }
+  const double n = static_cast<double>(fields_.size());
+  const double mean = sum / n;
+  return std::sqrt(std::max(0.0, sq / n - mean * mean));
+}
+
+double Wafer::apply_awlv_correction() {
+  for (Field& f : fields_) {
+    // Cancel the bias: dose = -bias / Ds, clamped to the Dosicom per-field
+    // offset range.
+    const double ideal = -f.cd_bias_nm / liberty::kDoseSensitivityNmPerPct;
+    f.dose_corr_pct = std::clamp(ideal, -model_.max_field_dose_pct,
+                                 model_.max_field_dose_pct);
+  }
+  return awlv_range_nm();
+}
+
+void Wafer::clear_corrections() {
+  for (Field& f : fields_) f.dose_corr_pct = 0.0;
+}
+
+double WaferTimingResult::yield_at(double clock_ns) const {
+  if (field_mct_ns.empty()) return 0.0;
+  std::size_t pass = 0;
+  for (const double mct : field_mct_ns)
+    if (mct <= clock_ns) ++pass;
+  return static_cast<double>(pass) /
+         static_cast<double>(field_mct_ns.size());
+}
+
+WaferTimingResult analyze_wafer_timing(const Wafer& wafer,
+                                       const netlist::Netlist& nl,
+                                       const sta::Timer& timer,
+                                       const sta::VariantAssignment& base) {
+  DOSEOPT_CHECK(base.size() == nl.cell_count(),
+                "analyze_wafer_timing: assignment size mismatch");
+  WaferTimingResult result;
+  result.field_mct_ns.reserve(wafer.field_count());
+
+  // Distinct residual CD shifts map to the same variant step; cache by the
+  // snapped step so a full wafer costs only a handful of STA runs.
+  std::vector<double> cache(2 * liberty::kVariantsPerLayer + 1, -1.0);
+  double sum = 0.0;
+  result.min_mct_ns = 1e30;
+  for (std::size_t fi = 0; fi < wafer.field_count(); ++fi) {
+    const int steps = static_cast<int>(
+        std::lround(wafer.residual_cd_nm(fi)));  // 1 nm per variant step
+    const int key = std::clamp(steps, -liberty::kVariantsPerLayer,
+                               liberty::kVariantsPerLayer) +
+                    liberty::kVariantsPerLayer;
+    double mct = cache[static_cast<std::size_t>(key)];
+    if (mct < 0.0) {
+      sta::VariantAssignment va = base;
+      for (std::size_t c = 0; c < nl.cell_count(); ++c) {
+        const auto id = static_cast<netlist::CellId>(c);
+        const auto [ip, iw] = base.get(id);
+        // Positive residual CD (longer gates) = lower poly variant index.
+        va.set(id,
+               std::clamp(ip - steps, 0, liberty::kVariantsPerLayer - 1),
+               iw);
+      }
+      mct = timer.analyze(va).mct_ns;
+      cache[static_cast<std::size_t>(key)] = mct;
+    }
+    result.field_mct_ns.push_back(mct);
+    sum += mct;
+    result.max_mct_ns = std::max(result.max_mct_ns, mct);
+    result.min_mct_ns = std::min(result.min_mct_ns, mct);
+  }
+  result.mean_mct_ns = sum / static_cast<double>(wafer.field_count());
+  return result;
+}
+
+}  // namespace doseopt::wafer

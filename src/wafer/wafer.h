@@ -1,0 +1,102 @@
+// Across-wafer linewidth variation (AWLV) and wafer-level dose correction.
+//
+// The paper's conclusion names this as the next step: "extension of the
+// dose map optimization methodology to minimize the delay variation of
+// different chips across the wafer or the exposure field."  This module
+// implements that extension:
+//
+//   * a wafer model: exposure fields tiled inside the wafer radius, with a
+//     radial systematic CD bias (the classic track/etcher bowl shape that
+//     the paper attributes AWLV to) plus per-field random offsets;
+//   * the AWLV metric (range and sigma of per-field mean CD);
+//   * a per-field dose correction (Dosicom field offsets, bounded) that
+//     cancels the field-mean bias -- the manufacturing-side use of
+//     DoseMapper the paper builds on;
+//   * wafer-level timing analysis: per-field golden MCT under the residual
+//     CD bias, stacked on top of an (optional) intra-field design-aware
+//     dose map, giving the across-wafer MCT distribution and yield.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sta/timer.h"
+
+namespace doseopt::wafer {
+
+/// One exposure field on the wafer.
+struct Field {
+  double x_mm = 0.0;  ///< field-center coordinates, wafer center = (0, 0)
+  double y_mm = 0.0;
+  double cd_bias_nm = 0.0;   ///< systematic + random delta-L before correction
+  double dose_corr_pct = 0.0;  ///< applied per-field dose correction
+};
+
+/// Wafer geometry and CD-bias model parameters.
+struct WaferModel {
+  double wafer_radius_mm = 150.0;
+  double field_size_mm = 26.0;    ///< square step-and-scan field
+  double edge_exclusion_mm = 3.0;
+  // Radial bias: cd(r) = bowl2 * (r/R)^2 + bowl4 * (r/R)^4  (nm).
+  double bowl2_nm = 3.0;
+  double bowl4_nm = 2.0;
+  double field_random_sigma_nm = 0.4;  ///< per-field random CD offset
+  double max_field_dose_pct = 3.0;     ///< Dosicom per-field offset bound
+  std::uint64_t seed = 777;
+};
+
+/// A populated wafer.
+class Wafer {
+ public:
+  explicit Wafer(const WaferModel& model);
+
+  const WaferModel& model() const { return model_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  std::size_t field_count() const { return fields_.size(); }
+
+  /// AWLV as the full range (max - min) of per-field effective CD bias
+  /// after the currently applied dose corrections.
+  double awlv_range_nm() const;
+
+  /// Standard deviation of per-field effective CD bias.
+  double awlv_sigma_nm() const;
+
+  /// Residual CD bias of one field after its dose correction.
+  double residual_cd_nm(std::size_t field) const;
+
+  /// Compute and apply the per-field dose corrections that cancel the
+  /// field-mean CD bias, clamped to +/-max_field_dose_pct.  This is the
+  /// manufacturing-side DoseMapper use (AWLV minimization) of the paper's
+  /// Section I.  Returns the post-correction AWLV range.
+  double apply_awlv_correction();
+
+  /// Clear all corrections (back to the raw process).
+  void clear_corrections();
+
+ private:
+  WaferModel model_;
+  std::vector<Field> fields_;
+};
+
+/// Per-field timing across the wafer: golden MCT of the design in every
+/// field, with the field's residual CD bias added on top of `base` (e.g. a
+/// design-aware dose-map assignment).
+struct WaferTimingResult {
+  std::vector<double> field_mct_ns;  ///< indexed like Wafer::fields()
+  double mean_mct_ns = 0.0;
+  double max_mct_ns = 0.0;
+  double min_mct_ns = 0.0;
+
+  /// Fraction of fields with MCT <= clock.
+  double yield_at(double clock_ns) const;
+};
+
+/// Analyze every field of `wafer` by shifting the design's variant
+/// assignment by the field's residual CD bias (snapped to the 1 nm variant
+/// steps) and running golden STA.
+WaferTimingResult analyze_wafer_timing(const Wafer& wafer,
+                                       const netlist::Netlist& nl,
+                                       const sta::Timer& timer,
+                                       const sta::VariantAssignment& base);
+
+}  // namespace doseopt::wafer

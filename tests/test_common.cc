@@ -1,0 +1,227 @@
+// Unit tests for src/common: deterministic RNG, string helpers, text tables,
+// and the error-checking macros.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace doseopt {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    DOSEOPT_CHECK(false, "bad thing");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad thing"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(DOSEOPT_CHECK(1 + 1 == 2, "math"));
+}
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(DOSEOPT_FAIL("unreachable"), Error);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(17);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(31);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(1);
+  std::vector<double> empty;
+  EXPECT_THROW(rng.weighted_index(empty), Error);
+  std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zeros), Error);
+  std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(rng.weighted_index(negative), Error);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(37);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(41);
+  Rng b = a.fork();
+  // The fork should not replay the parent's stream.
+  bool differ = false;
+  for (int i = 0; i < 16; ++i)
+    if (a.next_u64() != b.next_u64()) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,,c", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitMultipleDelims) {
+  const auto parts = split("x 1\ty", " \t");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "1");
+}
+
+TEST(Strings, SplitEmpty) { EXPECT_TRUE(split("", ",").empty()); }
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(trim("  hello \n"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(str_format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(str_format("%.2f", 1.234), "1.23");
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, SeparatorRows) {
+  TextTable t;
+  t.add_row({"a"});
+  t.add_separator();
+  t.add_row({"b"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt_f(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_pct(-3.456, 2), "-3.46");
+}
+
+}  // namespace
+}  // namespace doseopt

@@ -1,0 +1,174 @@
+// Tests for the dose-map model and the scanner actuator model: grid
+// partitioning, constraint predicates, cell binning, Legendre polynomials,
+// and the separable slit+scan profile fit.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dose/actuator.h"
+#include "dose/dose_map.h"
+#include "test_helpers.h"
+
+namespace doseopt::dose {
+namespace {
+
+TEST(DoseMap, PartitionGeometry) {
+  DoseMap m(100.0, 60.0, 10.0);
+  EXPECT_EQ(m.cols(), 10u);
+  EXPECT_EQ(m.rows(), 6u);
+  EXPECT_EQ(m.grid_count(), 60u);
+  EXPECT_DOUBLE_EQ(m.grid_width_um(), 10.0);
+  EXPECT_DOUBLE_EQ(m.grid_height_um(), 10.0);
+}
+
+TEST(DoseMap, NonDividingGridsShrink) {
+  // 105 um with G=10 -> 11 grids of 9.545... um each (<= G as required).
+  DoseMap m(105.0, 105.0, 10.0);
+  EXPECT_EQ(m.cols(), 11u);
+  EXPECT_LE(m.grid_width_um(), 10.0);
+}
+
+TEST(DoseMap, GridAtMapsPoints) {
+  DoseMap m(100.0, 100.0, 10.0);
+  EXPECT_EQ(m.grid_at(5.0, 5.0), m.flat_index(0, 0));
+  EXPECT_EQ(m.grid_at(95.0, 95.0), m.flat_index(9, 9));
+  EXPECT_EQ(m.grid_at(15.0, 95.0), m.flat_index(9, 1));
+  // Clamped outside the field.
+  EXPECT_EQ(m.grid_at(-5.0, 500.0), m.flat_index(9, 0));
+}
+
+TEST(DoseMap, DoseStorage) {
+  DoseMap m(20.0, 20.0, 10.0);
+  m.set_dose_pct(1, 1, 3.5);
+  EXPECT_DOUBLE_EQ(m.dose_pct(1, 1), 3.5);
+  EXPECT_DOUBLE_EQ(m.max_abs_dose_pct(), 3.5);
+  EXPECT_THROW(m.set_dose_pct(2, 0, 1.0), Error);
+}
+
+TEST(DoseMap, NeighborPairsPattern) {
+  // Eq. (4): for an M x N grid there are (M-1)(N-1) diagonal, M(N-1)
+  // horizontal, and (M-1)N vertical pairs.
+  DoseMap m(30.0, 20.0, 10.0);  // rows=2, cols=3
+  const auto pairs = m.neighbor_pairs();
+  EXPECT_EQ(pairs.size(), 1u * 2u + 2u * 2u + 1u * 3u);
+}
+
+TEST(DoseMap, SmoothnessViolationDetected) {
+  DoseMap m(20.0, 20.0, 10.0);
+  m.set_dose_pct(0, 0, 5.0);
+  m.set_dose_pct(0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(m.max_neighbor_delta_pct(), 5.0);
+  EXPECT_FALSE(m.satisfies(-5.0, 5.0, 2.0));
+  EXPECT_TRUE(m.satisfies(-5.0, 5.0, 5.0));
+}
+
+TEST(DoseMap, RangeViolationDetected) {
+  DoseMap m(20.0, 20.0, 10.0);
+  m.set_dose_pct(0, 0, 6.0);
+  EXPECT_FALSE(m.satisfies(-5.0, 5.0, 10.0));
+}
+
+TEST(DoseMap, BinCellsConsistent) {
+  const auto d = testing_support::make_chain_design(4);
+  DoseMap m(d.die.width_um, d.die.height_um, 5.0);
+  const auto bins = bin_cells(m, *d.placement);
+  ASSERT_EQ(bins.size(), d.netlist->cell_count());
+  for (std::size_t c = 0; c < bins.size(); ++c) {
+    EXPECT_LT(bins[c], m.grid_count());
+    EXPECT_EQ(bins[c],
+              m.grid_at(d.placement->x_um(static_cast<netlist::CellId>(c)),
+                        d.placement->y_um(static_cast<netlist::CellId>(c))));
+  }
+}
+
+TEST(Legendre, KnownValues) {
+  EXPECT_DOUBLE_EQ(legendre(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(legendre(1, 0.3), 0.3);
+  EXPECT_NEAR(legendre(2, 0.5), 0.5 * (3 * 0.25 - 1), 1e-12);
+  EXPECT_NEAR(legendre(3, -1.0), -1.0, 1e-12);
+  EXPECT_NEAR(legendre(4, 1.0), 1.0, 1e-12);  // P_n(1) = 1
+}
+
+TEST(Legendre, NumericalOrthogonality) {
+  // Integrate P_m * P_n over [-1, 1] by the midpoint rule.
+  for (int m = 1; m <= 4; ++m) {
+    for (int n = m; n <= 4; ++n) {
+      double integral = 0.0;
+      const int steps = 4000;
+      for (int k = 0; k < steps; ++k) {
+        const double y = -1.0 + 2.0 * (k + 0.5) / steps;
+        integral += legendre(m, y) * legendre(n, y) * (2.0 / steps);
+      }
+      if (m == n) {
+        EXPECT_NEAR(integral, 2.0 / (2 * m + 1), 1e-4);
+      } else {
+        EXPECT_NEAR(integral, 0.0, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(Legendre, RejectsBadArguments) {
+  EXPECT_THROW(legendre(-1, 0.0), Error);
+  EXPECT_THROW(legendre(13, 0.0), Error);
+  EXPECT_THROW(legendre(2, 1.5), Error);
+}
+
+TEST(ScanProfile, EvaluatesSeries) {
+  // Dset(y) = 2 P1(y) + 0.5 P2(y), eq. (1).
+  ScanProfile p({2.0, 0.5});
+  EXPECT_NEAR(p.dose_pct(0.4), 2.0 * 0.4 + 0.5 * 0.5 * (3 * 0.16 - 1), 1e-12);
+  EXPECT_THROW(ScanProfile(std::vector<double>(9, 1.0)), Error);
+}
+
+TEST(SlitProfile, EvaluatesPolynomial) {
+  SlitProfile p({1.0, 0.0, -2.0});  // 1 - 2x^2
+  EXPECT_NEAR(p.dose_pct(0.5), 0.5, 1e-12);
+  EXPECT_THROW(SlitProfile(std::vector<double>(8, 1.0)), Error);
+}
+
+TEST(ActuatorFit, ExactlyRepresentableMapHasZeroResidual) {
+  DoseMap map(100.0, 100.0, 10.0);
+  const ActuatorRecipe truth{SlitProfile({0.5, 1.0, -0.8}),
+                             ScanProfile({1.5, -0.4, 0.2})};
+  map.set_doses(truth.render(map));
+
+  const ActuatorFit fit = fit_actuators(map);
+  EXPECT_LT(fit.rms_residual_pct, 1e-8);
+  EXPECT_LT(fit.max_residual_pct, 1e-7);
+}
+
+TEST(ActuatorFit, RandomMapHasResidualButReasonableFit) {
+  Rng rng(77);
+  DoseMap map(100.0, 100.0, 10.0);
+  std::vector<double> doses(map.grid_count());
+  for (auto& v : doses) v = rng.uniform(-5.0, 5.0);
+  map.set_doses(doses);
+  const ActuatorFit fit = fit_actuators(map);
+  EXPECT_GT(fit.rms_residual_pct, 0.1);  // white noise is not representable
+  // The fitted recipe itself renders to finite values.
+  const auto rendered = fit.recipe.render(map);
+  for (double v : rendered) EXPECT_LT(std::abs(v), 50.0);
+}
+
+TEST(ActuatorFit, SmoothGradientWellApproximated) {
+  // A slit-direction linear ramp plus scan-direction quadratic is inside
+  // the actuator subspace up to grid discretization.
+  DoseMap map(100.0, 100.0, 5.0);
+  std::vector<double> doses(map.grid_count());
+  for (std::size_t i = 0; i < map.rows(); ++i)
+    for (std::size_t j = 0; j < map.cols(); ++j) {
+      const double x = -1.0 + 2.0 * (j + 0.5) / map.cols();
+      const double y = -1.0 + 2.0 * (i + 0.5) / map.rows();
+      doses[map.flat_index(i, j)] = 2.0 * x + 1.0 * (3 * y * y - 1) / 2.0;
+    }
+  map.set_doses(doses);
+  const ActuatorFit fit = fit_actuators(map, 3, 4);
+  EXPECT_LT(fit.rms_residual_pct, 1e-6);
+}
+
+}  // namespace
+}  // namespace doseopt::dose

@@ -1,0 +1,97 @@
+// Tests for the dosePl cell-swapping heuristic (Algorithm 1): timing never
+// degrades, the placement stays legal, and the filters are honored.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "dmopt/dmopt.h"
+#include "doseplace/doseplace.h"
+#include "flow/context.h"
+
+namespace doseopt::doseplace {
+namespace {
+
+class DosePlTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ctx_ = new flow::DesignContext(gen::aes65_spec().scaled(0.05));
+    dmopt::DmoptOptions opt;
+    opt.grid_um = 10.0;
+    dmopt::DoseMapOptimizer optimizer(
+        &ctx_->netlist(), &ctx_->placement(), &ctx_->parasitics(),
+        &ctx_->repo(), &ctx_->coefficients(false), &ctx_->timer(),
+        &ctx_->nominal_timing(), opt);
+    dm_result_ = new dmopt::DmoptResult(optimizer.minimize_cycle_time());
+  }
+  static void TearDownTestSuite() {
+    delete dm_result_;
+    delete ctx_;
+  }
+  static flow::DesignContext* ctx_;
+  static dmopt::DmoptResult* dm_result_;
+};
+flow::DesignContext* DosePlTest::ctx_ = nullptr;
+dmopt::DmoptResult* DosePlTest::dm_result_ = nullptr;
+
+TEST_F(DosePlTest, NeverDegradesTiming) {
+  sta::VariantAssignment variants = dm_result_->variants;
+  DosePlOptions opt;
+  opt.rounds = 4;
+  opt.top_k_paths = 500;
+  DosePlacer placer(&ctx_->netlist(), &ctx_->placement(), &ctx_->parasitics(),
+                    &ctx_->repo(), &ctx_->timer(), opt);
+  const DosePlResult r =
+      placer.run(dm_result_->poly_map, nullptr, variants);
+  EXPECT_LE(r.final_mct_ns, r.initial_mct_ns + 1e-9);
+  EXPECT_LE(r.rounds_run, 4);
+  EXPECT_GE(r.rounds_accepted, 0);
+  // Placement survived all the ECO churn.
+  EXPECT_TRUE(ctx_->placement().is_legal());
+  // Golden state of the variant assignment matches the final report.
+  const double mct = ctx_->timer().analyze(variants).mct_ns;
+  EXPECT_NEAR(mct, r.final_mct_ns, 1e-9);
+}
+
+TEST_F(DosePlTest, LeakageStaysBounded) {
+  sta::VariantAssignment variants = dm_result_->variants;
+  DosePlOptions opt;
+  opt.rounds = 3;
+  opt.top_k_paths = 500;
+  opt.leak_increase_limit = 0.10;
+  DosePlacer placer(&ctx_->netlist(), &ctx_->placement(), &ctx_->parasitics(),
+                    &ctx_->repo(), &ctx_->timer(), opt);
+  const DosePlResult r =
+      placer.run(dm_result_->poly_map, nullptr, variants);
+  // A handful of 1-for-1 swaps cannot blow leakage up; allow 2%.
+  EXPECT_LE(r.final_leakage_uw, r.initial_leakage_uw * 1.02);
+}
+
+TEST_F(DosePlTest, ZeroRoundsIsIdentity) {
+  sta::VariantAssignment variants = dm_result_->variants;
+  DosePlOptions opt;
+  opt.rounds = 0;
+  DosePlacer placer(&ctx_->netlist(), &ctx_->placement(), &ctx_->parasitics(),
+                    &ctx_->repo(), &ctx_->timer(), opt);
+  const DosePlResult r =
+      placer.run(dm_result_->poly_map, nullptr, variants);
+  EXPECT_EQ(r.rounds_run, 0);
+  EXPECT_EQ(r.swaps_accepted, 0);
+  EXPECT_DOUBLE_EQ(r.final_mct_ns, r.initial_mct_ns);
+}
+
+TEST_F(DosePlTest, MultipleSwapsPerRoundAllowed) {
+  sta::VariantAssignment variants = dm_result_->variants;
+  DosePlOptions opt;
+  opt.rounds = 2;
+  opt.max_swaps_per_round = 4;
+  opt.top_k_paths = 500;
+  DosePlacer placer(&ctx_->netlist(), &ctx_->placement(), &ctx_->parasitics(),
+                    &ctx_->repo(), &ctx_->timer(), opt);
+  const DosePlResult r =
+      placer.run(dm_result_->poly_map, nullptr, variants);
+  EXPECT_LE(r.final_mct_ns, r.initial_mct_ns + 1e-9);
+  EXPECT_TRUE(ctx_->placement().is_legal());
+}
+
+}  // namespace
+}  // namespace doseopt::doseplace

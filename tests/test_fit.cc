@@ -1,0 +1,116 @@
+// Tests for src/fit: least-squares fitting primitives and residual stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "fit/leastsq.h"
+
+namespace doseopt::fit {
+namespace {
+
+TEST(FitLinear, RecoversExactCoefficients) {
+  // y = 3a - 2b, no noise.
+  std::vector<Sample> samples;
+  for (double a = 0; a < 4; ++a)
+    for (double b = 0; b < 4; ++b)
+      samples.push_back({{a, b}, 3.0 * a - 2.0 * b});
+  const FitResult r = fit_linear(samples);
+  EXPECT_NEAR(r.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(r.coefficients[1], -2.0, 1e-9);
+  EXPECT_NEAR(r.sum_squared_residuals, 0.0, 1e-15);
+  EXPECT_NEAR(r.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, RejectsUnderdetermined) {
+  std::vector<Sample> samples = {{{1.0, 2.0}, 3.0}};
+  EXPECT_THROW(fit_linear(samples), Error);
+}
+
+TEST(FitLinear, RejectsInconsistentDimensions) {
+  std::vector<Sample> samples = {{{1.0}, 1.0}, {{1.0, 2.0}, 2.0}};
+  EXPECT_THROW(fit_linear(samples), Error);
+}
+
+TEST(FitLinear, NoisyFitHasPositiveResiduals) {
+  Rng rng(3);
+  std::vector<Sample> samples;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(-1, 1);
+    samples.push_back({{1.0, x}, 2.0 + x + rng.normal(0.0, 0.1)});
+  }
+  const FitResult r = fit_linear(samples);
+  EXPECT_NEAR(r.coefficients[0], 2.0, 0.1);
+  EXPECT_NEAR(r.coefficients[1], 1.0, 0.15);
+  EXPECT_GT(r.sum_squared_residuals, 0.0);
+  EXPECT_GT(r.r_squared, 0.8);
+}
+
+TEST(FitPolynomial, QuadraticExact) {
+  std::vector<double> xs, ys;
+  for (double x = -2; x <= 2; x += 0.5) {
+    xs.push_back(x);
+    ys.push_back(1.0 - 2.0 * x + 0.5 * x * x);
+  }
+  const FitResult r = fit_polynomial(xs, ys, 2);
+  EXPECT_NEAR(r.coefficients[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.coefficients[1], -2.0, 1e-9);
+  EXPECT_NEAR(r.coefficients[2], 0.5, 1e-9);
+}
+
+TEST(FitPolynomial, EvalMatchesHorner) {
+  const std::vector<double> c = {1.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(eval_polynomial(c, 3.0), 1.0 - 3.0 + 18.0);
+  EXPECT_DOUBLE_EQ(eval_polynomial({}, 5.0), 0.0);
+}
+
+TEST(FitExponential, RecoversParameters) {
+  std::vector<double> xs, ys;
+  for (double x = -1; x <= 1; x += 0.1) {
+    xs.push_back(x);
+    ys.push_back(2.5 * std::exp(-0.8 * x));
+  }
+  const FitResult r = fit_exponential(xs, ys);
+  EXPECT_NEAR(r.coefficients[0], 2.5, 1e-6);
+  EXPECT_NEAR(r.coefficients[1], -0.8, 1e-6);
+}
+
+TEST(FitExponential, RejectsNonPositive) {
+  EXPECT_THROW(fit_exponential({0.0, 1.0}, {1.0, 0.0}), Error);
+}
+
+TEST(ResidualStats, Accumulates) {
+  ResidualStats stats;
+  FitResult a;
+  a.sum_squared_residuals = 0.5;
+  a.max_abs_residual = 0.2;
+  FitResult b;
+  b.sum_squared_residuals = 1.5;
+  b.max_abs_residual = 0.1;
+  stats.accumulate(a);
+  stats.accumulate(b);
+  EXPECT_DOUBLE_EQ(stats.max_ssr, 1.5);
+  EXPECT_DOUBLE_EQ(stats.mean_ssr, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_abs_residual, 0.2);
+  EXPECT_EQ(stats.fit_count, 2u);
+}
+
+// Property sweep: through-origin quadratic fits of convex data keep a
+// non-negative leading coefficient (the convexity the dose-map QP needs).
+class ConvexQuadraticFit : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvexQuadraticFit, LeadingCoefficientNonNegative) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const double b = rng.uniform(0.01, 0.2);
+  std::vector<Sample> samples;
+  for (double x = -10; x <= 10; x += 1.0)
+    samples.push_back({{x * x, x}, std::exp(b * x) - 1.0});
+  const FitResult r = fit_linear(samples);
+  EXPECT_GE(r.coefficients[0], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvexQuadraticFit, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace doseopt::fit

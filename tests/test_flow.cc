@@ -1,0 +1,75 @@
+// End-to-end flow tests: DesignContext invariants and run_flow in both
+// modes, with and without the dosePl stage (Fig. 7 of the paper).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "flow/optimize.h"
+
+namespace doseopt::flow {
+namespace {
+
+class FlowTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ctx_ = new DesignContext(gen::aes65_spec().scaled(0.04));
+  }
+  static void TearDownTestSuite() { delete ctx_; }
+  static DesignContext* ctx_;
+};
+DesignContext* FlowTest::ctx_ = nullptr;
+
+TEST_F(FlowTest, ContextBaselineConsistent) {
+  EXPECT_GT(ctx_->nominal_mct_ns(), 0.0);
+  EXPECT_GT(ctx_->nominal_leakage_uw(), 0.0);
+  EXPECT_EQ(ctx_->nominal_timing().cells.size(),
+            ctx_->netlist().cell_count());
+  EXPECT_TRUE(ctx_->placement().is_legal());
+}
+
+TEST_F(FlowTest, CoefficientsCachedPerWidthSetting) {
+  const auto& a = ctx_->coefficients(false);
+  const auto& b = ctx_->coefficients(false);
+  EXPECT_EQ(&a, &b);
+  EXPECT_FALSE(a.width_fitted());
+}
+
+TEST_F(FlowTest, LeakageModeFlow) {
+  FlowOptions opt;
+  opt.mode = DmoptMode::kMinimizeLeakage;
+  opt.dmopt.grid_um = 10.0;
+  const FlowResult r = run_flow(*ctx_, opt);
+  EXPECT_LT(r.final_leakage_uw, r.nominal_leakage_uw);
+  EXPECT_LE(r.final_mct_ns, r.nominal_mct_ns * 1.004);
+  EXPECT_FALSE(r.dosepl_run);
+}
+
+TEST_F(FlowTest, CycleTimeModeWithDosePl) {
+  FlowOptions opt;
+  opt.mode = DmoptMode::kMinimizeCycleTime;
+  opt.dmopt.grid_um = 10.0;
+  opt.run_dose_placement = true;
+  opt.dosepl.rounds = 3;
+  opt.dosepl.top_k_paths = 400;
+  const FlowResult r = run_flow(*ctx_, opt);
+  EXPECT_TRUE(r.dosepl_run);
+  // DMopt improves timing; dosePl must not undo it.
+  EXPECT_LT(r.dmopt.golden_mct_ns, r.nominal_mct_ns);
+  EXPECT_LE(r.final_mct_ns, r.dmopt.golden_mct_ns + 1e-9);
+  EXPECT_LE(r.final_leakage_uw, r.nominal_leakage_uw * 1.02);
+}
+
+TEST(FlowHelpers, FastModeScaling) {
+  // Without the env var set, full size.
+  if (!fast_mode()) {
+    EXPECT_DOUBLE_EQ(design_scale(), 1.0);
+    EXPECT_EQ(scaled_spec(gen::aes65_spec()).target_cells,
+              gen::aes65_spec().target_cells);
+  } else {
+    EXPECT_LT(scaled_spec(gen::aes65_spec()).target_cells,
+              gen::aes65_spec().target_cells);
+  }
+}
+
+}  // namespace
+}  // namespace doseopt::flow

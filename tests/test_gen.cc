@@ -1,0 +1,149 @@
+// Tests for the synthetic design generator: Table I statistics, structural
+// validity, determinism, and the depth/criticality shaping knobs.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "gen/design_gen.h"
+#include "liberty/repository.h"
+
+namespace doseopt::gen {
+namespace {
+
+TEST(Specs, TableOneNumbers) {
+  const DesignSpec aes65 = aes65_spec();
+  EXPECT_EQ(aes65.target_cells, 16187u);
+  EXPECT_EQ(aes65.target_nets, 16450u);
+  EXPECT_DOUBLE_EQ(aes65.chip_area_mm2, 0.058);
+  const DesignSpec jpeg90 = jpeg90_spec();
+  EXPECT_EQ(jpeg90.target_cells, 98555u);
+  EXPECT_EQ(jpeg90.target_nets, 105955u);
+  EXPECT_DOUBLE_EQ(jpeg90.chip_area_mm2, 1.09);
+  EXPECT_EQ(table1_specs().size(), 4u);
+}
+
+TEST(Specs, ScaledKeepsShape) {
+  const DesignSpec s = jpeg65_spec().scaled(0.1);
+  EXPECT_NEAR(static_cast<double>(s.target_cells), 6828.0, 10.0);
+  EXPECT_GT(s.target_nets, s.target_cells);
+  EXPECT_NEAR(s.chip_area_mm2, 0.0268, 1e-6);
+  EXPECT_THROW(jpeg65_spec().scaled(0.0), Error);
+}
+
+class GeneratedSmall : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    node_ = new tech::TechNode(tech::make_tech_65nm());
+    repo_ = new liberty::LibraryRepository(*node_);
+    design_ = new GeneratedDesign(
+        generate_design(aes65_spec().scaled(0.08), repo_->masters(), *node_));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete repo_;
+    delete node_;
+  }
+  static tech::TechNode* node_;
+  static liberty::LibraryRepository* repo_;
+  static GeneratedDesign* design_;
+};
+tech::TechNode* GeneratedSmall::node_ = nullptr;
+liberty::LibraryRepository* GeneratedSmall::repo_ = nullptr;
+GeneratedDesign* GeneratedSmall::design_ = nullptr;
+
+TEST_F(GeneratedSmall, HitsTargetCounts) {
+  const DesignSpec spec = aes65_spec().scaled(0.08);
+  EXPECT_EQ(design_->netlist->cell_count(), spec.target_cells);
+  EXPECT_EQ(design_->netlist->net_count(), spec.target_nets);
+  EXPECT_EQ(design_->netlist->primary_inputs().size(),
+            spec.target_nets - spec.target_cells);
+}
+
+TEST_F(GeneratedSmall, StructurallyValid) {
+  EXPECT_NO_THROW(design_->netlist->validate());
+  EXPECT_NO_THROW(design_->netlist->topological_order());
+}
+
+TEST_F(GeneratedSmall, HasFlops) {
+  const double frac = static_cast<double>(design_->netlist->sequential_count()) /
+                      static_cast<double>(design_->netlist->cell_count());
+  EXPECT_NEAR(frac, aes65_spec().flop_fraction, 0.02);
+}
+
+TEST_F(GeneratedSmall, PlacementLegalAndFits) {
+  EXPECT_TRUE(design_->placement->is_legal());
+  const double util = place::utilization(*design_->placement);
+  EXPECT_GT(util, 0.2);
+  EXPECT_LT(util, 0.97);
+}
+
+TEST_F(GeneratedSmall, EveryNetHasAReader) {
+  const netlist::Netlist& nl = *design_->netlist;
+  for (std::size_t n = 0; n < nl.net_count(); ++n) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(n));
+    EXPECT_TRUE(!net.sinks.empty() || net.is_primary_output) << net.name;
+  }
+}
+
+TEST_F(GeneratedSmall, HighFanoutDriversUpsized) {
+  const netlist::Netlist& nl = *design_->netlist;
+  for (std::size_t c = 0; c < nl.cell_count(); ++c) {
+    const auto id = static_cast<netlist::CellId>(c);
+    const std::size_t fanout = nl.net(nl.cell(id).output_net).sinks.size();
+    if (fanout >= 12 && nl.master_of(id).base_name == "INV")
+      EXPECT_GE(nl.master_of(id).drive, 4) << nl.cell(id).name;
+  }
+}
+
+TEST(Generator, Deterministic) {
+  const tech::TechNode node = tech::make_tech_65nm();
+  liberty::LibraryRepository repo(node);
+  const DesignSpec spec = aes65_spec().scaled(0.03);
+  const GeneratedDesign a = generate_design(spec, repo.masters(), node);
+  const GeneratedDesign b = generate_design(spec, repo.masters(), node);
+  ASSERT_EQ(a.netlist->cell_count(), b.netlist->cell_count());
+  for (std::size_t c = 0; c < a.netlist->cell_count(); ++c) {
+    const auto id = static_cast<netlist::CellId>(c);
+    EXPECT_EQ(a.netlist->cell(id).master_index,
+              b.netlist->cell(id).master_index);
+    EXPECT_EQ(a.netlist->cell(id).input_nets, b.netlist->cell(id).input_nets);
+    EXPECT_EQ(a.placement->location(id).row, b.placement->location(id).row);
+    EXPECT_EQ(a.placement->location(id).site, b.placement->location(id).site);
+  }
+}
+
+TEST(Generator, SeedChangesResult) {
+  const tech::TechNode node = tech::make_tech_65nm();
+  liberty::LibraryRepository repo(node);
+  DesignSpec spec = aes65_spec().scaled(0.03);
+  const GeneratedDesign a = generate_design(spec, repo.masters(), node);
+  spec.seed ^= 0xdeadbeef;
+  const GeneratedDesign b = generate_design(spec, repo.masters(), node);
+  bool differ = false;
+  for (std::size_t c = 0; c < a.netlist->cell_count() && !differ; ++c) {
+    const auto id = static_cast<netlist::CellId>(c);
+    if (a.netlist->cell(id).input_nets != b.netlist->cell(id).input_nets)
+      differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Generator, NodeMismatchRejected) {
+  const tech::TechNode node90 = tech::make_tech_90nm();
+  liberty::LibraryRepository repo(node90);
+  EXPECT_THROW(
+      generate_design(aes65_spec().scaled(0.03), repo.masters(), node90),
+      Error);
+}
+
+TEST(Generator, NinetyNmDesignBuilds) {
+  const tech::TechNode node = tech::make_tech_90nm();
+  liberty::LibraryRepository repo(node);
+  const GeneratedDesign d =
+      generate_design(aes90_spec().scaled(0.05), repo.masters(), node);
+  EXPECT_NO_THROW(d.netlist->validate());
+  EXPECT_TRUE(d.placement->is_legal());
+}
+
+}  // namespace
+}  // namespace doseopt::gen

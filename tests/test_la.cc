@@ -1,0 +1,189 @@
+// Unit and property tests for src/la: dense kernels, sparse matrices,
+// conjugate gradients, and the dense Cholesky / least-squares solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "la/cg.h"
+#include "la/cholesky.h"
+#include "la/dense.h"
+#include "la/sparse.h"
+
+namespace doseopt::la {
+namespace {
+
+TEST(Dense, DotAndNorm) {
+  Vec a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-7, 2}), 7.0);
+}
+
+TEST(Dense, DotSizeMismatchThrows) {
+  Vec a = {1}, b = {1, 2};
+  EXPECT_THROW(dot(a, b), Error);
+}
+
+TEST(Dense, Axpy) {
+  Vec x = {1, 2}, y = {10, 20};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(Dense, ClampElementwise) {
+  Vec lo = {0, 0}, hi = {1, 1}, x = {-5, 0.5};
+  clamp(lo, hi, x);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+}
+
+TEST(Sparse, TripletBoundsChecked) {
+  TripletMatrix t(2, 2);
+  EXPECT_THROW(t.add(2, 0, 1.0), Error);
+  EXPECT_THROW(t.add(0, 2, 1.0), Error);
+}
+
+TEST(Sparse, DuplicatesSummed) {
+  TripletMatrix t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(0, 1, 2.5);
+  CsrMatrix m(t);
+  EXPECT_EQ(m.nnz(), 1u);
+  const Vec row = m.row_dense(0);
+  EXPECT_DOUBLE_EQ(row[1], 3.5);
+}
+
+TEST(Sparse, MultiplyMatchesDense) {
+  // A = [[1, 2], [0, 3], [4, 0]]
+  TripletMatrix t(3, 2);
+  t.add(0, 0, 1);
+  t.add(0, 1, 2);
+  t.add(1, 1, 3);
+  t.add(2, 0, 4);
+  CsrMatrix m(t);
+  Vec y;
+  m.multiply({1, 1}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+  Vec yt;
+  m.multiply_transpose({1, 1, 1}, yt);
+  EXPECT_DOUBLE_EQ(yt[0], 5.0);
+  EXPECT_DOUBLE_EQ(yt[1], 5.0);
+}
+
+TEST(Sparse, GramDiagonal) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 3);
+  t.add(1, 0, 4);
+  t.add(1, 1, 2);
+  CsrMatrix m(t);
+  const Vec d = m.gram_diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 25.0);
+  EXPECT_DOUBLE_EQ(d[1], 4.0);
+}
+
+TEST(Sparse, GramProductConsistent) {
+  Rng rng(5);
+  TripletMatrix t(20, 10);
+  for (int k = 0; k < 60; ++k)
+    t.add(rng.uniform_index(20), rng.uniform_index(10),
+          rng.uniform(-1.0, 1.0));
+  CsrMatrix m(t);
+  Vec x(10);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  // y = 2 * A'(A x) two ways.
+  Vec ax, atax;
+  m.multiply(x, ax);
+  m.multiply_transpose(ax, atax);
+  scale(2.0, atax);
+  Vec y(10, 0.0), scratch(20);
+  m.add_gram_product(2.0, x, y, scratch);
+  EXPECT_LT(max_abs_diff(y, atax), 1e-12);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  // A = [[4, 1], [1, 3]], b = [1, 2] -> x = [1/11, 7/11]
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 4;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const Vec x = cholesky_solve(a, {1, 2});
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = -1;
+  EXPECT_THROW(cholesky_solve(a, {1, 1}), Error);
+}
+
+TEST(Cholesky, LeastSquaresExactFit) {
+  // y = 2x + 1 sampled exactly.
+  DenseMatrix a(4, 2);
+  Vec b(4);
+  for (int i = 0; i < 4; ++i) {
+    a.at(i, 0) = 1.0;
+    a.at(i, 1) = i;
+    b[static_cast<std::size_t>(i)] = 1.0 + 2.0 * i;
+  }
+  const Vec c = least_squares(a, b);
+  EXPECT_NEAR(c[0], 1.0, 1e-9);
+  EXPECT_NEAR(c[1], 2.0, 1e-9);
+}
+
+class CgRandomSpd : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgRandomSpd, SolvesToTolerance) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 977 + 3);
+  // SPD via A = B'B + I on a random sparse B.
+  TripletMatrix t(static_cast<std::size_t>(2 * n), static_cast<std::size_t>(n));
+  for (int k = 0; k < 6 * n; ++k)
+    t.add(rng.uniform_index(static_cast<std::size_t>(2 * n)),
+          rng.uniform_index(static_cast<std::size_t>(n)),
+          rng.uniform(-1.0, 1.0));
+  CsrMatrix b_mat(t);
+  Vec scratch(static_cast<std::size_t>(2 * n));
+  auto op = [&](const Vec& v, Vec& out) {
+    out = v;  // identity part
+    b_mat.add_gram_product(1.0, v, out, scratch);
+  };
+  Vec diag = b_mat.gram_diagonal();
+  for (auto& d : diag) d += 1.0;
+
+  Vec rhs(static_cast<std::size_t>(n));
+  for (auto& v : rhs) v = rng.uniform(-1, 1);
+  Vec x(static_cast<std::size_t>(n), 0.0);
+  CgOptions opts;
+  opts.tolerance = 1e-10;
+  opts.max_iterations = 10 * n;
+  const CgResult r = conjugate_gradient(op, rhs, diag, x, opts);
+  EXPECT_TRUE(r.converged);
+
+  Vec ax(static_cast<std::size_t>(n));
+  op(x, ax);
+  axpy(-1.0, rhs, ax);
+  EXPECT_LT(norm2(ax), 1e-8 * std::max(1.0, norm2(rhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgRandomSpd,
+                         ::testing::Values(2, 5, 10, 25, 50, 100));
+
+TEST(Cg, ImmediateConvergenceOnExactGuess) {
+  auto op = [](const Vec& v, Vec& out) { out = v; };
+  Vec b = {1, 2, 3};
+  Vec x = b;  // exact
+  const CgResult r = conjugate_gradient(op, b, {1, 1, 1}, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace doseopt::la

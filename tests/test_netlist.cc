@@ -1,0 +1,172 @@
+// Tests for the netlist data model: construction invariants, validation,
+// topological ordering, and master swapping.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "netlist/netlist.h"
+#include "netlist/verilog_io.h"
+#include "test_helpers.h"
+
+namespace doseopt::netlist {
+namespace {
+
+using testing_support::make_chain_design;
+
+std::size_t master_idx(const std::vector<liberty::CellMaster>& masters,
+                       const char* name) {
+  for (std::size_t i = 0; i < masters.size(); ++i)
+    if (masters[i].name == name) return i;
+  throw Error("missing master");
+}
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  NetlistTest()
+      : masters_(liberty::make_standard_masters(tech::make_tech_65nm())),
+        nl_("t", "65nm", &masters_) {}
+  std::vector<liberty::CellMaster> masters_;
+  Netlist nl_;
+};
+
+TEST_F(NetlistTest, AddCellWiresDriver) {
+  const NetId n = nl_.add_net("n");
+  const CellId c = nl_.add_cell("u0", master_idx(masters_, "INVX1"), n);
+  EXPECT_EQ(nl_.net(n).driver, c);
+  EXPECT_EQ(nl_.cell(c).output_net, n);
+  EXPECT_EQ(nl_.cell(c).input_nets.size(), 1u);
+}
+
+TEST_F(NetlistTest, DoubleDriveRejected) {
+  const NetId n = nl_.add_net("n");
+  nl_.add_cell("u0", master_idx(masters_, "INVX1"), n);
+  EXPECT_THROW(nl_.add_cell("u1", master_idx(masters_, "INVX1"), n), Error);
+}
+
+TEST_F(NetlistTest, PrimaryInputCannotHaveDriver) {
+  const NetId n = nl_.add_net("n");
+  nl_.add_cell("u0", master_idx(masters_, "INVX1"), n);
+  EXPECT_THROW(nl_.mark_primary_input(n), Error);
+}
+
+TEST_F(NetlistTest, ConnectInputTracksSinks) {
+  const NetId a = nl_.add_net("a");
+  nl_.mark_primary_input(a);
+  const NetId y = nl_.add_net("y");
+  const CellId c = nl_.add_cell("u0", master_idx(masters_, "NAND2X1"), y);
+  nl_.connect_input(c, 0, a);
+  nl_.connect_input(c, 1, a);
+  EXPECT_EQ(nl_.net(a).sinks.size(), 2u);
+  EXPECT_THROW(nl_.connect_input(c, 0, a), Error);  // pin already wired
+  EXPECT_THROW(nl_.connect_input(c, 2, a), Error);  // no such pin
+}
+
+TEST_F(NetlistTest, ValidateCatchesFloatingInput) {
+  const NetId y = nl_.add_net("y");
+  nl_.add_cell("u0", master_idx(masters_, "NAND2X1"), y);
+  nl_.mark_primary_output(y);
+  EXPECT_THROW(nl_.validate(), Error);
+}
+
+TEST_F(NetlistTest, ValidateCatchesUndrivenNet) {
+  nl_.add_net("floating");
+  EXPECT_THROW(nl_.validate(), Error);
+}
+
+TEST_F(NetlistTest, SetMasterRequiresCompatibility) {
+  const NetId a = nl_.add_net("a");
+  nl_.mark_primary_input(a);
+  const NetId y = nl_.add_net("y");
+  const CellId c = nl_.add_cell("u0", master_idx(masters_, "INVX1"), y);
+  nl_.connect_input(c, 0, a);
+  nl_.set_master(c, master_idx(masters_, "INVX4"));
+  EXPECT_EQ(nl_.master_of(c).name, "INVX4");
+  EXPECT_THROW(nl_.set_master(c, master_idx(masters_, "NAND2X1")), Error);
+  EXPECT_THROW(nl_.set_master(c, master_idx(masters_, "DFFX1")), Error);
+}
+
+TEST_F(NetlistTest, TopologicalOrderRespectsEdges) {
+  const NetId a = nl_.add_net("a");
+  nl_.mark_primary_input(a);
+  const NetId y0 = nl_.add_net("y0");
+  const CellId c0 = nl_.add_cell("u0", master_idx(masters_, "INVX1"), y0);
+  nl_.connect_input(c0, 0, a);
+  const NetId y1 = nl_.add_net("y1");
+  const CellId c1 = nl_.add_cell("u1", master_idx(masters_, "INVX1"), y1);
+  nl_.connect_input(c1, 0, y0);
+  nl_.mark_primary_output(y1);
+
+  const auto order = nl_.topological_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], c0);
+  EXPECT_EQ(order[1], c1);
+}
+
+TEST_F(NetlistTest, CombinationalCycleDetected) {
+  const NetId y0 = nl_.add_net("y0");
+  const NetId y1 = nl_.add_net("y1");
+  const CellId c0 = nl_.add_cell("u0", master_idx(masters_, "INVX1"), y0);
+  const CellId c1 = nl_.add_cell("u1", master_idx(masters_, "INVX1"), y1);
+  nl_.connect_input(c0, 0, y1);
+  nl_.connect_input(c1, 0, y0);
+  EXPECT_THROW(nl_.topological_order(), Error);
+}
+
+TEST_F(NetlistTest, SequentialLoopIsFine) {
+  // ff -> inv -> ff's D: legal because the flop breaks the cycle.
+  const NetId q = nl_.add_net("q");
+  const CellId ff = nl_.add_cell("ff", master_idx(masters_, "DFFX1"), q);
+  const NetId y = nl_.add_net("y");
+  const CellId inv = nl_.add_cell("u0", master_idx(masters_, "INVX1"), y);
+  nl_.connect_input(inv, 0, q);
+  nl_.connect_input(ff, 0, y);
+  EXPECT_NO_THROW(nl_.topological_order());
+  EXPECT_EQ(nl_.sequential_count(), 1u);
+}
+
+TEST(VerilogIo, RoundTripPreservesStructure) {
+  const auto d = testing_support::make_chain_design(5);
+  const std::string text = to_verilog_string(*d.netlist);
+  EXPECT_NE(text.find("module tiny"), std::string::npos);
+  EXPECT_NE(text.find("INVX1"), std::string::npos);
+
+  const Netlist parsed = parse_verilog_string(
+      &d.netlist->masters(), d.netlist->tech_name(), text);
+  ASSERT_EQ(parsed.cell_count(), d.netlist->cell_count());
+  ASSERT_EQ(parsed.net_count(), d.netlist->net_count());
+  EXPECT_EQ(parsed.primary_inputs().size(),
+            d.netlist->primary_inputs().size());
+  EXPECT_EQ(parsed.primary_outputs().size(),
+            d.netlist->primary_outputs().size());
+  // Cell-by-cell: same master and same named connectivity.
+  for (std::size_t c = 0; c < parsed.cell_count(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    EXPECT_EQ(parsed.master_of(id).name, d.netlist->master_of(id).name);
+    EXPECT_EQ(parsed.net(parsed.cell(id).output_net).name,
+              d.netlist->net(d.netlist->cell(id).output_net).name);
+    for (std::size_t p = 0; p < parsed.cell(id).input_nets.size(); ++p)
+      EXPECT_EQ(parsed.net(parsed.cell(id).input_nets[p]).name,
+                d.netlist->net(d.netlist->cell(id).input_nets[p]).name);
+  }
+}
+
+TEST(VerilogIo, ParserRejectsUnknownMaster) {
+  const auto d = testing_support::make_chain_design(2);
+  const std::string text =
+      "module t (a, y);\n  input a;\n  output y;\n"
+      "  MAGICX1 u0 (.Y(y), .A(a));\nendmodule\n";
+  EXPECT_THROW(parse_verilog_string(&d.netlist->masters(), "65nm", text),
+               Error);
+}
+
+TEST(NetlistChain, HelperDesignValid) {
+  const auto d = testing_support::make_chain_design(4);
+  EXPECT_EQ(d.netlist->cell_count(), 7u);  // 2 flops + 4 invs + 1 nand
+  EXPECT_EQ(d.netlist->primary_inputs().size(), 1u);
+  EXPECT_EQ(d.netlist->primary_outputs().size(), 2u);
+  EXPECT_EQ(d.netlist->sequential_count(), 2u);
+  const auto order = d.netlist->topological_order();
+  EXPECT_EQ(order.size(), d.netlist->cell_count());
+}
+
+}  // namespace
+}  // namespace doseopt::netlist

@@ -1,0 +1,166 @@
+// Tests for placement: die geometry, legality, the legalizer, HPWL, hints,
+// and the dosePl geometric helpers (bounding boxes, distances).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "place/bbox.h"
+#include "place/placer.h"
+#include "test_helpers.h"
+
+namespace doseopt::place {
+namespace {
+
+using testing_support::make_chain_design;
+
+TEST(Die, GeometryDerived) {
+  Die die{20.0, 18.0, 1.8, 0.2};
+  EXPECT_EQ(die.row_count(), 10);
+  EXPECT_EQ(die.sites_per_row(), 100);
+}
+
+TEST(MasterWidth, GrowsWithComplexity) {
+  const auto masters =
+      liberty::make_standard_masters(tech::make_tech_65nm());
+  const auto& inv = liberty::master_by_name(masters, "INVX1");
+  const auto& nand4 = liberty::master_by_name(masters, "NAND4X1");
+  const auto& dff = liberty::master_by_name(masters, "DFFX1");
+  EXPECT_LT(master_width_sites(inv), master_width_sites(nand4));
+  EXPECT_LT(master_width_sites(nand4), master_width_sites(dff));
+}
+
+TEST(Placement, InitialIsLegal) {
+  const auto d = make_chain_design(6);
+  EXPECT_TRUE(d.placement->is_legal());
+}
+
+TEST(Placement, SetLocationBoundsChecked) {
+  auto d = make_chain_design(2);
+  EXPECT_THROW(d.placement->set_location(0, CellLocation{-1, 0}),
+               doseopt::Error);
+  EXPECT_THROW(
+      d.placement->set_location(0, CellLocation{0, 100000}),
+      doseopt::Error);
+}
+
+TEST(Placement, SwapAndLegalize) {
+  auto d = make_chain_design(6);
+  const netlist::CellId a = 1, b = 4;
+  const auto loc_a = d.placement->location(a);
+  const auto loc_b = d.placement->location(b);
+  d.placement->swap_cells(a, b);
+  EXPECT_EQ(d.placement->location(a).site, loc_b.site);
+  EXPECT_EQ(d.placement->location(b).site, loc_a.site);
+  legalize(*d.placement);
+  EXPECT_TRUE(d.placement->is_legal());
+}
+
+TEST(Placement, HpwlZeroForSinglePin) {
+  auto d = make_chain_design(2);
+  // The ff1 output net feeds only the PO marker -> one placed pin.
+  double hpwl_total = d.placement->total_hpwl_um();
+  EXPECT_GT(hpwl_total, 0.0);
+}
+
+TEST(Placement, HpwlReflectsDistance) {
+  auto d = make_chain_design(3);
+  const double before = d.placement->total_hpwl_um();
+  // Move the chain head to the opposite corner: HPWL must grow.
+  d.placement->set_location(
+      0, CellLocation{d.die.row_count() - 1,
+                      d.die.sites_per_row() - d.placement->width_sites(0)});
+  legalize(*d.placement);
+  EXPECT_GT(d.placement->total_hpwl_um(), before);
+}
+
+TEST(Legalizer, ResolvesPileUp) {
+  auto d = make_chain_design(8);
+  // Dump every cell onto the same spot.
+  for (std::size_t c = 0; c < d.netlist->cell_count(); ++c)
+    d.placement->set_location(static_cast<netlist::CellId>(c),
+                              CellLocation{0, 0});
+  legalize(*d.placement);
+  EXPECT_TRUE(d.placement->is_legal());
+}
+
+TEST(Legalizer, PreservesAlreadyLegal) {
+  auto d = make_chain_design(5);
+  std::vector<CellLocation> before;
+  for (std::size_t c = 0; c < d.netlist->cell_count(); ++c)
+    before.push_back(d.placement->location(static_cast<netlist::CellId>(c)));
+  legalize(*d.placement);
+  for (std::size_t c = 0; c < d.netlist->cell_count(); ++c) {
+    EXPECT_EQ(d.placement->location(static_cast<netlist::CellId>(c)).row,
+              before[c].row);
+    EXPECT_EQ(d.placement->location(static_cast<netlist::CellId>(c)).site,
+              before[c].site);
+  }
+}
+
+TEST(Hints, PlacementFollowsHints) {
+  const auto d = make_chain_design(4);
+  std::vector<PlacementHint> hints(d.netlist->cell_count());
+  for (std::size_t c = 0; c < hints.size(); ++c)
+    hints[c] = {static_cast<double>(c) / hints.size(), 0.5};
+  const Placement p = placement_from_hints(*d.netlist, d.die, hints);
+  EXPECT_TRUE(p.is_legal());
+  // Cells should be roughly ordered by x as hinted.
+  for (std::size_t c = 1; c < hints.size(); ++c)
+    EXPECT_GE(p.x_um(static_cast<netlist::CellId>(c)) + 3.0,
+              p.x_um(static_cast<netlist::CellId>(c - 1)));
+}
+
+TEST(Hints, CountMismatchRejected) {
+  const auto d = make_chain_design(2);
+  std::vector<PlacementHint> hints(1);
+  EXPECT_THROW(placement_from_hints(*d.netlist, d.die, hints),
+               doseopt::Error);
+}
+
+TEST(Bbox, ContainsSelfAndNeighbors) {
+  const auto d = make_chain_design(4);
+  // g1 (cell index 2): fanin g0 (1), fanout g2 (3).
+  const netlist::CellId mid = 2;
+  const Rect r = cell_bounding_box(*d.placement, mid);
+  EXPECT_TRUE(r.contains(d.placement->x_um(mid), d.placement->y_um(mid)));
+  EXPECT_TRUE(r.contains(d.placement->x_um(1), d.placement->y_um(1)));
+  EXPECT_TRUE(r.contains(d.placement->x_um(3), d.placement->y_um(3)));
+}
+
+TEST(Bbox, RectPredicates) {
+  const Rect a{0, 0, 2, 2}, b{1, 1, 3, 3}, c{5, 5, 6, 6};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.contains(1, 1));
+  EXPECT_FALSE(a.contains(3, 1));
+  EXPECT_DOUBLE_EQ(a.width(), 2.0);
+}
+
+TEST(Bbox, DistanceIsManhattan) {
+  auto d = make_chain_design(3);
+  d.placement->set_location(0, CellLocation{0, 0});
+  d.placement->set_location(1, CellLocation{2, 30});
+  const double dist = cell_distance_um(*d.placement, 0, 1);
+  const double dx =
+      std::abs(d.placement->x_um(0) - d.placement->x_um(1));
+  const double dy =
+      std::abs(d.placement->y_um(0) - d.placement->y_um(1));
+  EXPECT_DOUBLE_EQ(dist, dx + dy);
+}
+
+TEST(Bbox, IncidentHpwlCoversAllPins) {
+  const auto d = make_chain_design(3);
+  const double h = incident_hpwl_um(*d.placement, 2);
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, d.placement->total_hpwl_um() + 1e-9);
+}
+
+TEST(MakeDie, RejectsOverfull) {
+  const auto d = make_chain_design(3);
+  EXPECT_THROW(make_die(tech::make_tech_65nm(), *d.netlist, 4.0),
+               doseopt::Error);
+  const Die die = make_die(tech::make_tech_65nm(), *d.netlist, 400.0);
+  EXPECT_GT(die.width_um, 0.0);
+}
+
+}  // namespace
+}  // namespace doseopt::place

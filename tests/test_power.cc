@@ -1,0 +1,72 @@
+// Tests for leakage analysis: totals, per-cell values, dose monotonicity,
+// and fitted-model vs golden consistency.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "power/leakage.h"
+#include "test_helpers.h"
+
+namespace doseopt::power {
+namespace {
+
+using testing_support::make_chain_design;
+
+TEST(Leakage, TotalIsSumOfCells) {
+  auto d = make_chain_design(4);
+  sta::VariantAssignment va(d.netlist->cell_count());
+  double sum_nw = 0.0;
+  for (std::size_t c = 0; c < d.netlist->cell_count(); ++c)
+    sum_nw += cell_leakage_nw(*d.netlist, *d.repo, va,
+                              static_cast<netlist::CellId>(c));
+  EXPECT_NEAR(total_leakage_uw(*d.netlist, *d.repo, va), sum_nw * 1e-3,
+              1e-12);
+}
+
+TEST(Leakage, MonotoneInPolyDose) {
+  auto d = make_chain_design(4);
+  sta::VariantAssignment lo(d.netlist->cell_count());
+  sta::VariantAssignment hi(d.netlist->cell_count());
+  for (std::size_t c = 0; c < d.netlist->cell_count(); ++c) {
+    lo.set(static_cast<netlist::CellId>(c), 0, 10);
+    hi.set(static_cast<netlist::CellId>(c), 20, 10);
+  }
+  const double nominal = total_leakage_uw(
+      *d.netlist, *d.repo, sta::VariantAssignment(d.netlist->cell_count()));
+  EXPECT_LT(total_leakage_uw(*d.netlist, *d.repo, lo), nominal);
+  EXPECT_GT(total_leakage_uw(*d.netlist, *d.repo, hi), nominal);
+}
+
+TEST(Leakage, ModelDeltaTracksGoldenAtModerateDose) {
+  auto d = make_chain_design(6);
+  const liberty::CoefficientSet coeffs(*d.repo, /*fit_width=*/false);
+  // Uniform +2% dose -> dL = -4 nm on every cell.
+  sta::VariantAssignment va(d.netlist->cell_count());
+  const int vi = liberty::dose_to_variant_index(2.0);
+  for (std::size_t c = 0; c < d.netlist->cell_count(); ++c)
+    va.set(static_cast<netlist::CellId>(c), vi, 10);
+  const double golden_delta =
+      total_leakage_uw(*d.netlist, *d.repo, va) -
+      total_leakage_uw(*d.netlist, *d.repo,
+                       sta::VariantAssignment(d.netlist->cell_count()));
+
+  std::vector<double> dl(d.netlist->cell_count(),
+                         liberty::dose_to_delta_cd_nm(2.0));
+  std::vector<double> dw(d.netlist->cell_count(), 0.0);
+  const double model_delta =
+      model_delta_leakage_uw(*d.netlist, coeffs, dl, dw);
+  // The quadratic leakage fit spans the whole +/-10 nm window, so its local
+  // accuracy at small deltas is coarser; 25% agreement is the right scale.
+  EXPECT_NEAR(model_delta, golden_delta,
+              0.25 * std::abs(golden_delta) + 1e-3);
+  EXPECT_GT(model_delta, 0.0);
+}
+
+TEST(Leakage, SizeMismatchRejected) {
+  auto d = make_chain_design(2);
+  sta::VariantAssignment wrong(d.netlist->cell_count() + 1);
+  EXPECT_THROW(total_leakage_uw(*d.netlist, *d.repo, wrong), Error);
+}
+
+}  // namespace
+}  // namespace doseopt::power

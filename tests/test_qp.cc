@@ -1,0 +1,209 @@
+// Tests for the ADMM QP solver: analytic problems, KKT verification on
+// randomized instances, warm starting, scaling robustness, and infeasibility
+// detection.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "qp/kkt_check.h"
+#include "qp/qp_solver.h"
+
+namespace doseopt::qp {
+namespace {
+
+QpProblem box_qp(const la::Vec& p, const la::Vec& q, const la::Vec& lo,
+                 const la::Vec& hi) {
+  const std::size_t n = q.size();
+  la::TripletMatrix t(n, n);
+  for (std::size_t i = 0; i < n; ++i) t.add(i, i, 1.0);
+  QpProblem prob;
+  prob.p_diag = p;
+  prob.q = q;
+  prob.a = la::CsrMatrix(t);
+  prob.lower = lo;
+  prob.upper = hi;
+  return prob;
+}
+
+TEST(QpSolver, UnconstrainedMinimumInsideBox) {
+  // min 1/2 x^2 - x  over [-10, 10]  ->  x = 1.
+  const QpProblem prob = box_qp({1.0}, {-1.0}, {-10.0}, {10.0});
+  const QpSolution sol = QpSolver().solve(prob);
+  EXPECT_EQ(sol.status, QpStatus::kSolved);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-4);
+}
+
+TEST(QpSolver, ClampsToActiveBound) {
+  // min 1/2 x^2 - 10x over [0, 2] -> x = 2 with positive multiplier.
+  const QpProblem prob = box_qp({1.0}, {-10.0}, {0.0}, {2.0});
+  const QpSolution sol = QpSolver().solve(prob);
+  EXPECT_EQ(sol.status, QpStatus::kSolved);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-4);
+  EXPECT_GT(sol.y[0], 1.0);  // dual of the active upper bound
+}
+
+TEST(QpSolver, LinearProgramCorner) {
+  // Pure LP: min -x - 2y s.t. 0 <= x <= 1, 0 <= y <= 1, x + y <= 1.5.
+  la::TripletMatrix t(3, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  t.add(2, 0, 1.0);
+  t.add(2, 1, 1.0);
+  QpProblem prob;
+  prob.p_diag = {0.0, 0.0};
+  prob.q = {-1.0, -2.0};
+  prob.a = la::CsrMatrix(t);
+  prob.lower = {0.0, 0.0, -kInfinity};
+  prob.upper = {1.0, 1.0, 1.5};
+  const QpSolution sol = QpSolver().solve(prob);
+  EXPECT_EQ(sol.status, QpStatus::kSolved);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-3);   // y at its bound (heavier reward)
+  EXPECT_NEAR(sol.x[0], 0.5, 1e-3);   // x fills the coupling constraint
+}
+
+TEST(QpSolver, EqualityConstraint) {
+  // min 1/2(x^2 + y^2) s.t. x + y = 2 -> x = y = 1.
+  la::TripletMatrix t(1, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 1.0);
+  QpProblem prob;
+  prob.p_diag = {1.0, 1.0};
+  prob.q = {0.0, 0.0};
+  prob.a = la::CsrMatrix(t);
+  prob.lower = {2.0};
+  prob.upper = {2.0};
+  const QpSolution sol = QpSolver().solve(prob);
+  EXPECT_EQ(sol.status, QpStatus::kSolved);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-4);
+}
+
+TEST(QpSolver, DetectsPrimalInfeasibility) {
+  // x <= -1 and x >= 1 simultaneously.
+  la::TripletMatrix t(2, 1);
+  t.add(0, 0, 1.0);
+  t.add(1, 0, 1.0);
+  QpProblem prob;
+  prob.p_diag = {1.0};
+  prob.q = {0.0};
+  prob.a = la::CsrMatrix(t);
+  prob.lower = {-kInfinity, 1.0};
+  prob.upper = {-1.0, kInfinity};
+  const QpSolution sol = QpSolver().solve(prob);
+  EXPECT_EQ(sol.status, QpStatus::kPrimalInfeasible);
+}
+
+TEST(QpSolver, BadlyScaledProblemStillSolves) {
+  // Mimics the dose-map scaling: tiny constraint coefficients (ns/% level)
+  // against large objective coefficients (nW level).
+  la::TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 0, 2e-3);
+  t.add(1, 1, 1.0);
+  QpProblem prob;
+  prob.p_diag = {200.0, 0.0};
+  prob.q = {-500.0, 0.0};
+  prob.a = la::CsrMatrix(t);
+  prob.lower = {-5.0, -kInfinity};
+  prob.upper = {5.0, 1.0};
+  const QpSolution sol = QpSolver().solve(prob);
+  EXPECT_EQ(sol.status, QpStatus::kSolved);
+  const KktReport kkt = check_kkt(prob, sol.x, sol.y);
+  EXPECT_LT(kkt.primal_violation, 1e-4);
+  EXPECT_LT(kkt.stationarity, 1e-1);  // scaled by the 500-level gradient
+}
+
+TEST(QpSolver, WarmStartConvergesFaster) {
+  Rng rng(9);
+  la::TripletMatrix t(30, 10);
+  for (int k = 0; k < 90; ++k)
+    t.add(rng.uniform_index(30), rng.uniform_index(10), rng.uniform(-1, 1));
+  QpProblem prob;
+  prob.p_diag.assign(10, 1.0);
+  prob.q.assign(10, 0.0);
+  for (auto& v : prob.q) v = rng.uniform(-1, 1);
+  prob.a = la::CsrMatrix(t);
+  prob.lower.assign(30, -1.0);
+  prob.upper.assign(30, 1.0);
+
+  QpSolver solver;
+  const QpSolution cold = solver.solve(prob);
+  ASSERT_EQ(cold.status, QpStatus::kSolved);
+  const QpSolution warm = solver.solve(prob, cold.x, cold.y);
+  EXPECT_EQ(warm.status, QpStatus::kSolved);
+  EXPECT_LE(warm.iterations, cold.iterations);
+  EXPECT_LT(la::max_abs_diff(warm.x, cold.x), 1e-3);
+}
+
+TEST(QpSolver, ValidatesProblem) {
+  QpProblem prob = box_qp({1.0}, {0.0}, {0.0}, {1.0});
+  prob.p_diag = {-1.0};
+  EXPECT_THROW(QpSolver().solve(prob), doseopt::Error);
+  prob.p_diag = {1.0};
+  prob.lower = {2.0};  // crossed bounds
+  EXPECT_THROW(QpSolver().solve(prob), doseopt::Error);
+}
+
+TEST(KktCheck, PassesOnAnalyticOptimum) {
+  const QpProblem prob = box_qp({1.0}, {-10.0}, {0.0}, {2.0});
+  // x* = 2, stationarity: x + q + y = 0 -> y = 8 at the upper bound.
+  const KktReport report = check_kkt(prob, {2.0}, {8.0});
+  EXPECT_TRUE(report.passes(1e-9));
+}
+
+TEST(KktCheck, FlagsWrongDualSign) {
+  const QpProblem prob = box_qp({1.0}, {-10.0}, {0.0}, {2.0});
+  // Negative multiplier claims the lower bound is active; it is not.
+  const KktReport report = check_kkt(prob, {2.0}, {-8.0});
+  EXPECT_GT(report.complementarity, 1.0);
+}
+
+// Property sweep: random strictly convex box-constrained QPs with coupling
+// rows must satisfy KKT at the solver tolerance.
+class RandomQp : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomQp, KktHolds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::size_t n = 5 + rng.uniform_index(20);
+  const std::size_t extra = 5 + rng.uniform_index(15);
+  la::TripletMatrix t(n + extra, n);
+  for (std::size_t i = 0; i < n; ++i) t.add(i, i, 1.0);
+  for (std::size_t r = 0; r < extra; ++r)
+    for (int k = 0; k < 3; ++k)
+      t.add(n + r, rng.uniform_index(n), rng.uniform(-1, 1));
+  QpProblem prob;
+  prob.p_diag.assign(n, 0.0);
+  for (auto& v : prob.p_diag) v = rng.uniform(0.1, 2.0);
+  prob.q.assign(n, 0.0);
+  for (auto& v : prob.q) v = rng.uniform(-2, 2);
+  prob.a = la::CsrMatrix(t);
+  prob.lower.assign(n + extra, 0.0);
+  prob.upper.assign(n + extra, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prob.lower[i] = -2.0;
+    prob.upper[i] = 2.0;
+  }
+  for (std::size_t r = n; r < n + extra; ++r) {
+    prob.lower[r] = -5.0;
+    prob.upper[r] = 5.0;
+  }
+
+  QpSettings settings;
+  settings.eps_abs = 1e-7;
+  settings.eps_rel = 1e-7;
+  settings.max_iterations = 20000;
+  const QpSolution sol = QpSolver(settings).solve(prob);
+  ASSERT_EQ(sol.status, QpStatus::kSolved);
+  const KktReport kkt = check_kkt(prob, sol.x, sol.y);
+  EXPECT_LT(kkt.primal_violation, 1e-5);
+  EXPECT_LT(kkt.stationarity, 1e-4);
+  EXPECT_LT(kkt.complementarity, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQp, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace doseopt::qp

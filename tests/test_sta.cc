@@ -1,0 +1,263 @@
+// Tests for the STA engine: hand-checked arrivals on a chain, required
+// times/slack consistency, dose-variant monotonicity, exact top-K path
+// enumeration against brute force on random DAGs, and Table VII statistics.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <algorithm>
+
+#include "gen/design_gen.h"
+#include "sta/timer.h"
+#include "test_helpers.h"
+
+namespace doseopt::sta {
+namespace {
+
+using testing_support::make_chain_design;
+using testing_support::TinyDesign;
+
+TEST(VariantAssignment, DefaultsNominal) {
+  VariantAssignment va(3);
+  EXPECT_EQ(va.get(0), std::make_pair(10, 10));
+  va.set(1, 0, 20);
+  EXPECT_EQ(va.get(1), std::make_pair(0, 20));
+  EXPECT_THROW(va.set(1, 21, 10), Error);
+  EXPECT_THROW(va.set(5, 10, 10), Error);
+}
+
+class ChainSta : public ::testing::Test {
+ protected:
+  ChainSta() : d_(make_chain_design(4)) {
+    timer_ = std::make_unique<Timer>(d_.netlist.get(), &d_.parasitics,
+                                     d_.repo.get());
+  }
+  TinyDesign d_;
+  std::unique_ptr<Timer> timer_;
+};
+
+TEST_F(ChainSta, ArrivalsIncreaseAlongChain) {
+  VariantAssignment va(d_.netlist->cell_count());
+  const TimingResult r = timer_->analyze(va);
+  // Chain cells are ids 1..4 (after ff0 at id 0).
+  for (netlist::CellId c = 1; c <= 4; ++c)
+    EXPECT_GT(r.cells[c].arrival_ns, r.cells[c - 1].arrival_ns);
+}
+
+TEST_F(ChainSta, ArrivalMatchesManualSum) {
+  VariantAssignment va(d_.netlist->cell_count());
+  const TimingResult r = timer_->analyze(va);
+  // Arrival at chain cell c = arrival at its driver + wire + its own delay.
+  const netlist::CellId c = 2;
+  const netlist::NetId in = d_.netlist->cell(c).input_nets[0];
+  const auto& lib_cell =
+      d_.repo->nominal().cell(d_.netlist->cell(c).master_index);
+  const double expected = r.cells[1].arrival_ns +
+                          d_.parasitics.wire_delay_ns(in, lib_cell.input_cap_ff) +
+                          r.cells[c].gate_delay_ns;
+  EXPECT_NEAR(r.cells[c].arrival_ns, expected, 1e-12);
+}
+
+TEST_F(ChainSta, WorstSlackZeroAtMct) {
+  VariantAssignment va(d_.netlist->cell_count());
+  const TimingResult r = timer_->analyze(va);
+  EXPECT_NEAR(r.worst_slack_ns, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.clock_ns, r.mct_ns);
+}
+
+TEST_F(ChainSta, SlackEqualsRequiredMinusArrival) {
+  VariantAssignment va(d_.netlist->cell_count());
+  const TimingResult r = timer_->analyze(va);
+  for (const CellTiming& ct : r.cells)
+    EXPECT_NEAR(ct.slack_ns, ct.required_ns - ct.arrival_ns, 1e-12);
+}
+
+TEST_F(ChainSta, ExplicitClockShiftsSlack) {
+  TimingOptions opts;
+  opts.clock_ns = 10.0;
+  Timer slow_timer(d_.netlist.get(), &d_.parasitics, d_.repo.get(), opts);
+  VariantAssignment va(d_.netlist->cell_count());
+  const TimingResult r = slow_timer.analyze(va);
+  EXPECT_NEAR(r.worst_slack_ns, 10.0 - r.mct_ns, 1e-9);
+}
+
+TEST_F(ChainSta, HigherPolyDoseLowersMct) {
+  VariantAssignment nominal(d_.netlist->cell_count());
+  VariantAssignment fast(d_.netlist->cell_count());
+  VariantAssignment slow(d_.netlist->cell_count());
+  for (std::size_t c = 0; c < d_.netlist->cell_count(); ++c) {
+    fast.set(static_cast<netlist::CellId>(c), 20, 10);
+    slow.set(static_cast<netlist::CellId>(c), 0, 10);
+  }
+  const double m_nom = timer_->analyze(nominal).mct_ns;
+  EXPECT_LT(timer_->analyze(fast).mct_ns, m_nom);
+  EXPECT_GT(timer_->analyze(slow).mct_ns, m_nom);
+}
+
+TEST_F(ChainSta, HoldSlackComputed) {
+  VariantAssignment va(d_.netlist->cell_count());
+  const TimingResult r = timer_->analyze(va);
+  // The shortest launch-to-capture path must exceed the flop hold time, and
+  // min arrivals can never exceed max arrivals.
+  EXPECT_GT(r.worst_hold_slack_ns, 0.0);
+  for (const CellTiming& ct : r.cells)
+    EXPECT_LE(ct.min_arrival_ns, ct.arrival_ns + 1e-12);
+}
+
+TEST_F(ChainSta, MinArrivalEqualsMaxOnAPureChain) {
+  // A single chain has one path, so min == max arrival at every chain cell.
+  VariantAssignment va(d_.netlist->cell_count());
+  const TimingResult r = timer_->analyze(va);
+  for (netlist::CellId c = 1; c <= 4; ++c)
+    EXPECT_NEAR(r.cells[c].min_arrival_ns, r.cells[c].arrival_ns, 1e-12);
+}
+
+TEST_F(ChainSta, SlowerGatesShrinkHoldSlackHeadroom) {
+  // Hold slack grows when the data path gets slower (min path longer).
+  VariantAssignment slow(d_.netlist->cell_count());
+  for (std::size_t c = 0; c < d_.netlist->cell_count(); ++c)
+    slow.set(static_cast<netlist::CellId>(c), 0, 10);
+  VariantAssignment nominal(d_.netlist->cell_count());
+  EXPECT_GT(timer_->analyze(slow).worst_hold_slack_ns,
+            timer_->analyze(nominal).worst_hold_slack_ns);
+}
+
+TEST_F(ChainSta, TopPathFollowsChain) {
+  VariantAssignment va(d_.netlist->cell_count());
+  const auto paths = timer_->top_paths(va, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  const TimingPath& p = paths[0];
+  EXPECT_NEAR(p.delay_ns, timer_->analyze(va).mct_ns, 1e-12);
+  // Launch-to-capture order: starts at the flop.
+  EXPECT_TRUE(d_.netlist->cell(p.cells.front()).sequential);
+  EXPECT_NEAR(p.slack_ns, 0.0, 1e-9);
+}
+
+TEST_F(ChainSta, TopPathsNonIncreasingDelay) {
+  VariantAssignment va(d_.netlist->cell_count());
+  const auto paths = timer_->top_paths(va, 50);
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_LE(paths[i].delay_ns, paths[i - 1].delay_ns + 1e-12);
+}
+
+// --- exact top-K verification against brute-force enumeration ---
+
+struct BruteEntry {
+  double delay;
+  std::vector<netlist::CellId> cells;
+};
+
+/// Enumerate ALL launch-to-capture paths of a small design by DFS and
+/// compute each path's delay exactly as the timer defines it.
+std::vector<BruteEntry> brute_force_paths(const netlist::Netlist& nl,
+                                          const extract::Parasitics& para,
+                                          liberty::LibraryRepository& repo,
+                                          const Timer& timer,
+                                          const TimingResult& timing) {
+  std::vector<BruteEntry> out;
+  // Recursive expansion backwards from each endpoint edge.
+  struct Frame {
+    netlist::CellId cell;
+    double suffix;
+    std::vector<netlist::CellId> chain;
+  };
+  auto pin_cap = [&](netlist::CellId c) {
+    return repo.nominal().cell(nl.cell(c).master_index).input_cap_ff;
+  };
+  std::vector<Frame> stack;
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const auto c = static_cast<netlist::CellId>(ci);
+    if (!nl.cell(c).sequential) continue;
+    const double setup = nl.master_of(c).setup_ns;
+    for (netlist::NetId n : nl.cell(c).input_nets) {
+      const netlist::CellId drv = nl.net(n).driver;
+      if (drv == netlist::kNoCell) continue;
+      stack.push_back(
+          {drv, para.wire_delay_ns(n, pin_cap(c)) + setup, {drv}});
+    }
+  }
+  for (netlist::NetId n : nl.primary_outputs()) {
+    const netlist::CellId drv = nl.net(n).driver;
+    if (drv == netlist::kNoCell) continue;
+    stack.push_back(
+        {drv, para.wire_delay_ns(n, timer.options().output_load_ff), {drv}});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const netlist::Cell& cell = nl.cell(f.cell);
+    const double gd = timing.cells[f.cell].gate_delay_ns;
+    if (cell.sequential) {
+      std::vector<netlist::CellId> chain(f.chain.rbegin(), f.chain.rend());
+      out.push_back({gd + f.suffix, std::move(chain)});
+      continue;
+    }
+    double best_pi = -1.0;
+    std::vector<netlist::NetId> seen;
+    for (netlist::NetId n : cell.input_nets) {
+      if (std::find(seen.begin(), seen.end(), n) != seen.end()) continue;
+      seen.push_back(n);
+      const netlist::CellId drv = nl.net(n).driver;
+      const double stage = para.wire_delay_ns(n, pin_cap(f.cell)) + gd;
+      if (drv == netlist::kNoCell) {
+        best_pi = std::max(best_pi, stage + f.suffix);
+      } else {
+        Frame nf = f;
+        nf.cell = drv;
+        nf.suffix = stage + f.suffix;
+        nf.chain.push_back(drv);
+        stack.push_back(std::move(nf));
+      }
+    }
+    if (best_pi >= 0.0) {
+      std::vector<netlist::CellId> chain(f.chain.rbegin(), f.chain.rend());
+      out.push_back({best_pi, std::move(chain)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BruteEntry& a, const BruteEntry& b) {
+              return a.delay > b.delay;
+            });
+  return out;
+}
+
+class TopPathsExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopPathsExact, MatchesBruteForce) {
+  gen::DesignSpec spec = gen::aes65_spec().scaled(0.015);
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 1237;
+  spec.logic_depth = 8;
+  const tech::TechNode node = tech::make_tech_65nm();
+  liberty::LibraryRepository repo(node);
+  const gen::GeneratedDesign d =
+      gen::generate_design(spec, repo.masters(), node);
+  const extract::Parasitics para = extract::extract(*d.placement, node);
+  Timer timer(d.netlist.get(), &para, &repo);
+  VariantAssignment va(d.netlist->cell_count());
+  const TimingResult timing = timer.analyze(va);
+
+  const auto brute = brute_force_paths(*d.netlist, para, repo, timer, timing);
+  ASSERT_FALSE(brute.empty());
+  const std::size_t k = std::min<std::size_t>(200, brute.size());
+  const auto fast = timer.top_paths(va, timing, k);
+  ASSERT_EQ(fast.size(), k);
+  for (std::size_t i = 0; i < k; ++i)
+    EXPECT_NEAR(fast[i].delay_ns, brute[i].delay, 1e-9) << "path rank " << i;
+  // The single most critical path must match cell-for-cell.
+  EXPECT_EQ(fast[0].cells, brute[0].cells);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopPathsExact, ::testing::Range(1, 6));
+
+TEST(CriticalPercentage, CountsWithinBand) {
+  std::vector<TimingPath> paths(10);
+  for (std::size_t i = 0; i < paths.size(); ++i)
+    paths[i].delay_ns = 1.0 - 0.02 * static_cast<double>(i);
+  // Paths >= 0.95: delays 1.00, 0.98, 0.96 -> 30%.
+  EXPECT_DOUBLE_EQ(critical_path_percentage(paths, 1.0, 0.95), 30.0);
+  EXPECT_DOUBLE_EQ(critical_path_percentage(paths, 1.0, 0.80), 100.0);
+  EXPECT_DOUBLE_EQ(critical_path_percentage({}, 1.0, 0.95), 0.0);
+}
+
+}  // namespace
+}  // namespace doseopt::sta

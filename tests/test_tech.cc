@@ -1,0 +1,153 @@
+// Tests for the analytic device model: the qualitative dependencies of
+// Figs. 3-6 of the paper (delay ~linear in L and W near nominal; leakage
+// ~exponential in L, ~linear in W) plus basic sanity of both nodes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tech/device.h"
+#include "tech/tech_node.h"
+
+namespace doseopt::tech {
+namespace {
+
+class BothNodes : public ::testing::TestWithParam<const char*> {
+ protected:
+  TechNode node_ = tech_node_by_name(GetParam());
+  DeviceModel dev_{node_};
+};
+
+TEST_P(BothNodes, ParametersSane) {
+  EXPECT_GT(node_.l_nominal_nm, 0.0);
+  EXPECT_GT(node_.vdd_v, 0.0);
+  EXPECT_GT(node_.min_width_nm, 0.0);
+  EXPECT_LT(node_.min_width_nm, node_.max_width_nm);
+  EXPECT_GT(node_.row_height_um, 0.0);
+}
+
+TEST_P(BothNodes, VthIncreasesWithLength) {
+  // Short-channel roll-off: Vth rises monotonically with L.
+  double prev = dev_.vth_v(node_.l_nominal_nm - 12.0);
+  for (double l = node_.l_nominal_nm - 10.0; l <= node_.l_nominal_nm + 12.0;
+       l += 2.0) {
+    const double v = dev_.vth_v(l);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST_P(BothNodes, VthBelowVdd) {
+  EXPECT_LT(dev_.vth_v(node_.l_nominal_nm), node_.vdd_v);
+  EXPECT_GT(dev_.vth_v(node_.l_nominal_nm), 0.05);
+}
+
+TEST_P(BothNodes, LeakageExponentialInLength) {
+  // Fig. 5: log(leakage) is close to linear in L over +/-10 nm; compare the
+  // ratio across equal steps -- for an exact exponential they are equal, for
+  // our Vth(L) model they decrease gently with L (super-exponential at
+  // short L), so check ordering and rough magnitude.
+  const double w = 300.0;
+  const double l0 = node_.l_nominal_nm;
+  const double r_short =
+      dev_.leakage_nw(w, l0 - 10.0) / dev_.leakage_nw(w, l0);
+  const double r_long =
+      dev_.leakage_nw(w, l0) / dev_.leakage_nw(w, l0 + 10.0);
+  EXPECT_GT(r_short, r_long);  // steeper on the short side
+  EXPECT_GT(r_short, 1.3);
+  EXPECT_GT(r_long, 1.1);
+  EXPECT_LT(r_short, 5.0);
+}
+
+TEST_P(BothNodes, LeakageLinearInWidth) {
+  // Fig. 6: leakage is exactly proportional to width in the model.
+  const double l = node_.l_nominal_nm;
+  const double base = dev_.leakage_nw(300.0, l);
+  EXPECT_NEAR(dev_.leakage_nw(600.0, l), 2.0 * base, 1e-12);
+  EXPECT_NEAR(dev_.leakage_nw(310.0, l) - base,
+              base / 30.0, 1e-9);
+}
+
+TEST_P(BothNodes, DelayIncreasesWithLength) {
+  // Fig. 3: delay rises with L (smaller dose -> larger CD -> slower).
+  const double w = 300.0;
+  double prev = 0.0;
+  for (double dl = -10.0; dl <= 10.0; dl += 2.0) {
+    const double d = dev_.stage_delay_ns(w, node_.l_nominal_nm + dl, 1.0, 1.0,
+                                         3.0, 0.05);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST_P(BothNodes, DelayApproximatelyLinearInLength) {
+  // Check curvature is small relative to slope over the +/-10 nm window.
+  const double w = 300.0;
+  auto delay = [&](double dl) {
+    return dev_.stage_delay_ns(w, node_.l_nominal_nm + dl, 1.0, 1.0, 3.0,
+                               0.05);
+  };
+  const double slope = (delay(10) - delay(-10)) / 20.0;
+  const double mid = 0.5 * (delay(10) + delay(-10));
+  const double curvature = std::abs(mid - delay(0));
+  EXPECT_LT(curvature, 0.08 * std::abs(slope) * 10.0);
+}
+
+TEST_P(BothNodes, DelayDecreasesWithWidth) {
+  // Fig. 4: wider device -> stronger drive -> faster.
+  const double l = node_.l_nominal_nm;
+  double prev = 1e9;
+  for (double dw = -10.0; dw <= 10.0; dw += 2.0) {
+    const double d =
+        dev_.stage_delay_ns(300.0 + dw, l, 1.0, 1.0, 3.0, 0.05);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST_P(BothNodes, SlewIncreasesWithLoad) {
+  const double l = node_.l_nominal_nm;
+  EXPECT_LT(dev_.stage_slew_ns(300, l, 1.0, 1.0, 1.0, 0.05),
+            dev_.stage_slew_ns(300, l, 1.0, 1.0, 10.0, 0.05));
+}
+
+TEST_P(BothNodes, StackFactorSlowsStage) {
+  const double l = node_.l_nominal_nm;
+  EXPECT_LT(dev_.stage_delay_ns(300, l, 1.0, 1.0, 3.0, 0.05),
+            dev_.stage_delay_ns(300, l, 2.0, 1.0, 3.0, 0.05));
+}
+
+TEST_P(BothNodes, GateCapScalesWithGeometry) {
+  const double l = node_.l_nominal_nm;
+  const double c0 = dev_.gate_cap_ff(300, l);
+  EXPECT_NEAR(dev_.gate_cap_ff(600, l), 2.0 * c0, 1e-12);
+  EXPECT_GT(dev_.gate_cap_ff(300, l + 10), c0);
+}
+
+TEST_P(BothNodes, RejectsNonPhysicalGeometry) {
+  EXPECT_THROW(dev_.leakage_nw(-1.0, 65.0), doseopt::Error);
+  EXPECT_THROW(dev_.on_current(300.0, -5.0), doseopt::Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, BothNodes, ::testing::Values("65nm", "90nm"));
+
+TEST(TechNode, LookupByName) {
+  EXPECT_EQ(tech_node_by_name("65nm").l_nominal_nm, 65.0);
+  EXPECT_EQ(tech_node_by_name("90nm").l_nominal_nm, 90.0);
+  EXPECT_THROW(tech_node_by_name("45nm"), doseopt::Error);
+}
+
+TEST(TechNode, ThermalVoltage) {
+  EXPECT_NEAR(thermal_voltage_v(25.0), 0.0257, 1e-3);
+  EXPECT_GT(thermal_voltage_v(100.0), thermal_voltage_v(25.0));
+}
+
+TEST(TechNode, NinetyIsLeakierPerWidth) {
+  // Calibrated so Table III's 90 nm designs leak more per cell.
+  const DeviceModel d65(make_tech_65nm());
+  const DeviceModel d90(make_tech_90nm());
+  EXPECT_GT(d90.leakage_nw(300.0, 90.0), d65.leakage_nw(300.0, 65.0));
+}
+
+}  // namespace
+}  // namespace doseopt::tech

@@ -1,0 +1,113 @@
+// Tests for the wafer-scale AWLV module (the paper's future-work extension).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <cmath>
+
+#include "flow/context.h"
+#include "wafer/wafer.h"
+
+namespace doseopt::wafer {
+namespace {
+
+TEST(Wafer, FieldsInsideUsableRadius) {
+  WaferModel model;
+  Wafer wafer(model);
+  EXPECT_GT(wafer.field_count(), 20u);
+  const double usable = model.wafer_radius_mm - model.edge_exclusion_mm;
+  for (const Field& f : wafer.fields()) {
+    const double corner =
+        std::hypot(std::abs(f.x_mm) + 0.5 * model.field_size_mm,
+                   std::abs(f.y_mm) + 0.5 * model.field_size_mm);
+    EXPECT_LE(corner, usable + 1e-9);
+  }
+}
+
+TEST(Wafer, RadialBiasGrowsOutward) {
+  WaferModel model;
+  model.field_random_sigma_nm = 0.0;  // isolate the systematic part
+  Wafer wafer(model);
+  // Center fields have near-zero bias; edge fields the largest.
+  double center_bias = 1e30, edge_bias = -1e30;
+  for (const Field& f : wafer.fields()) {
+    const double r = std::hypot(f.x_mm, f.y_mm);
+    if (r < 30.0) center_bias = std::min(center_bias, f.cd_bias_nm);
+    edge_bias = std::max(edge_bias, f.cd_bias_nm);
+  }
+  EXPECT_LT(center_bias, 0.5);
+  EXPECT_GT(edge_bias, 1.5);
+}
+
+TEST(Wafer, CorrectionReducesAwlv) {
+  Wafer wafer{WaferModel{}};
+  const double before = wafer.awlv_range_nm();
+  const double after = wafer.apply_awlv_correction();
+  EXPECT_LT(after, 0.5 * before);
+  EXPECT_NEAR(after, wafer.awlv_range_nm(), 1e-12);
+  wafer.clear_corrections();
+  EXPECT_NEAR(wafer.awlv_range_nm(), before, 1e-12);
+}
+
+TEST(Wafer, CorrectionRespectsDoseBound) {
+  WaferModel model;
+  model.bowl2_nm = 20.0;  // force clamping
+  Wafer wafer(model);
+  wafer.apply_awlv_correction();
+  for (const Field& f : wafer.fields())
+    EXPECT_LE(std::abs(f.dose_corr_pct), model.max_field_dose_pct + 1e-12);
+  // Clamped fields keep residual bias.
+  EXPECT_GT(wafer.awlv_range_nm(), 1.0);
+}
+
+TEST(Wafer, Deterministic) {
+  WaferModel model;
+  Wafer a(model), b(model);
+  ASSERT_EQ(a.field_count(), b.field_count());
+  for (std::size_t i = 0; i < a.field_count(); ++i)
+    EXPECT_DOUBLE_EQ(a.fields()[i].cd_bias_nm, b.fields()[i].cd_bias_nm);
+}
+
+class WaferTiming : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ctx_ = new flow::DesignContext(gen::aes65_spec().scaled(0.03));
+  }
+  static void TearDownTestSuite() { delete ctx_; }
+  static flow::DesignContext* ctx_;
+};
+flow::DesignContext* WaferTiming::ctx_ = nullptr;
+
+TEST_F(WaferTiming, CorrectionTightensTheMctSpread) {
+  WaferModel model;
+  model.bowl2_nm = 6.0;  // strong bowl so the spread is visible
+  Wafer wafer(model);
+  sta::VariantAssignment base(ctx_->netlist().cell_count());
+
+  const WaferTimingResult before =
+      analyze_wafer_timing(wafer, ctx_->netlist(), ctx_->timer(), base);
+  wafer.apply_awlv_correction();
+  const WaferTimingResult after =
+      analyze_wafer_timing(wafer, ctx_->netlist(), ctx_->timer(), base);
+
+  EXPECT_LT(after.max_mct_ns - after.min_mct_ns,
+            before.max_mct_ns - before.min_mct_ns + 1e-12);
+  // Longer gates (positive CD bias at the edge) slow fields down, so the
+  // uncorrected worst field is slower than nominal.
+  EXPECT_GE(before.max_mct_ns, ctx_->nominal_mct_ns() - 1e-9);
+  // Yield at a mid-spread clock improves.
+  const double clock = 0.5 * (before.min_mct_ns + before.max_mct_ns);
+  EXPECT_GE(after.yield_at(clock), before.yield_at(clock));
+}
+
+TEST_F(WaferTiming, YieldMonotoneInClock) {
+  Wafer wafer{WaferModel{}};
+  sta::VariantAssignment base(ctx_->netlist().cell_count());
+  const WaferTimingResult r =
+      analyze_wafer_timing(wafer, ctx_->netlist(), ctx_->timer(), base);
+  EXPECT_LE(r.yield_at(r.min_mct_ns - 1e-6), r.yield_at(r.mean_mct_ns));
+  EXPECT_DOUBLE_EQ(r.yield_at(r.max_mct_ns + 1e-6), 1.0);
+}
+
+}  // namespace
+}  // namespace doseopt::wafer
