@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fit_residuals.dir/bench_fit_residuals.cc.o"
+  "CMakeFiles/bench_fit_residuals.dir/bench_fit_residuals.cc.o.d"
+  "bench_fit_residuals"
+  "bench_fit_residuals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fit_residuals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

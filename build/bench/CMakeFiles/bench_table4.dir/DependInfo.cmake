@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4.cc" "bench/CMakeFiles/bench_table4.dir/bench_table4.cc.o" "gcc" "bench/CMakeFiles/bench_table4.dir/bench_table4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/doseopt_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmopt/CMakeFiles/doseopt_dmopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/doseplace/CMakeFiles/doseopt_doseplace.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/doseopt_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/wafer/CMakeFiles/doseopt_wafer.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/doseopt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/doseopt_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/doseopt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dose/CMakeFiles/doseopt_dose.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/doseopt_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/doseopt_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/doseopt_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/doseopt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/doseopt_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/doseopt_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/doseopt_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/doseopt_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/doseopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

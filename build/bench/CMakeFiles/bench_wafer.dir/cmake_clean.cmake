@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wafer.dir/bench_wafer.cc.o"
+  "CMakeFiles/bench_wafer.dir/bench_wafer.cc.o.d"
+  "bench_wafer"
+  "bench_wafer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wafer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_recovery.dir/leakage_recovery.cpp.o"
+  "CMakeFiles/leakage_recovery.dir/leakage_recovery.cpp.o.d"
+  "leakage_recovery"
+  "leakage_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_recipe.dir/scanner_recipe.cpp.o"
+  "CMakeFiles/scanner_recipe.dir/scanner_recipe.cpp.o.d"
+  "scanner_recipe"
+  "scanner_recipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_recipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

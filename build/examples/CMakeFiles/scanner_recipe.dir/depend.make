@@ -1,0 +1,2 @@
+# Empty dependencies file for scanner_recipe.
+# This may be replaced when dependencies are built.

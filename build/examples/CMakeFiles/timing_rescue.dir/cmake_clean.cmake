@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_rescue.dir/timing_rescue.cpp.o"
+  "CMakeFiles/timing_rescue.dir/timing_rescue.cpp.o.d"
+  "timing_rescue"
+  "timing_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("la")
+subdirs("fit")
+subdirs("tech")
+subdirs("qp")
+subdirs("liberty")
+subdirs("netlist")
+subdirs("gen")
+subdirs("place")
+subdirs("extract")
+subdirs("sta")
+subdirs("power")
+subdirs("dose")
+subdirs("variation")
+subdirs("wafer")
+subdirs("dmopt")
+subdirs("doseplace")
+subdirs("flow")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_common.dir/error.cc.o"
+  "CMakeFiles/doseopt_common.dir/error.cc.o.d"
+  "CMakeFiles/doseopt_common.dir/rng.cc.o"
+  "CMakeFiles/doseopt_common.dir/rng.cc.o.d"
+  "CMakeFiles/doseopt_common.dir/strings.cc.o"
+  "CMakeFiles/doseopt_common.dir/strings.cc.o.d"
+  "CMakeFiles/doseopt_common.dir/table.cc.o"
+  "CMakeFiles/doseopt_common.dir/table.cc.o.d"
+  "libdoseopt_common.a"
+  "libdoseopt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_dmopt.dir/dmopt.cc.o"
+  "CMakeFiles/doseopt_dmopt.dir/dmopt.cc.o.d"
+  "libdoseopt_dmopt.a"
+  "libdoseopt_dmopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_dmopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_dose.dir/actuator.cc.o"
+  "CMakeFiles/doseopt_dose.dir/actuator.cc.o.d"
+  "CMakeFiles/doseopt_dose.dir/dose_map.cc.o"
+  "CMakeFiles/doseopt_dose.dir/dose_map.cc.o.d"
+  "libdoseopt_dose.a"
+  "libdoseopt_dose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_dose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

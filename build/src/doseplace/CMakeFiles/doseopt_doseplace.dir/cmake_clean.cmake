@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_doseplace.dir/doseplace.cc.o"
+  "CMakeFiles/doseopt_doseplace.dir/doseplace.cc.o.d"
+  "libdoseopt_doseplace.a"
+  "libdoseopt_doseplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_doseplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdoseopt_doseplace.a"
+)

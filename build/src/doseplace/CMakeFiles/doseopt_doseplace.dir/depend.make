@@ -1,0 +1,2 @@
+# Empty dependencies file for doseopt_doseplace.
+# This may be replaced when dependencies are built.

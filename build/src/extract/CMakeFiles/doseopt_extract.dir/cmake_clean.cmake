@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_extract.dir/extract.cc.o"
+  "CMakeFiles/doseopt_extract.dir/extract.cc.o.d"
+  "libdoseopt_extract.a"
+  "libdoseopt_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_fit.dir/leastsq.cc.o"
+  "CMakeFiles/doseopt_fit.dir/leastsq.cc.o.d"
+  "libdoseopt_fit.a"
+  "libdoseopt_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_flow.dir/context.cc.o"
+  "CMakeFiles/doseopt_flow.dir/context.cc.o.d"
+  "CMakeFiles/doseopt_flow.dir/optimize.cc.o"
+  "CMakeFiles/doseopt_flow.dir/optimize.cc.o.d"
+  "libdoseopt_flow.a"
+  "libdoseopt_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

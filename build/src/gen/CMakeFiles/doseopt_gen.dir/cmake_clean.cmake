@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_gen.dir/design_gen.cc.o"
+  "CMakeFiles/doseopt_gen.dir/design_gen.cc.o.d"
+  "libdoseopt_gen.a"
+  "libdoseopt_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

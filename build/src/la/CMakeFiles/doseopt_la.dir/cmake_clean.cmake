@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_la.dir/cg.cc.o"
+  "CMakeFiles/doseopt_la.dir/cg.cc.o.d"
+  "CMakeFiles/doseopt_la.dir/cholesky.cc.o"
+  "CMakeFiles/doseopt_la.dir/cholesky.cc.o.d"
+  "CMakeFiles/doseopt_la.dir/dense.cc.o"
+  "CMakeFiles/doseopt_la.dir/dense.cc.o.d"
+  "CMakeFiles/doseopt_la.dir/sparse.cc.o"
+  "CMakeFiles/doseopt_la.dir/sparse.cc.o.d"
+  "libdoseopt_la.a"
+  "libdoseopt_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

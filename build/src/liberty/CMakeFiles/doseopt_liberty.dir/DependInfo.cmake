@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/cell_master.cc" "src/liberty/CMakeFiles/doseopt_liberty.dir/cell_master.cc.o" "gcc" "src/liberty/CMakeFiles/doseopt_liberty.dir/cell_master.cc.o.d"
+  "/root/repo/src/liberty/characterizer.cc" "src/liberty/CMakeFiles/doseopt_liberty.dir/characterizer.cc.o" "gcc" "src/liberty/CMakeFiles/doseopt_liberty.dir/characterizer.cc.o.d"
+  "/root/repo/src/liberty/coeff_fit.cc" "src/liberty/CMakeFiles/doseopt_liberty.dir/coeff_fit.cc.o" "gcc" "src/liberty/CMakeFiles/doseopt_liberty.dir/coeff_fit.cc.o.d"
+  "/root/repo/src/liberty/liberty_io.cc" "src/liberty/CMakeFiles/doseopt_liberty.dir/liberty_io.cc.o" "gcc" "src/liberty/CMakeFiles/doseopt_liberty.dir/liberty_io.cc.o.d"
+  "/root/repo/src/liberty/library.cc" "src/liberty/CMakeFiles/doseopt_liberty.dir/library.cc.o" "gcc" "src/liberty/CMakeFiles/doseopt_liberty.dir/library.cc.o.d"
+  "/root/repo/src/liberty/nldm.cc" "src/liberty/CMakeFiles/doseopt_liberty.dir/nldm.cc.o" "gcc" "src/liberty/CMakeFiles/doseopt_liberty.dir/nldm.cc.o.d"
+  "/root/repo/src/liberty/repository.cc" "src/liberty/CMakeFiles/doseopt_liberty.dir/repository.cc.o" "gcc" "src/liberty/CMakeFiles/doseopt_liberty.dir/repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/doseopt_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/doseopt_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/doseopt_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/doseopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

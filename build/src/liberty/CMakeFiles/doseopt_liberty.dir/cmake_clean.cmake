@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_liberty.dir/cell_master.cc.o"
+  "CMakeFiles/doseopt_liberty.dir/cell_master.cc.o.d"
+  "CMakeFiles/doseopt_liberty.dir/characterizer.cc.o"
+  "CMakeFiles/doseopt_liberty.dir/characterizer.cc.o.d"
+  "CMakeFiles/doseopt_liberty.dir/coeff_fit.cc.o"
+  "CMakeFiles/doseopt_liberty.dir/coeff_fit.cc.o.d"
+  "CMakeFiles/doseopt_liberty.dir/liberty_io.cc.o"
+  "CMakeFiles/doseopt_liberty.dir/liberty_io.cc.o.d"
+  "CMakeFiles/doseopt_liberty.dir/library.cc.o"
+  "CMakeFiles/doseopt_liberty.dir/library.cc.o.d"
+  "CMakeFiles/doseopt_liberty.dir/nldm.cc.o"
+  "CMakeFiles/doseopt_liberty.dir/nldm.cc.o.d"
+  "CMakeFiles/doseopt_liberty.dir/repository.cc.o"
+  "CMakeFiles/doseopt_liberty.dir/repository.cc.o.d"
+  "libdoseopt_liberty.a"
+  "libdoseopt_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

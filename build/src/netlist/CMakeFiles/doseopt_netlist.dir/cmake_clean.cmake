@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_netlist.dir/netlist.cc.o"
+  "CMakeFiles/doseopt_netlist.dir/netlist.cc.o.d"
+  "CMakeFiles/doseopt_netlist.dir/verilog_io.cc.o"
+  "CMakeFiles/doseopt_netlist.dir/verilog_io.cc.o.d"
+  "libdoseopt_netlist.a"
+  "libdoseopt_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_place.dir/bbox.cc.o"
+  "CMakeFiles/doseopt_place.dir/bbox.cc.o.d"
+  "CMakeFiles/doseopt_place.dir/placement.cc.o"
+  "CMakeFiles/doseopt_place.dir/placement.cc.o.d"
+  "CMakeFiles/doseopt_place.dir/placer.cc.o"
+  "CMakeFiles/doseopt_place.dir/placer.cc.o.d"
+  "libdoseopt_place.a"
+  "libdoseopt_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_power.dir/leakage.cc.o"
+  "CMakeFiles/doseopt_power.dir/leakage.cc.o.d"
+  "libdoseopt_power.a"
+  "libdoseopt_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/kkt_check.cc" "src/qp/CMakeFiles/doseopt_qp.dir/kkt_check.cc.o" "gcc" "src/qp/CMakeFiles/doseopt_qp.dir/kkt_check.cc.o.d"
+  "/root/repo/src/qp/qp_solver.cc" "src/qp/CMakeFiles/doseopt_qp.dir/qp_solver.cc.o" "gcc" "src/qp/CMakeFiles/doseopt_qp.dir/qp_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/doseopt_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/doseopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

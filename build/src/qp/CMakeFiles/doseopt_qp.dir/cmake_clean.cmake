@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_qp.dir/kkt_check.cc.o"
+  "CMakeFiles/doseopt_qp.dir/kkt_check.cc.o.d"
+  "CMakeFiles/doseopt_qp.dir/qp_solver.cc.o"
+  "CMakeFiles/doseopt_qp.dir/qp_solver.cc.o.d"
+  "libdoseopt_qp.a"
+  "libdoseopt_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_sta.dir/timer.cc.o"
+  "CMakeFiles/doseopt_sta.dir/timer.cc.o.d"
+  "libdoseopt_sta.a"
+  "libdoseopt_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

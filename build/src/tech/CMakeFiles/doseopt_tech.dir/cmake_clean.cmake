@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_tech.dir/device.cc.o"
+  "CMakeFiles/doseopt_tech.dir/device.cc.o.d"
+  "CMakeFiles/doseopt_tech.dir/tech_node.cc.o"
+  "CMakeFiles/doseopt_tech.dir/tech_node.cc.o.d"
+  "libdoseopt_tech.a"
+  "libdoseopt_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

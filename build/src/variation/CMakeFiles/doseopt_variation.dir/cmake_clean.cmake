@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_variation.dir/yield.cc.o"
+  "CMakeFiles/doseopt_variation.dir/yield.cc.o.d"
+  "libdoseopt_variation.a"
+  "libdoseopt_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

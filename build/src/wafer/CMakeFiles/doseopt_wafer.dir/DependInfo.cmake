@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wafer/wafer.cc" "src/wafer/CMakeFiles/doseopt_wafer.dir/wafer.cc.o" "gcc" "src/wafer/CMakeFiles/doseopt_wafer.dir/wafer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/doseopt_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/doseopt_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/doseopt_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/doseopt_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/doseopt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/doseopt_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/doseopt_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/doseopt_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/doseopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

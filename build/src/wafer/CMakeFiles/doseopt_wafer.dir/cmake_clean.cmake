@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_wafer.dir/wafer.cc.o"
+  "CMakeFiles/doseopt_wafer.dir/wafer.cc.o.d"
+  "libdoseopt_wafer.a"
+  "libdoseopt_wafer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_wafer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

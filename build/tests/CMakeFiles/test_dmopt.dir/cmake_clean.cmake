@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmopt.dir/test_dmopt.cc.o"
+  "CMakeFiles/test_dmopt.dir/test_dmopt.cc.o.d"
+  "test_dmopt"
+  "test_dmopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

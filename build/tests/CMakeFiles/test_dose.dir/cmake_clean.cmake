@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dose.dir/test_dose.cc.o"
+  "CMakeFiles/test_dose.dir/test_dose.cc.o.d"
+  "test_dose"
+  "test_dose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

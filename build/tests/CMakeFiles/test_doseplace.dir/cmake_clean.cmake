@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doseplace.dir/test_doseplace.cc.o"
+  "CMakeFiles/test_doseplace.dir/test_doseplace.cc.o.d"
+  "test_doseplace"
+  "test_doseplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doseplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qp.dir/test_qp.cc.o"
+  "CMakeFiles/test_qp.dir/test_qp.cc.o.d"
+  "test_qp"
+  "test_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

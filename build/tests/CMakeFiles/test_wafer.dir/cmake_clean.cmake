@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wafer.dir/test_wafer.cc.o"
+  "CMakeFiles/test_wafer.dir/test_wafer.cc.o.d"
+  "test_wafer"
+  "test_wafer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wafer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

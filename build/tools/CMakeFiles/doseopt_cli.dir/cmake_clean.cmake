@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doseopt_cli.dir/doseopt_cli.cc.o"
+  "CMakeFiles/doseopt_cli.dir/doseopt_cli.cc.o.d"
+  "doseopt_cli"
+  "doseopt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doseopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
