@@ -1,7 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical kernels:
-// library characterization, full STA, top-K path enumeration, QP solves,
-// parasitic extraction, and the complete DMopt QP on a small design.
+// library characterization, full STA, incremental STA, top-K path
+// enumeration, QP solves, parasitic extraction, and the complete DMopt QP
+// on a small design.
+//
+// Besides the google-benchmark console output, main() hand-times the four
+// kernels the perf trajectory is tracked on -- full STA, incremental STA
+// after a 2-cell swap, a QP solve, and one library characterization -- and
+// writes them as ns/op to BENCH_micro.json so future changes can diff
+// machine-readable numbers.  The STA pair runs at full Table-I AES-65
+// scale (the incremental-speedup acceptance point).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "dmopt/dmopt.h"
 #include "flow/context.h"
@@ -15,6 +26,12 @@ namespace {
 flow::DesignContext& small_ctx() {
   static flow::DesignContext* ctx =
       new flow::DesignContext(gen::aes65_spec().scaled(0.1));
+  return *ctx;
+}
+
+flow::DesignContext& aes_ctx() {
+  static flow::DesignContext* ctx =
+      new flow::DesignContext(gen::aes65_spec());
   return *ctx;
 }
 
@@ -41,6 +58,26 @@ void BM_StaAnalyze(benchmark::State& state) {
 }
 BENCHMARK(BM_StaAnalyze);
 
+void BM_StaIncrementalSwap(benchmark::State& state) {
+  flow::DesignContext& ctx = small_ctx();
+  sta::VariantAssignment va(ctx.netlist().cell_count());
+  sta::TimingState ts;
+  ctx.timer().update(ts, va);
+  const auto a = static_cast<netlist::CellId>(0);
+  const auto b = static_cast<netlist::CellId>(ctx.netlist().cell_count() / 2);
+  int flip = 0;
+  for (auto _ : state) {
+    flip ^= 1;
+    const int v = 10 - flip;  // toggle so every update re-times a real cone
+    va.set(a, v, 10);
+    va.set(b, v, 10);
+    const sta::TimingResult& r = ctx.timer().update(ts, va);
+    benchmark::DoNotOptimize(r.mct_ns);
+  }
+  state.counters["cells"] = static_cast<double>(ctx.netlist().cell_count());
+}
+BENCHMARK(BM_StaIncrementalSwap);
+
 void BM_TopPaths(benchmark::State& state) {
   flow::DesignContext& ctx = small_ctx();
   sta::VariantAssignment va(ctx.netlist().cell_count());
@@ -63,8 +100,7 @@ void BM_Extract(benchmark::State& state) {
 }
 BENCHMARK(BM_Extract);
 
-void BM_QpSolveBox(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+qp::QpProblem make_qp_problem(std::size_t n) {
   Rng rng(99);
   la::TripletMatrix t(2 * n, n);
   for (std::size_t i = 0; i < n; ++i) t.add(i, i, 1.0);
@@ -78,6 +114,12 @@ void BM_QpSolveBox(benchmark::State& state) {
   prob.a = la::CsrMatrix(t);
   prob.lower.assign(2 * n, -1.0);
   prob.upper.assign(2 * n, 1.0);
+  return prob;
+}
+
+void BM_QpSolveBox(benchmark::State& state) {
+  const qp::QpProblem prob =
+      make_qp_problem(static_cast<std::size_t>(state.range(0)));
   qp::QpSolver solver;
   for (auto _ : state) {
     const qp::QpSolution sol = solver.solve(prob);
@@ -101,6 +143,88 @@ void BM_DmoptQp(benchmark::State& state) {
 }
 BENCHMARK(BM_DmoptQp)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// BENCH_micro.json: hand-timed ns/op for the tracked kernels.
+// ---------------------------------------------------------------------------
+
+/// Median-free steady-state timing: warm up once, then run batches until
+/// >= min_time elapsed and report mean ns/op.
+template <typename Fn>
+double time_ns_per_op(Fn&& fn, double min_time_s = 0.5) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up (touches lazy caches)
+  std::size_t iters = 0;
+  const auto t0 = clock::now();
+  double elapsed;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+  } while (elapsed < min_time_s && iters < 1000000);
+  return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+void write_bench_json(const char* path) {
+  flow::DesignContext& ctx = aes_ctx();
+  const std::size_t cells = ctx.netlist().cell_count();
+  sta::VariantAssignment va(cells);
+
+  const double full_ns =
+      time_ns_per_op([&] { ctx.timer().analyze(va); });
+
+  sta::TimingState ts;
+  ctx.timer().update(ts, va);
+  const auto a = static_cast<netlist::CellId>(0);
+  const auto b = static_cast<netlist::CellId>(cells / 2);
+  int flip = 0;
+  const double incr_ns = time_ns_per_op([&] {
+    flip ^= 1;
+    const int v = 10 - flip;
+    va.set(a, v, 10);
+    va.set(b, v, 10);
+    ctx.timer().update(ts, va);
+  });
+
+  const qp::QpProblem prob = make_qp_problem(1000);
+  qp::QpSolver solver;
+  const double qp_ns = time_ns_per_op([&] { solver.solve(prob); });
+
+  const tech::TechNode node = tech::make_tech_65nm();
+  const tech::DeviceModel device(node);
+  const auto masters = liberty::make_standard_masters(node);
+  const double char_ns = time_ns_per_op(
+      [&] { liberty::characterize(device, masters, 2.0, 0.0); });
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"design\": \"aes65\",\n"
+               "  \"cells\": %zu,\n"
+               "  \"sta_full_ns_op\": %.1f,\n"
+               "  \"sta_incremental_2swap_ns_op\": %.1f,\n"
+               "  \"sta_incremental_speedup\": %.2f,\n"
+               "  \"qp_solve_n1000_ns_op\": %.1f,\n"
+               "  \"characterize_library_ns_op\": %.1f\n"
+               "}\n",
+               cells, full_ns, incr_ns, full_ns / incr_ns, qp_ns, char_ns);
+  std::fclose(f);
+  std::printf(
+      "BENCH_micro.json: cells=%zu sta_full=%.0fns sta_incr=%.0fns "
+      "(%.1fx) qp=%.0fns characterize=%.0fns\n",
+      cells, full_ns, incr_ns, full_ns / incr_ns, qp_ns, char_ns);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_bench_json("BENCH_micro.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,19 @@
 #!/bin/bash
 cd /root/repo
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+
+# ThreadSanitizer smoke run of the thread-pool / determinism tests: builds
+# only test_parallel in a separate build tree with -DDOSEOPT_SANITIZE=thread
+# and fails loudly on any reported race.
+{
+  echo ""
+  echo "################ tsan: test_parallel ################"
+  cmake -B build-tsan -S . -DDOSEOPT_SANITIZE=thread >/dev/null \
+    && cmake --build build-tsan --target test_parallel -j "$(nproc)" >/dev/null \
+    && timeout 1200 ./build-tsan/tests/test_parallel
+  echo "(tsan exit: $?)"
+} 2>&1 | tee -a /root/repo/test_output.txt
+
 BENCHES="bench_fig3_fig4 bench_fig5_fig6 bench_table1_table7 bench_table2_table3 bench_fit_residuals bench_wafer bench_yield bench_table4 bench_table8_fig10 bench_table6 bench_table5 bench_ablation bench_micro"
 {
   for name in $BENCHES; do

@@ -161,6 +161,9 @@ class DoseMapOptimizer {
   const sta::Timer* timer_;
   const sta::TimingResult* nominal_timing_;
   DmoptOptions options_;
+  /// Persistent incremental-STA state for golden_eval()/finalize() probes
+  /// (mutable: caching only -- results are bit-identical to full analyze).
+  mutable sta::TimingState golden_state_;
 
   double nominal_leakage_uw_ = 0.0;     ///< golden leakage at zero dose
   dose::DoseMap poly_template_;         ///< grid geometry (doses unset)

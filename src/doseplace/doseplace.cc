@@ -14,6 +14,27 @@ namespace doseopt::doseplace {
 
 using netlist::CellId;
 using netlist::kNoCell;
+using netlist::NetId;
+
+namespace {
+
+/// Nets whose extracted parasitics differ between two extractions (exact
+/// field compare) -- the incremental-timing invalidation set after an ECO.
+std::vector<NetId> changed_parasitic_nets(const extract::Parasitics& before,
+                                          const extract::Parasitics& after) {
+  std::vector<NetId> changed;
+  for (std::size_t n = 0; n < after.net_count(); ++n) {
+    const auto id = static_cast<NetId>(n);
+    const extract::NetParasitics& a = before.net(id);
+    const extract::NetParasitics& b = after.net(id);
+    if (a.length_um != b.length_um || a.wire_cap_ff != b.wire_cap_ff ||
+        a.wire_res_kohm != b.wire_res_kohm)
+      changed.push_back(id);
+  }
+  return changed;
+}
+
+}  // namespace
 
 DosePlacer::DosePlacer(netlist::Netlist* nl, place::Placement* placement,
                        extract::Parasitics* parasitics,
@@ -56,7 +77,10 @@ DosePlResult DosePlacer::run(const dose::DoseMap& poly_map,
   const double max_distance_um =
       options_.distance_pitch_factor * gate_pitch_um;
 
-  sta::TimingResult timing = timer_->analyze(variants);
+  // Persistent incremental-STA state: a swap round only re-times the cone
+  // of the moved cells' nets, not the whole design.
+  sta::TimingState timing_state;
+  sta::TimingResult timing = timer_->update(timing_state, variants);
   result.initial_mct_ns = timing.mct_ns;
   result.initial_leakage_uw = power::total_leakage_uw(*nl_, *repo_, variants);
   double best_mct = timing.mct_ns;
@@ -66,8 +90,8 @@ DosePlResult DosePlacer::run(const dose::DoseMap& poly_map,
   for (int round = 0; round < options_.rounds; ++round) {
     ++result.rounds_run;
 
-    // --- golden analysis of the current state ---
-    timing = timer_->analyze(variants);
+    // --- golden analysis of the current state (no-op when unchanged) ---
+    timing = timer_->update(timing_state, variants);
     std::vector<sta::TimingPath> paths =
         timer_->top_paths(variants, timing, options_.top_k_paths);
     if (paths.empty()) break;
@@ -229,22 +253,30 @@ DosePlResult DosePlacer::run(const dose::DoseMap& poly_map,
     if (swaps_this_round == 0) break;  // nothing left to try
 
     // --- ECO: legalize, re-extract, re-assign variants, golden re-time ---
+    // The extraction replaces the whole Parasitics object, so diff it
+    // against the previous one to hand the timer the exact set of nets to
+    // re-time (legalization usually perturbs only nets near the swaps).
     place::legalize(*placement_);
-    *parasitics_ =
-        extract::extract(*placement_,
-                         repo_->device().node());
+    extract::Parasitics before_eco = *parasitics_;
+    *parasitics_ = extract::extract(*placement_, repo_->device().node());
     reassign_variants(poly_map, active_map, variants);
-    const sta::TimingResult after = timer_->analyze(variants);
+    const sta::TimingResult& after = timer_->update(
+        timing_state, variants,
+        changed_parasitic_nets(before_eco, *parasitics_));
 
     if (after.mct_ns < best_mct - 1e-9) {
       best_mct = after.mct_ns;
       ++result.rounds_accepted;
       result.swaps_accepted += swaps_this_round;
     } else {
-      // Roll back: restore every location, re-extract, re-assign.
+      // Roll back: restore every location, re-extract, re-assign, and
+      // re-sync the timing state against the restored parasitics.
       for (const SavedLoc& s : saved) placement_->set_location(s.cell, s.loc);
+      before_eco = *parasitics_;
       *parasitics_ = extract::extract(*placement_, repo_->device().node());
       reassign_variants(poly_map, active_map, variants);
+      timer_->update(timing_state, variants,
+                     changed_parasitic_nets(before_eco, *parasitics_));
       for (CellId c : swapped_cells) fixed.insert(c);
     }
   }

@@ -24,13 +24,28 @@ void DesignContext::refresh_nominal() {
 }
 
 const liberty::CoefficientSet& DesignContext::coefficients(bool width) {
+  // Pre-characterize every variant the fit will touch through the thread
+  // pool before the (serial) fitting loops read them: the length fit
+  // sweeps the 21 poly variants, the width fit the full 21x21 grid.
+  constexpr int kNominal = liberty::kVariantsPerLayer / 2;
   if (width) {
-    if (!coeffs_width_.has_value())
+    if (!coeffs_width_.has_value()) {
+      std::vector<std::pair<int, int>> keys;
+      for (int vl = 0; vl < liberty::kVariantsPerLayer; ++vl)
+        for (int vw = 0; vw < liberty::kVariantsPerLayer; ++vw)
+          keys.emplace_back(vl, vw);
+      repo_->warm(keys);
       coeffs_width_.emplace(*repo_, /*fit_width=*/true);
+    }
     return *coeffs_width_;
   }
-  if (!coeffs_length_.has_value())
+  if (!coeffs_length_.has_value()) {
+    std::vector<std::pair<int, int>> keys;
+    for (int vl = 0; vl < liberty::kVariantsPerLayer; ++vl)
+      keys.emplace_back(vl, kNominal);
+    repo_->warm(keys);
     coeffs_length_.emplace(*repo_, /*fit_width=*/false);
+  }
   return *coeffs_length_;
 }
 

@@ -4,8 +4,22 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace doseopt::la {
+
+namespace {
+// Below these sizes the fan-out overhead dominates; the products run
+// serially (which is also what every thread count degenerates to, so the
+// threshold cannot affect results).
+constexpr std::size_t kParallelDim = 512;
+constexpr std::size_t kParallelNnz = 16384;
+
+inline bool use_pool(std::size_t dim, std::size_t nnz) {
+  return dim >= kParallelDim && nnz >= kParallelNnz &&
+         ThreadPool::global().lane_count() > 1;
+}
+}  // namespace
 
 void TripletMatrix::add(std::size_t r, std::size_t c, double v) {
   DOSEOPT_CHECK(r < rows_ && c < cols_, "TripletMatrix::add: out of bounds");
@@ -62,27 +76,58 @@ CsrMatrix::CsrMatrix(const TripletMatrix& t) : rows_(t.rows()), cols_(t.cols()) 
     new_ptr[r + 1] = val_.size();
   }
   row_ptr_ = std::move(new_ptr);
+
+  build_transpose();
+}
+
+void CsrMatrix::build_transpose() {
+  const std::size_t n = val_.size();
+  tr_ptr_.assign(cols_ + 1, 0);
+  for (std::size_t k = 0; k < n; ++k) tr_ptr_[col_idx_[k] + 1]++;
+  std::partial_sum(tr_ptr_.begin(), tr_ptr_.end(), tr_ptr_.begin());
+  tr_row_.resize(n);
+  tr_val_.resize(n);
+  std::vector<std::size_t> next(tr_ptr_.begin(), tr_ptr_.end() - 1);
+  // Row-major traversal => within each column, entries land in ascending
+  // row order.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::size_t pos = next[col_idx_[k]]++;
+      tr_row_[pos] = static_cast<std::uint32_t>(r);
+      tr_val_[pos] = val_[k];
+    }
+  }
 }
 
 void CsrMatrix::multiply(const Vec& x, Vec& y) const {
   DOSEOPT_CHECK(x.size() == cols_, "multiply: x size mismatch");
   y.assign(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
+  auto row_kernel = [&](std::size_t r) {
     double s = 0.0;
     for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
       s += val_[k] * x[col_idx_[k]];
     y[r] = s;
+  };
+  if (use_pool(rows_, val_.size())) {
+    ThreadPool::global().parallel_for(rows_, row_kernel);
+  } else {
+    for (std::size_t r = 0; r < rows_; ++r) row_kernel(r);
   }
 }
 
 void CsrMatrix::multiply_transpose(const Vec& x, Vec& y) const {
   DOSEOPT_CHECK(x.size() == rows_, "multiply_transpose: x size mismatch");
   y.assign(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      y[col_idx_[k]] += val_[k] * xr;
+  auto col_kernel = [&](std::size_t c) {
+    double s = 0.0;
+    for (std::size_t k = tr_ptr_[c]; k < tr_ptr_[c + 1]; ++k)
+      s += tr_val_[k] * x[tr_row_[k]];
+    y[c] = s;
+  };
+  if (use_pool(cols_, val_.size())) {
+    ThreadPool::global().parallel_for(cols_, col_kernel);
+  } else {
+    for (std::size_t c = 0; c < cols_; ++c) col_kernel(c);
   }
 }
 
@@ -90,19 +135,44 @@ void CsrMatrix::add_gram_product(double alpha, const Vec& x, Vec& y,
                                  Vec& scratch) const {
   DOSEOPT_CHECK(y.size() == cols_, "add_gram_product: y size mismatch");
   multiply(x, scratch);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double s = alpha * scratch[r];
-    if (s == 0.0) continue;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      y[col_idx_[k]] += val_[k] * s;
+  auto col_kernel = [&](std::size_t c) {
+    double s = y[c];
+    for (std::size_t k = tr_ptr_[c]; k < tr_ptr_[c + 1]; ++k)
+      s += tr_val_[k] * (alpha * scratch[tr_row_[k]]);
+    y[c] = s;
+  };
+  if (use_pool(cols_, val_.size())) {
+    ThreadPool::global().parallel_for(cols_, col_kernel);
+  } else {
+    for (std::size_t c = 0; c < cols_; ++c) col_kernel(c);
   }
 }
 
 Vec CsrMatrix::gram_diagonal() const {
   Vec d(cols_, 0.0);
-  for (std::size_t k = 0; k < val_.size(); ++k)
-    d[col_idx_[k]] += val_[k] * val_[k];
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double s = 0.0;
+    for (std::size_t k = tr_ptr_[c]; k < tr_ptr_[c + 1]; ++k)
+      s += tr_val_[k] * tr_val_[k];
+    d[c] = s;
+  }
   return d;
+}
+
+CsrMatrix CsrMatrix::scaled(const Vec& row_scale, const Vec& col_scale) const {
+  DOSEOPT_CHECK(row_scale.size() == rows_ && col_scale.size() == cols_,
+                "scaled: scale size mismatch");
+  CsrMatrix out;
+  out.rows_ = rows_;
+  out.cols_ = cols_;
+  out.row_ptr_ = row_ptr_;
+  out.col_idx_ = col_idx_;
+  out.val_.resize(val_.size());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      out.val_[k] = val_[k] * row_scale[r] * col_scale[col_idx_[k]];
+  out.build_transpose();
+  return out;
 }
 
 Vec CsrMatrix::row_dense(std::size_t r) const {

@@ -1,6 +1,13 @@
 // Sparse matrix support: triplet assembly and compressed-sparse-row storage
 // with the matrix-vector products the ADMM QP solver needs (A*x, A^T*y, and
 // the Gram diagonal of A^T*A for preconditioning).
+//
+// Construction also builds the transpose (CSC-style) index so the A^T
+// products run as per-column *gathers* instead of per-row scatters: every
+// output element is owned by exactly one loop index, which lets all of the
+// products fan out over the process thread pool with bit-identical results
+// at any thread count (the per-element accumulation order is fixed by the
+// index, not by thread timing).
 #pragma once
 
 #include <cstdint>
@@ -59,6 +66,12 @@ class CsrMatrix {
   /// diag(A^T A): column-wise sum of squared entries.
   Vec gram_diagonal() const;
 
+  /// The matrix with row r scaled by row_scale[r] and column c by
+  /// col_scale[c] (entry v -> v * row_scale[r] * col_scale[c]) -- the Ruiz
+  /// equilibration step of the QP solver, built directly on the CSR
+  /// structure instead of a triplet round-trip.
+  CsrMatrix scaled(const Vec& row_scale, const Vec& col_scale) const;
+
   /// Dense row extraction for tests/debugging.
   Vec row_dense(std::size_t r) const;
 
@@ -67,10 +80,19 @@ class CsrMatrix {
   const std::vector<double>& values() const { return val_; }
 
  private:
+  void build_transpose();
+
   std::size_t rows_ = 0, cols_ = 0;
   std::vector<std::size_t> row_ptr_;
   std::vector<std::uint32_t> col_idx_;
   std::vector<double> val_;
+
+  // Transpose index (per-column entries, rows ascending -- the same order
+  // the serial row-major scatter visited them, so gather results match the
+  // historical serial values).
+  std::vector<std::size_t> tr_ptr_;
+  std::vector<std::uint32_t> tr_row_;
+  std::vector<double> tr_val_;
 };
 
 }  // namespace doseopt::la

@@ -124,9 +124,16 @@ Library characterize(const tech::DeviceModel& device,
                      const std::vector<CellMaster>& masters, double delta_l_nm,
                      double delta_w_nm, const CharacterizeOptions& options) {
   Library lib(device.node(), delta_l_nm, delta_w_nm);
-  for (std::size_t mi = 0; mi < masters.size(); ++mi) {
+  // Each master's tables depend only on immutable inputs (device model,
+  // master template, geometry deltas), so the per-master sweep fans out
+  // over the pool with one result slot per master and assembles in master
+  // order -- bit-identical output at any thread count.
+  std::vector<CharacterizedCell> cells(masters.size());
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::global();
+  pool.parallel_for(masters.size(), [&](std::size_t mi) {
     const CellMaster& m = masters[mi];
-    CharacterizedCell cell;
+    CharacterizedCell& cell = cells[mi];
     cell.name = m.name;
     cell.master_index = mi;
     cell.input_cap_ff = cell_input_cap_ff(device, m, delta_l_nm, delta_w_nm);
@@ -152,8 +159,8 @@ Library characterize(const tech::DeviceModel& device,
         cell.arc.slew_fall.at(i, j) = so;
       }
     }
-    lib.add_cell(std::move(cell));
-  }
+  });
+  for (CharacterizedCell& cell : cells) lib.add_cell(std::move(cell));
   return lib;
 }
 

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "liberty/cell_master.h"
 #include "liberty/library.h"
 #include "tech/device.h"
@@ -18,6 +19,10 @@ namespace doseopt::liberty {
 struct CharacterizeOptions {
   std::vector<double> slew_axis_ns = default_slew_axis_ns();
   std::vector<double> load_axis_ff = default_load_axis_ff();
+  /// Pool for the per-master table sweep; nullptr = the process pool.
+  /// Masters are characterized independently and assembled in master
+  /// order, so the result is identical for any thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Characterize `masters` at gate length L_nominal + delta_l_nm and device

@@ -42,6 +42,33 @@ const Library& LibraryRepository::variant(int il, int iw) {
   return *it->second;
 }
 
+void LibraryRepository::warm(const std::vector<std::pair<int, int>>& keys,
+                             ThreadPool* pool) {
+  std::vector<std::pair<int, int>> missing;
+  for (const auto& key : keys) {
+    DOSEOPT_CHECK(key.first >= 0 && key.first < kVariantsPerLayer &&
+                      key.second >= 0 && key.second < kVariantsPerLayer,
+                  "LibraryRepository::warm: index out of range");
+    if (!cache_.contains(key) &&
+        std::find(missing.begin(), missing.end(), key) == missing.end())
+      missing.push_back(key);
+  }
+  if (missing.empty()) return;
+
+  std::vector<std::unique_ptr<Library>> built(missing.size());
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+  p.parallel_for(missing.size(), [&](std::size_t i) {
+    const auto [il, iw] = missing[i];
+    // characterize() itself fans out over the pool; from inside a pool
+    // task that nested loop runs inline, so either level parallelizes.
+    built[i] = std::make_unique<Library>(characterize(
+        device_, masters_, dose_to_delta_cd_nm(variant_index_to_dose_pct(il)),
+        dose_to_delta_cd_nm(variant_index_to_dose_pct(iw))));
+  });
+  for (std::size_t i = 0; i < missing.size(); ++i)
+    cache_.emplace(missing[i], std::move(built[i]));
+}
+
 const Library& LibraryRepository::variant_for_dose(double dose_poly_pct,
                                                    double dose_active_pct) {
   return variant(dose_to_variant_index(dose_poly_pct),

@@ -54,7 +54,18 @@ class LibraryRepository {
 
   /// Variant at poly index `il` and active index `iw` (each 0..20, 10 =
   /// nominal). Characterizes on first use.
+  ///
+  /// NOT thread-safe when the variant is missing (the cache insert races);
+  /// parallel consumers must warm() every variant they will touch first,
+  /// after which concurrent variant() calls are read-only and safe.
   const Library& variant(int il, int iw);
+
+  /// Characterize every missing variant among `keys` (pairs of (il, iw)),
+  /// fanning the characterization runs out over `pool` (nullptr = the
+  /// process pool).  Insertion happens on the calling thread in key order,
+  /// so the cache contents are identical for any thread count.
+  void warm(const std::vector<std::pair<int, int>>& keys,
+            ThreadPool* pool = nullptr);
 
   /// Variant for dose percentages, snapped to the characterization grid.
   const Library& variant_for_dose(double dose_poly_pct, double dose_active_pct);

@@ -126,19 +126,7 @@ QpSolution QpSolver::solve(const QpProblem& problem, const la::Vec& x0,
     u_s[i] = problem.upper[i] >= kInfinity ? kInfinity
                                            : problem.upper[i] * sc.d[i];
   }
-  // Scaled A: copy the CSR and scale values in place.
-  la::CsrMatrix a_s = problem.a;
-  {
-    // CsrMatrix is immutable by interface; rebuild via triplets.
-    la::TripletMatrix t(m, n);
-    const auto& row_ptr = problem.a.row_ptr();
-    const auto& col_idx = problem.a.col_idx();
-    const auto& val = problem.a.values();
-    for (std::size_t r = 0; r < m; ++r)
-      for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
-        t.add(r, col_idx[k], val[k] * sc.d[r] * sc.e[col_idx[k]]);
-    a_s = la::CsrMatrix(t);
-  }
+  const la::CsrMatrix a_s = problem.a.scaled(sc.d, sc.e);
 
   double rho = s.rho;
 

@@ -13,6 +13,22 @@ using netlist::kNoCell;
 using netlist::kNoNet;
 using netlist::NetId;
 
+namespace {
+
+constexpr double kUnboundRequired = 1e30;
+constexpr double kNoReqRel = -1e30;
+
+/// Heap entry packing: (topological position, id).  Position in the high
+/// bits so the packed integers order by position first.
+inline std::uint64_t pack(std::uint32_t pos, std::uint32_t id) {
+  return (static_cast<std::uint64_t>(pos) << 32) | id;
+}
+inline std::uint32_t unpack_id(std::uint64_t e) {
+  return static_cast<std::uint32_t>(e);
+}
+
+}  // namespace
+
 void VariantAssignment::set(CellId c, int poly_index, int active_index) {
   DOSEOPT_CHECK(c < variants_.size(), "VariantAssignment::set: bad cell");
   DOSEOPT_CHECK(poly_index >= 0 && poly_index < liberty::kVariantsPerLayer &&
@@ -28,176 +44,439 @@ Timer::Timer(const netlist::Netlist* nl, const extract::Parasitics* parasitics,
   DOSEOPT_CHECK(nl != nullptr && parasitics != nullptr && repo != nullptr,
                 "Timer: null dependency");
   topo_order_ = nl->topological_order();
-}
 
-namespace {
+  const std::size_t cell_count = nl->cell_count();
+  const std::size_t net_count = nl->net_count();
 
-/// Resolve the characterized cell for an instance under `variants`.
-const liberty::CharacterizedCell& variant_cell(
-    liberty::LibraryRepository& repo, const netlist::Netlist& nl,
-    const VariantAssignment& variants, CellId c) {
-  const auto [il, iw] = variants.get(c);
-  return repo.variant(il, iw).cell(nl.cell(c).master_index);
-}
+  topo_pos_.assign(cell_count, 0);
+  for (std::size_t i = 0; i < topo_order_.size(); ++i)
+    topo_pos_[topo_order_[i]] = static_cast<std::uint32_t>(i);
 
-}  // namespace
-
-TimingResult Timer::analyze(const VariantAssignment& variants) const {
-  const netlist::Netlist& nl = *netlist_;
-  DOSEOPT_CHECK(variants.size() == nl.cell_count(),
-                "Timer::analyze: variant assignment size mismatch");
-
-  TimingResult result;
-  result.cells.assign(nl.cell_count(), CellTiming{});
-
-  // --- net loads: wire cap + variant sink pin caps (+ PO load) ---
-  std::vector<double> net_load_ff(nl.net_count(), 0.0);
-  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
-    const netlist::Net& net = nl.net(static_cast<NetId>(ni));
-    double load = parasitics_->net(static_cast<NetId>(ni)).wire_cap_ff;
-    for (const netlist::SinkPin& s : net.sinks)
-      load += variant_cell(*repo_, nl, variants, s.cell).input_cap_ff;
-    if (net.is_primary_output) load += options_.output_load_ff;
-    net_load_ff[ni] = load;
-  }
-
-  // --- arrival/slew at net sources (PIs start at 0 / input slew) ---
-  std::vector<double> net_arrival(nl.net_count(), 0.0);
-  std::vector<double> net_min_arrival(nl.net_count(), 0.0);
-  std::vector<double> net_slew(nl.net_count(), options_.input_slew_ns);
-
-  auto sink_pin_cap = [&](const netlist::SinkPin& s) {
-    return variant_cell(*repo_, nl, variants, s.cell).input_cap_ff;
-  };
-
-  for (CellId c : topo_order_) {
-    const netlist::Cell& cell = nl.cell(c);
-    const liberty::CharacterizedCell& lib_cell =
-        variant_cell(*repo_, nl, variants, c);
-    CellTiming& ct = result.cells[c];
-    ct.load_ff = net_load_ff[cell.output_net];
-
-    if (cell.sequential) {
-      // Launch point: clk->Q delay from the clock edge.
-      ct.input_slew_ns = options_.clock_slew_ns;
-      ct.gate_delay_ns =
-          lib_cell.arc.delay_ns(options_.clock_slew_ns, ct.load_ff);
-      ct.arrival_ns = ct.gate_delay_ns;
-      ct.min_arrival_ns = ct.gate_delay_ns;
-      ct.output_slew_ns =
-          lib_cell.arc.out_slew_ns(options_.clock_slew_ns, ct.load_ff);
-    } else {
-      double worst_arrival = 0.0;
-      double best_arrival = 1e30;
-      double worst_slew = options_.input_slew_ns;
-      for (std::size_t pi = 0; pi < cell.input_nets.size(); ++pi) {
-        const NetId n = cell.input_nets[pi];
-        const double cap = lib_cell.input_cap_ff;
-        const double wire = parasitics_->wire_delay_ns(n, cap);
-        const double arr = net_arrival[n] + wire;
-        const double min_arr = net_min_arrival[n] + wire;
-        const double slew =
-            net_slew[n] + parasitics_->wire_slew_ns(n, cap);
-        worst_arrival = std::max(worst_arrival, arr);
-        best_arrival = std::min(best_arrival, min_arr);
-        worst_slew = std::max(worst_slew, slew);
-      }
-      if (cell.input_nets.empty()) best_arrival = 0.0;
-      ct.input_slew_ns = worst_slew;
-      ct.gate_delay_ns = lib_cell.arc.delay_ns(worst_slew, ct.load_ff);
-      ct.arrival_ns = worst_arrival + ct.gate_delay_ns;
-      ct.min_arrival_ns = best_arrival + ct.gate_delay_ns;
-      ct.output_slew_ns = lib_cell.arc.out_slew_ns(worst_slew, ct.load_ff);
+  // Deduped fanin edges: a net wired to several pins of the same cell is
+  // one timing edge (max/min over duplicates is idempotent, so the forward
+  // and backward kernels are unchanged by the dedup).
+  fanin_ptr_.assign(cell_count + 1, 0);
+  fanin_net_.clear();
+  std::vector<NetId> seen;
+  for (std::size_t ci = 0; ci < cell_count; ++ci) {
+    const netlist::Cell& cell = nl->cell(static_cast<CellId>(ci));
+    seen.clear();
+    for (NetId n : cell.input_nets) {
+      if (std::find(seen.begin(), seen.end(), n) == seen.end()) seen.push_back(n);
     }
-    net_arrival[cell.output_net] = ct.arrival_ns;
-    net_min_arrival[cell.output_net] = ct.min_arrival_ns;
-    net_slew[cell.output_net] = ct.output_slew_ns;
+    fanin_net_.insert(fanin_net_.end(), seen.begin(), seen.end());
+    fanin_ptr_[ci + 1] = fanin_net_.size();
   }
+
+  // Net -> consumer edges (CSR), in ascending consumer cell order.
+  net_cons_ptr_.assign(net_count + 1, 0);
+  for (NetId n : fanin_net_) net_cons_ptr_[n + 1]++;
+  for (std::size_t ni = 0; ni < net_count; ++ni)
+    net_cons_ptr_[ni + 1] += net_cons_ptr_[ni];
+  net_cons_cell_.assign(fanin_net_.size(), kNoCell);
+  net_cons_edge_.assign(fanin_net_.size(), 0);
+  {
+    std::vector<std::size_t> next(net_cons_ptr_.begin(),
+                                  net_cons_ptr_.end() - 1);
+    for (std::size_t ci = 0; ci < cell_count; ++ci) {
+      for (std::size_t e = fanin_ptr_[ci]; e < fanin_ptr_[ci + 1]; ++e) {
+        const std::size_t pos = next[fanin_net_[e]]++;
+        net_cons_cell_[pos] = static_cast<CellId>(ci);
+        net_cons_edge_[pos] = e;
+      }
+    }
+  }
+
+  setup_ns_.assign(cell_count, 0.0);
+  hold_ns_.assign(cell_count, 0.0);
+  for (std::size_t ci = 0; ci < cell_count; ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!nl->cell(id).sequential) continue;
+    seq_cells_.push_back(id);
+    setup_ns_[ci] = nl->master_of(id).setup_ns;
+    hold_ns_[ci] = nl->master_of(id).hold_ns;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared kernels.
+// ---------------------------------------------------------------------------
+
+const liberty::CharacterizedCell* Timer::resolve_cell(TimingState& state,
+                                                      CellId c) const {
+  const auto [il, iw] = state.variants_[c];
+  const liberty::Library*& lib =
+      state.lib_cache_[static_cast<std::size_t>(il) *
+                           liberty::kVariantsPerLayer +
+                       static_cast<std::size_t>(iw)];
+  if (lib == nullptr) lib = &repo_->variant(il, iw);
+  return &lib->cell(netlist_->cell(c).master_index);
+}
+
+double Timer::compute_net_load(const TimingState& state, NetId n) const {
+  const netlist::Net& net = netlist_->net(n);
+  double load = parasitics_->net(n).wire_cap_ff;
+  for (const netlist::SinkPin& s : net.sinks)
+    load += state.lib_cell_[s.cell]->input_cap_ff;
+  if (net.is_primary_output) load += options_.output_load_ff;
+  return load;
+}
+
+bool Timer::refresh_fanin_edges(TimingState& state, CellId c) const {
+  const double cap = state.lib_cell_[c]->input_cap_ff;
+  bool changed = false;
+  for (std::size_t e = fanin_ptr_[c]; e < fanin_ptr_[c + 1]; ++e) {
+    const NetId n = fanin_net_[e];
+    const double wd = parasitics_->wire_delay_ns(n, cap);
+    const double ws = parasitics_->wire_slew_ns(n, cap);
+    if (wd != state.edge_wire_delay_[e] || ws != state.edge_wire_slew_[e]) {
+      state.edge_wire_delay_[e] = wd;
+      state.edge_wire_slew_[e] = ws;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void Timer::compute_cell(TimingState& state, CellId c, CellTiming& ct) const {
+  const netlist::Cell& cell = netlist_->cell(c);
+  const liberty::CharacterizedCell& lib_cell = *state.lib_cell_[c];
+  ct.load_ff = state.net_load_[cell.output_net];
+
+  if (cell.sequential) {
+    // Launch point: clk->Q delay from the clock edge.
+    ct.input_slew_ns = options_.clock_slew_ns;
+    ct.gate_delay_ns =
+        lib_cell.arc.delay_ns(options_.clock_slew_ns, ct.load_ff);
+    ct.arrival_ns = ct.gate_delay_ns;
+    ct.min_arrival_ns = ct.gate_delay_ns;
+    ct.output_slew_ns =
+        lib_cell.arc.out_slew_ns(options_.clock_slew_ns, ct.load_ff);
+    return;
+  }
+
+  double worst_arrival = 0.0;
+  double best_arrival = 1e30;
+  double worst_slew = options_.input_slew_ns;
+  for (std::size_t e = fanin_ptr_[c]; e < fanin_ptr_[c + 1]; ++e) {
+    const NetId n = fanin_net_[e];
+    const double wire = state.edge_wire_delay_[e];
+    const double arr = state.net_arrival_[n] + wire;
+    const double min_arr = state.net_min_arrival_[n] + wire;
+    const double slew = state.net_slew_[n] + state.edge_wire_slew_[e];
+    worst_arrival = std::max(worst_arrival, arr);
+    best_arrival = std::min(best_arrival, min_arr);
+    worst_slew = std::max(worst_slew, slew);
+  }
+  if (fanin_ptr_[c] == fanin_ptr_[c + 1]) best_arrival = 0.0;
+  ct.input_slew_ns = worst_slew;
+  ct.gate_delay_ns = lib_cell.arc.delay_ns(worst_slew, ct.load_ff);
+  ct.arrival_ns = worst_arrival + ct.gate_delay_ns;
+  ct.min_arrival_ns = best_arrival + ct.gate_delay_ns;
+  ct.output_slew_ns = lib_cell.arc.out_slew_ns(worst_slew, ct.load_ff);
+}
+
+double Timer::compute_req_rel(const TimingState& state, NetId n) const {
+  // req_rel[n] = t_clk - required[n], which is clock-independent: the
+  // largest downstream "cost" of this net over its consumers --
+  //   seq capture:  setup + wire delay to the D pin,
+  //   primary out:  wire delay to the load,
+  //   comb consumer c:  req_rel[out(c)] + gate_delay(c) + wire delay.
+  // An unconstrained (dangling) cone stays at kNoReqRel: adding O(1) delay
+  // terms to -1e30 is exact, so "no constraint" propagates losslessly.
+  double rr = kNoReqRel;
+  if (netlist_->net(n).is_primary_output)
+    rr = std::max(rr, state.po_wire_delay_[n]);
+  for (std::size_t k = net_cons_ptr_[n]; k < net_cons_ptr_[n + 1]; ++k) {
+    const CellId c = net_cons_cell_[k];
+    const double wire = state.edge_wire_delay_[net_cons_edge_[k]];
+    if (netlist_->cell(c).sequential) {
+      rr = std::max(rr, setup_ns_[c] + wire);
+    } else {
+      rr = std::max(rr, state.net_req_rel_[netlist_->cell(c).output_net] +
+                            state.result_.cells[c].gate_delay_ns + wire);
+    }
+  }
+  return rr;
+}
+
+void Timer::finish(TimingState& state) const {
+  const netlist::Netlist& nl = *netlist_;
+  TimingResult& result = state.result_;
 
   // --- MCT over capture points ---
   double mct = 0.0;
-  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
-    const netlist::Cell& cell = nl.cell(static_cast<CellId>(ci));
-    if (!cell.sequential) continue;
-    const double setup = nl.master_of(static_cast<CellId>(ci)).setup_ns;
-    const liberty::CharacterizedCell& lib_cell =
-        variant_cell(*repo_, nl, variants, static_cast<CellId>(ci));
-    for (NetId n : cell.input_nets) {
-      const double arr = net_arrival[n] +
-                         parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff);
+  for (CellId ci : seq_cells_) {
+    const double setup = setup_ns_[ci];
+    for (std::size_t e = fanin_ptr_[ci]; e < fanin_ptr_[ci + 1]; ++e) {
+      const NetId n = fanin_net_[e];
+      const double arr = state.net_arrival_[n] + state.edge_wire_delay_[e];
       mct = std::max(mct, arr + setup);
     }
   }
   for (NetId n : nl.primary_outputs())
-    mct = std::max(mct,
-                   net_arrival[n] +
-                       parasitics_->wire_delay_ns(n, options_.output_load_ff));
+    mct = std::max(mct, state.net_arrival_[n] + state.po_wire_delay_[n]);
   result.mct_ns = mct;
   result.clock_ns = options_.clock_ns > 0.0 ? options_.clock_ns : mct;
 
-  // --- required times (backward) ---
+  // --- required/slack from the clock-independent req_rel ---
   const double t_clk = result.clock_ns;
-  std::vector<double> net_required(nl.net_count(), 1e30);
-  // Capture endpoints impose requirements on their driving nets.
-  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
-    const netlist::Cell& cell = nl.cell(static_cast<CellId>(ci));
-    if (!cell.sequential) continue;
-    const double setup = nl.master_of(static_cast<CellId>(ci)).setup_ns;
-    const liberty::CharacterizedCell& lib_cell =
-        variant_cell(*repo_, nl, variants, static_cast<CellId>(ci));
-    for (NetId n : cell.input_nets) {
-      const double req = t_clk - setup -
-                         parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff);
-      net_required[n] = std::min(net_required[n], req);
-    }
-  }
-  for (NetId n : nl.primary_outputs()) {
-    const double req =
-        t_clk - parasitics_->wire_delay_ns(n, options_.output_load_ff);
-    net_required[n] = std::min(net_required[n], req);
-  }
-  // Backward over combinational cells in reverse topological order.
-  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
-    const CellId c = *it;
-    const netlist::Cell& cell = nl.cell(c);
-    CellTiming& ct = result.cells[c];
-    ct.required_ns = net_required[cell.output_net];
-    ct.slack_ns = ct.required_ns - ct.arrival_ns;
-    if (cell.sequential) continue;  // stops propagation at launch points
-    const liberty::CharacterizedCell& lib_cell =
-        variant_cell(*repo_, nl, variants, c);
-    for (NetId n : cell.input_nets) {
-      const double req = ct.required_ns - ct.gate_delay_ns -
-                         parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff);
-      net_required[n] = std::min(net_required[n], req);
-    }
-  }
-
   double worst = 1e30;
-  for (const CellTiming& ct : result.cells)
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    CellTiming& ct = result.cells[ci];
+    const double rr = state.net_req_rel_[nl.cell(static_cast<CellId>(ci))
+                                             .output_net];
+    ct.required_ns = rr > kNoReqRel ? t_clk - rr : kUnboundRequired;
+    ct.slack_ns = ct.required_ns - ct.arrival_ns;
     worst = std::min(worst, ct.slack_ns);
+  }
   result.worst_slack_ns = nl.cell_count() > 0 ? worst : 0.0;
 
   // --- hold analysis: shortest launch-to-capture path vs hold time ---
   // (Same-edge capture model: data must not race through before the hold
   // window closes.  PIs are externally timed and excluded.)
   double worst_hold = 1e30;
-  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
-    const netlist::Cell& cell = nl.cell(static_cast<CellId>(ci));
-    if (!cell.sequential) continue;
-    const double hold = nl.master_of(static_cast<CellId>(ci)).hold_ns;
-    const liberty::CharacterizedCell& lib_cell =
-        variant_cell(*repo_, nl, variants, static_cast<CellId>(ci));
-    for (NetId n : cell.input_nets) {
+  for (CellId ci : seq_cells_) {
+    const double hold = hold_ns_[ci];
+    for (std::size_t e = fanin_ptr_[ci]; e < fanin_ptr_[ci + 1]; ++e) {
+      const NetId n = fanin_net_[e];
       if (nl.net(n).driver == kNoCell) continue;
       const double min_arr =
-          net_min_arrival[n] +
-          parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff);
+          state.net_min_arrival_[n] + state.edge_wire_delay_[e];
       worst_hold = std::min(worst_hold, min_arr - hold);
     }
   }
   result.worst_hold_slack_ns = worst_hold >= 1e30 ? 0.0 : worst_hold;
-  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Full initialization.
+// ---------------------------------------------------------------------------
+
+void Timer::init_state(TimingState& state,
+                       const VariantAssignment& variants) const {
+  const netlist::Netlist& nl = *netlist_;
+  const std::size_t cell_count = nl.cell_count();
+  const std::size_t net_count = nl.net_count();
+
+  state.owner_ = this;
+  state.variants_.resize(cell_count);
+  for (std::size_t ci = 0; ci < cell_count; ++ci)
+    state.variants_[ci] = variants.get(static_cast<CellId>(ci));
+
+  state.lib_cache_.assign(static_cast<std::size_t>(liberty::kVariantsPerLayer) *
+                              liberty::kVariantsPerLayer,
+                          nullptr);
+  state.lib_cell_.resize(cell_count);
+  for (std::size_t ci = 0; ci < cell_count; ++ci)
+    state.lib_cell_[ci] = resolve_cell(state, static_cast<CellId>(ci));
+
+  state.po_wire_delay_.assign(net_count, 0.0);
+  for (NetId n : nl.primary_outputs())
+    state.po_wire_delay_[n] =
+        parasitics_->wire_delay_ns(n, options_.output_load_ff);
+
+  state.edge_wire_delay_.assign(fanin_net_.size(), 0.0);
+  state.edge_wire_slew_.assign(fanin_net_.size(), 0.0);
+  for (std::size_t ci = 0; ci < cell_count; ++ci)
+    refresh_fanin_edges(state, static_cast<CellId>(ci));
+
+  state.net_load_.resize(net_count);
+  for (std::size_t ni = 0; ni < net_count; ++ni)
+    state.net_load_[ni] = compute_net_load(state, static_cast<NetId>(ni));
+
+  // PI nets launch at time 0 with the boundary input slew.
+  state.net_arrival_.assign(net_count, 0.0);
+  state.net_min_arrival_.assign(net_count, 0.0);
+  state.net_slew_.assign(net_count, options_.input_slew_ns);
+
+  state.result_.cells.assign(cell_count, CellTiming{});
+  for (CellId c : topo_order_) {
+    CellTiming& ct = state.result_.cells[c];
+    compute_cell(state, c, ct);
+    const NetId out = nl.cell(c).output_net;
+    state.net_arrival_[out] = ct.arrival_ns;
+    state.net_min_arrival_[out] = ct.min_arrival_ns;
+    state.net_slew_[out] = ct.output_slew_ns;
+  }
+
+  state.net_req_rel_.assign(net_count, kNoReqRel);
+  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+    const NetId out = nl.cell(*it).output_net;
+    state.net_req_rel_[out] = compute_req_rel(state, out);
+  }
+
+  finish(state);
+
+  state.epoch_ = 0;
+  state.cell_queued_.assign(cell_count, 0);
+  state.net_req_queued_.assign(net_count, 0);
+  state.net_load_queued_.assign(net_count, 0);
+  state.net_par_queued_.assign(net_count, 0);
+  state.fwd_heap_.clear();
+  state.bwd_heap_.clear();
+  state.load_dirty_.clear();
+  state.valid_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental update.
+// ---------------------------------------------------------------------------
+
+const TimingResult& Timer::incremental_update(
+    TimingState& state, const VariantAssignment& variants,
+    const std::vector<NetId>& changed_nets) const {
+  const netlist::Netlist& nl = *netlist_;
+  const std::uint32_t epoch = ++state.epoch_;
+  state.fwd_heap_.clear();
+  state.bwd_heap_.clear();
+  state.load_dirty_.clear();
+
+  auto mark_cell_fwd = [&](CellId c) {
+    if (state.cell_queued_[c] == epoch) return;
+    state.cell_queued_[c] = epoch;
+    state.fwd_heap_.push_back(pack(topo_pos_[c], c));
+    std::push_heap(state.fwd_heap_.begin(), state.fwd_heap_.end(),
+                   std::greater<>());
+  };
+  auto mark_net_req = [&](NetId n) {
+    const CellId drv = nl.net(n).driver;
+    if (drv == kNoCell) return;  // PI nets carry no reported requirement
+    if (state.net_req_queued_[n] == epoch) return;
+    state.net_req_queued_[n] = epoch;
+    state.bwd_heap_.push_back(pack(topo_pos_[drv], n));
+    std::push_heap(state.bwd_heap_.begin(), state.bwd_heap_.end());
+  };
+  auto mark_net_load = [&](NetId n) {
+    if (state.net_load_queued_[n] == epoch) return;
+    state.net_load_queued_[n] = epoch;
+    state.load_dirty_.push_back(n);
+  };
+
+  // --- 1. diff the variant assignment against the snapshot ---
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    const std::pair<int, int> v = variants.get(id);
+    if (v == state.variants_[ci]) continue;
+    state.variants_[ci] = v;
+    const liberty::CharacterizedCell* lc = resolve_cell(state, id);
+    const bool cap_changed =
+        lc->input_cap_ff != state.lib_cell_[ci]->input_cap_ff;
+    state.lib_cell_[ci] = lc;
+    mark_cell_fwd(id);  // NLDM tables changed -> gate delay/slew may move
+    if (cap_changed) {
+      // This cell's pin cap feeds its input nets' loads and its own
+      // fanin-edge wire delays (and, through those, upstream req_rel).
+      if (refresh_fanin_edges(state, id)) {
+        for (std::size_t e = fanin_ptr_[ci]; e < fanin_ptr_[ci + 1]; ++e)
+          mark_net_req(fanin_net_[e]);
+      }
+      for (const NetId n : nl.cell(id).input_nets) mark_net_load(n);
+    }
+  }
+
+  // --- 2. nets with re-extracted parasitics ---
+  for (const NetId n : changed_nets) {
+    DOSEOPT_CHECK(n < nl.net_count(), "Timer::update: bad changed net");
+    if (state.net_par_queued_[n] == epoch) continue;  // duplicate entry
+    state.net_par_queued_[n] = epoch;
+    mark_net_load(n);  // wire cap contributes to the net load
+    if (nl.net(n).is_primary_output)
+      state.po_wire_delay_[n] =
+          parasitics_->wire_delay_ns(n, options_.output_load_ff);
+    // Every consumer edge's wire delay/slew is stale.
+    for (std::size_t k = net_cons_ptr_[n]; k < net_cons_ptr_[n + 1]; ++k) {
+      const CellId c = net_cons_cell_[k];
+      const std::size_t e = net_cons_edge_[k];
+      const double cap = state.lib_cell_[c]->input_cap_ff;
+      const double wd = parasitics_->wire_delay_ns(n, cap);
+      const double ws = parasitics_->wire_slew_ns(n, cap);
+      if (wd != state.edge_wire_delay_[e] || ws != state.edge_wire_slew_[e]) {
+        state.edge_wire_delay_[e] = wd;
+        state.edge_wire_slew_[e] = ws;
+        mark_cell_fwd(c);
+      }
+    }
+    mark_net_req(n);  // wire-delay terms in req_rel[n] may have moved
+  }
+
+  // --- 3. re-sum dirty net loads (same order as a full pass) ---
+  for (const NetId n : state.load_dirty_) {
+    const double load = compute_net_load(state, n);
+    if (load == state.net_load_[n]) continue;
+    state.net_load_[n] = load;
+    const CellId drv = nl.net(n).driver;
+    if (drv != kNoCell) mark_cell_fwd(drv);  // gate delay sees the new load
+  }
+
+  // --- 4. forward cone: levelized worklist with early termination ---
+  while (!state.fwd_heap_.empty()) {
+    std::pop_heap(state.fwd_heap_.begin(), state.fwd_heap_.end(),
+                  std::greater<>());
+    const CellId c = unpack_id(state.fwd_heap_.back());
+    state.fwd_heap_.pop_back();
+
+    CellTiming& ct = state.result_.cells[c];
+    const double old_gate = ct.gate_delay_ns;
+    compute_cell(state, c, ct);
+
+    if (ct.gate_delay_ns != old_gate && !nl.cell(c).sequential) {
+      // req_rel of this cell's input nets embeds its gate delay.
+      for (std::size_t e = fanin_ptr_[c]; e < fanin_ptr_[c + 1]; ++e)
+        mark_net_req(fanin_net_[e]);
+    }
+
+    const NetId out = nl.cell(c).output_net;
+    if (ct.arrival_ns == state.net_arrival_[out] &&
+        ct.min_arrival_ns == state.net_min_arrival_[out] &&
+        ct.output_slew_ns == state.net_slew_[out])
+      continue;  // converged: downstream values cannot change
+    state.net_arrival_[out] = ct.arrival_ns;
+    state.net_min_arrival_[out] = ct.min_arrival_ns;
+    state.net_slew_[out] = ct.output_slew_ns;
+    for (std::size_t k = net_cons_ptr_[out]; k < net_cons_ptr_[out + 1]; ++k)
+      mark_cell_fwd(net_cons_cell_[k]);
+  }
+
+  // --- 5. backward cone: req_rel repair, deepest driver first ---
+  while (!state.bwd_heap_.empty()) {
+    std::pop_heap(state.bwd_heap_.begin(), state.bwd_heap_.end());
+    const NetId n = unpack_id(state.bwd_heap_.back());
+    state.bwd_heap_.pop_back();
+
+    const double rr = compute_req_rel(state, n);
+    if (rr == state.net_req_rel_[n]) continue;
+    state.net_req_rel_[n] = rr;
+    const CellId drv = nl.net(n).driver;
+    if (drv == kNoCell || nl.cell(drv).sequential) continue;
+    for (std::size_t e = fanin_ptr_[drv]; e < fanin_ptr_[drv + 1]; ++e)
+      mark_net_req(fanin_net_[e]);
+  }
+
+  // --- 6. finalize: MCT / clock / required / slack / hold (O(cells), no
+  // NLDM evaluations -- every term reads cached values) ---
+  finish(state);
+  return state.result_;
+}
+
+const TimingResult& Timer::update(
+    TimingState& state, const VariantAssignment& variants,
+    const std::vector<NetId>& changed_nets) const {
+  DOSEOPT_CHECK(variants.size() == netlist_->cell_count(),
+                "Timer::update: variant assignment size mismatch");
+  if (!state.valid_ || state.owner_ != this) {
+    init_state(state, variants);
+    return state.result_;
+  }
+  return incremental_update(state, variants, changed_nets);
+}
+
+TimingResult Timer::analyze(const VariantAssignment& variants) const {
+  DOSEOPT_CHECK(variants.size() == netlist_->cell_count(),
+                "Timer::analyze: variant assignment size mismatch");
+  TimingState state;
+  init_state(state, variants);
+  return std::move(state.result_);
 }
 
 std::vector<TimingPath> Timer::top_paths(const VariantAssignment& variants,
@@ -211,6 +490,21 @@ std::vector<TimingPath> Timer::top_paths(const VariantAssignment& variants,
   const netlist::Netlist& nl = *netlist_;
   DOSEOPT_CHECK(timing.cells.size() == nl.cell_count(),
                 "top_paths: timing result mismatch");
+
+  // Per-cell resolved characterized cells (one variant-map lookup per
+  // library, not one per expansion).
+  std::vector<const liberty::Library*> lib_cache(
+      static_cast<std::size_t>(liberty::kVariantsPerLayer) *
+          liberty::kVariantsPerLayer,
+      nullptr);
+  auto lib_cell = [&](CellId c) -> const liberty::CharacterizedCell& {
+    const auto [il, iw] = variants.get(c);
+    const liberty::Library*& lib =
+        lib_cache[static_cast<std::size_t>(il) * liberty::kVariantsPerLayer +
+                  static_cast<std::size_t>(iw)];
+    if (lib == nullptr) lib = &repo_->variant(il, iw);
+    return lib->cell(nl.cell(c).master_index);
+  };
 
   // Best-first backward enumeration of K longest paths.  A partial path is
   // anchored at some cell; its bound = arrival(cell) + suffix delay (cell
@@ -240,20 +534,15 @@ std::vector<TimingPath> Timer::top_paths(const VariantAssignment& variants,
   };
 
   // Seed with endpoints: flop D pins and primary outputs.
-  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
-    const netlist::Cell& cell = nl.cell(static_cast<CellId>(ci));
-    if (!cell.sequential) continue;
-    const double setup = nl.master_of(static_cast<CellId>(ci)).setup_ns;
-    const liberty::CharacterizedCell& lib_cell =
-        repo_->variant(variants.get(static_cast<CellId>(ci)).first,
-                       variants.get(static_cast<CellId>(ci)).second)
-            .cell(cell.master_index);
-    for (NetId n : cell.input_nets) {
+  for (CellId ci : seq_cells_) {
+    const double setup = setup_ns_[ci];
+    const double cap = lib_cell(ci).input_cap_ff;
+    for (std::size_t e = fanin_ptr_[ci]; e < fanin_ptr_[ci + 1]; ++e) {
+      const NetId n = fanin_net_[e];
       const CellId drv = nl.net(n).driver;
       if (drv == kNoCell) continue;
-      const double bound =
-          timing.cells[drv].arrival_ns +
-          parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff) + setup;
+      const double bound = timing.cells[drv].arrival_ns +
+                           parasitics_->wire_delay_ns(n, cap) + setup;
       push(bound, drv, -1, false);
     }
   }
@@ -285,23 +574,18 @@ std::vector<TimingPath> Timer::top_paths(const VariantAssignment& variants,
       continue;
     }
 
-    const liberty::CharacterizedCell& lib_cell =
-        repo_->variant(variants.get(part.cell).first,
-                       variants.get(part.cell).second)
-            .cell(cell.master_index);
+    const double cap = lib_cell(part.cell).input_cap_ff;
     const double suffix = bound - timing.cells[part.cell].arrival_ns;
     double best_pi_bound = -1e30;
-    // Distinct input nets only: a net wired to several pins of the same cell
-    // is one timing edge, not several parallel paths.
-    std::vector<NetId> seen_nets;
-    for (NetId n : cell.input_nets) {
-      if (std::find(seen_nets.begin(), seen_nets.end(), n) != seen_nets.end())
-        continue;
-      seen_nets.push_back(n);
+    // Expand over the precomputed deduped fanin edges: a net wired to
+    // several pins of the same cell is one timing edge, not several
+    // parallel paths.
+    for (std::size_t e = fanin_ptr_[part.cell]; e < fanin_ptr_[part.cell + 1];
+         ++e) {
+      const NetId n = fanin_net_[e];
       const CellId drv = nl.net(n).driver;
-      const double stage =
-          parasitics_->wire_delay_ns(n, lib_cell.input_cap_ff) +
-          timing.cells[part.cell].gate_delay_ns + suffix;
+      const double stage = parasitics_->wire_delay_ns(n, cap) +
+                           timing.cells[part.cell].gate_delay_ns + suffix;
       if (drv == kNoCell) {
         // Primary-input launch (arrival 0): path completes here.
         best_pi_bound = std::max(best_pi_bound, stage);

@@ -7,10 +7,32 @@
 // variant), wire delays from Elmore on the extracted parasitics, loads from
 // wire capacitance plus variant-dependent sink pin capacitances.
 //
+// Two entry points share one compute path:
+//
+//   * analyze(variants)          -- full pass, stateless.
+//   * update(state, variants, changed_nets)
+//                                -- incremental pass against a persistent
+//                                   TimingState: re-propagates arrival/slew
+//                                   only through the forward cone of the
+//                                   cells whose variant changed (and the
+//                                   nets whose parasitics changed), with
+//                                   early termination where values
+//                                   converge, then patches the backward
+//                                   required-time cone.  Bit-identical to
+//                                   a fresh analyze() because both paths
+//                                   run the same per-cell/per-net kernels.
+//
+// The backward pass stores the clock-independent quantity
+//   req_rel[n] = t_clk - required[n]
+// (endpoint setup + downstream gate/wire delay), so a change in MCT -- and
+// with it every required time -- costs only the O(cells) finalize scan, not
+// a full backward re-propagation.
+//
 // Produces per-cell arrival/required/slack, the design MCT (minimum cycle
 // time), and the slack data for Table VII and Fig. 10.
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -19,6 +41,8 @@
 #include "netlist/netlist.h"
 
 namespace doseopt::sta {
+
+class Timer;
 
 /// Per-cell library-variant assignment (poly index, active index);
 /// default-initialized to the nominal variant for every cell.
@@ -73,6 +97,60 @@ struct TimingResult {
   double worst_hold_slack_ns = 0.0;  ///< worst hold slack (min path - hold)
 };
 
+/// Persistent analysis state for incremental timing.  A default-constructed
+/// state is empty; the first update() through it runs a full pass and later
+/// updates re-time only what changed.  One state belongs to one Timer (it
+/// re-initializes itself if handed to another) and is not thread-safe --
+/// parallel consumers keep one TimingState per worker lane.
+class TimingState {
+ public:
+  TimingState() = default;
+
+  /// Drop all cached analysis; the next update() re-times from scratch.
+  void invalidate() { valid_ = false; }
+  bool valid() const { return valid_; }
+
+  /// The most recent analysis result (valid() must hold).
+  const TimingResult& result() const { return result_; }
+
+ private:
+  friend class Timer;
+
+  bool valid_ = false;
+  const Timer* owner_ = nullptr;
+
+  // Assignment snapshot and resolved per-cell characterized cells (kills
+  // the per-pin repo.variant(il,iw).cell(...) lookup in the inner loop).
+  std::vector<std::pair<int, int>> variants_;
+  std::vector<const liberty::CharacterizedCell*> lib_cell_;
+  std::vector<const liberty::Library*> lib_cache_;  ///< 21x21 variant grid
+
+  // Per-net propagated quantities.
+  std::vector<double> net_load_;
+  std::vector<double> net_arrival_;
+  std::vector<double> net_min_arrival_;
+  std::vector<double> net_slew_;
+  std::vector<double> net_req_rel_;  ///< t_clk - required; -1e30 = unbound
+
+  // Cached Elmore delays, indexed by the Timer's deduped fanin-edge list
+  // (they change only with parasitics or a consumer's input cap).
+  std::vector<double> edge_wire_delay_;
+  std::vector<double> edge_wire_slew_;
+  std::vector<double> po_wire_delay_;  ///< per net; PO entries only
+
+  TimingResult result_;
+
+  // Worklist scratch, persisted across updates to avoid reallocation.
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> cell_queued_;
+  std::vector<std::uint32_t> net_req_queued_;
+  std::vector<std::uint32_t> net_load_queued_;
+  std::vector<std::uint32_t> net_par_queued_;
+  std::vector<std::uint64_t> fwd_heap_;
+  std::vector<std::uint64_t> bwd_heap_;
+  std::vector<netlist::NetId> load_dirty_;
+};
+
 /// The timer: bound to a netlist + parasitics + variant library repository.
 class Timer {
  public:
@@ -81,6 +159,16 @@ class Timer {
 
   /// Full timing analysis under a variant assignment.
   TimingResult analyze(const VariantAssignment& variants) const;
+
+  /// Incremental timing analysis.  On an empty/foreign `state` this is a
+  /// full pass; otherwise only cells whose variant differs from the
+  /// state's snapshot -- plus `changed_nets`, the nets whose *parasitics*
+  /// were re-extracted since the last update -- are re-timed, with the
+  /// change cone propagated forward and backward.  Returns the state-owned
+  /// result; bit-identical to analyze(variants).
+  const TimingResult& update(
+      TimingState& state, const VariantAssignment& variants,
+      const std::vector<netlist::NetId>& changed_nets = {}) const;
 
   /// Enumerate the K worst (largest-delay) launch-to-capture paths, in
   /// non-increasing delay order.  Exact K-longest-paths over the timing DAG.
@@ -94,11 +182,46 @@ class Timer {
   const netlist::Netlist& netlist() const { return *netlist_; }
 
  private:
+  // --- shared kernels (identical for full and incremental passes) ---
+  const liberty::CharacterizedCell* resolve_cell(TimingState& state,
+                                                 netlist::CellId c) const;
+  double compute_net_load(const TimingState& state, netlist::NetId n) const;
+  /// Recompute the cached wire delay/slew of every fanin edge of `c`;
+  /// returns true when any cached value changed.
+  bool refresh_fanin_edges(TimingState& state, netlist::CellId c) const;
+  /// Forward-timing kernel: load/slew/gate delay/arrivals of one cell.
+  void compute_cell(TimingState& state, netlist::CellId c,
+                    CellTiming& ct) const;
+  /// Backward kernel: req_rel of a driven net from its consumers.
+  double compute_req_rel(const TimingState& state, netlist::NetId n) const;
+  /// MCT scan, required/slack finalize, worst-slack and hold scans.
+  void finish(TimingState& state) const;
+
+  void init_state(TimingState& state, const VariantAssignment& variants) const;
+  const TimingResult& incremental_update(
+      TimingState& state, const VariantAssignment& variants,
+      const std::vector<netlist::NetId>& changed_nets) const;
+
   const netlist::Netlist* netlist_;
   const extract::Parasitics* parasitics_;
   liberty::LibraryRepository* repo_;
   TimingOptions options_;
   std::vector<netlist::CellId> topo_order_;
+
+  // --- static structure, precomputed once (netlist topology never changes
+  // under dose/placement moves; only parasitics and variants do) ---
+  std::vector<std::uint32_t> topo_pos_;  ///< cell -> index in topo_order_
+  /// Deduped fanin edges (distinct input nets per cell, first-occurrence
+  /// pin order), CSR over cells.  One edge = one (net -> cell) timing arc.
+  std::vector<std::size_t> fanin_ptr_;
+  std::vector<netlist::NetId> fanin_net_;
+  /// Consumers of each net: (cell, fanin-edge index) pairs, CSR over nets.
+  std::vector<std::size_t> net_cons_ptr_;
+  std::vector<netlist::CellId> net_cons_cell_;
+  std::vector<std::size_t> net_cons_edge_;
+  std::vector<netlist::CellId> seq_cells_;  ///< ascending cell id
+  std::vector<double> setup_ns_;            ///< per cell (seq only)
+  std::vector<double> hold_ns_;             ///< per cell (seq only)
 };
 
 /// Fraction (percent) of `paths` whose delay is within [lo_frac, 1.0] of the

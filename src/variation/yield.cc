@@ -56,15 +56,44 @@ std::vector<double> YieldAnalyzer::sample_delta_l_nm(
   return dl;
 }
 
-YieldResult YieldAnalyzer::analyze(const sta::VariantAssignment& base) const {
+YieldResult YieldAnalyzer::analyze(const sta::VariantAssignment& base,
+                                   ThreadPool* pool) const {
   DOSEOPT_CHECK(base.size() == nl_->cell_count(),
                 "YieldAnalyzer: assignment size mismatch");
   YieldResult result;
-  result.dies.reserve(static_cast<std::size_t>(model_.monte_carlo_samples));
+  const auto samples = static_cast<std::size_t>(model_.monte_carlo_samples);
 
+  // Per-die seeds drawn serially so the sample set is independent of the
+  // worker count; each die is then a pure function of its seed.
+  std::vector<std::uint64_t> die_seed(samples);
   Rng seeder(model_.seed);
-  for (int s = 0; s < model_.monte_carlo_samples; ++s) {
-    const std::vector<double> dl = sample_delta_l_nm(seeder.next_u64());
+  for (std::uint64_t& s : die_seed) s = seeder.next_u64();
+
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+
+  // Variation only shifts the poly index, so every variant a die can touch
+  // lives on {all poly indices} x {active indices present in the base
+  // assignment}.  Warm them up front: afterwards the workers' repository
+  // accesses (STA cell resolution and leakage sums) are read-only.
+  {
+    std::vector<bool> active_used(liberty::kVariantsPerLayer, false);
+    for (std::size_t ci = 0; ci < nl_->cell_count(); ++ci)
+      active_used[static_cast<std::size_t>(
+          base.get(static_cast<CellId>(ci)).second)] = true;
+    std::vector<std::pair<int, int>> keys;
+    for (int iw = 0; iw < liberty::kVariantsPerLayer; ++iw) {
+      if (!active_used[iw]) continue;
+      for (int il = 0; il < liberty::kVariantsPerLayer; ++il)
+        keys.emplace_back(il, iw);
+    }
+    repo_->warm(keys, &p);
+  }
+
+  result.dies.assign(samples, DieSample{});
+  std::vector<sta::TimingState> lane_state(
+      static_cast<std::size_t>(p.lane_count()));
+  p.parallel_for_lane(samples, [&](int lane, std::size_t s) {
+    const std::vector<double> dl = sample_delta_l_nm(die_seed[s]);
     sta::VariantAssignment va = base;
     for (std::size_t ci = 0; ci < nl_->cell_count(); ++ci) {
       const auto id = static_cast<CellId>(ci);
@@ -77,11 +106,11 @@ YieldResult YieldAnalyzer::analyze(const sta::VariantAssignment& base) const {
           liberty::kVariantsPerLayer - 1);
       va.set(id, shifted, iw);
     }
-    DieSample die;
-    die.mct_ns = timer_->analyze(va).mct_ns;
+    DieSample& die = result.dies[s];
+    die.mct_ns = timer_->update(lane_state[static_cast<std::size_t>(lane)], va)
+                     .mct_ns;
     die.leakage_uw = power::total_leakage_uw(*nl_, *repo_, va);
-    result.dies.push_back(die);
-  }
+  });
 
   double sum = 0.0, sum_sq = 0.0, leak_sum = 0.0;
   std::vector<double> mcts;

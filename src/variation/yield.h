@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "dose/dose_map.h"
 #include "sta/timer.h"
 
@@ -58,7 +59,12 @@ class YieldAnalyzer {
 
   /// Sample `model.monte_carlo_samples` dies around the nominal assignment
   /// `base` (e.g. the output of DMopt) and analyze each with golden STA.
-  YieldResult analyze(const sta::VariantAssignment& base) const;
+  /// Dies fan out over `pool` (nullptr = the process pool); each die's
+  /// result depends only on its precomputed seed and each worker lane
+  /// re-times its dies incrementally off a persistent TimingState, so the
+  /// output is bit-identical for any thread count.
+  YieldResult analyze(const sta::VariantAssignment& base,
+                      ThreadPool* pool = nullptr) const;
 
   /// One sampled per-cell delta-L field (nm), for tests/visualization.
   std::vector<double> sample_delta_l_nm(std::uint64_t sample_seed) const;

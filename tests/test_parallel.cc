@@ -1,0 +1,288 @@
+// Tests for the thread pool and the determinism contract of everything that
+// fans out over it: library characterization, Monte-Carlo yield analysis,
+// and the CsrMatrix gather-based transpose products.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "flow/context.h"
+#include "la/sparse.h"
+#include "liberty/characterizer.h"
+#include "variation/yield.h"
+
+namespace doseopt {
+namespace {
+
+TEST(ThreadPool, SerialPoolHasOneLane) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.lane_count(), 1);
+}
+
+TEST(ThreadPool, RequestedLaneCountHonored) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.lane_count(), 3);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (const int lanes : {1, 2, 8}) {
+    ThreadPool pool(lanes);
+    const std::size_t n = 10007;
+    std::vector<int> hits(n, 0);
+    pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << i;
+  }
+}
+
+TEST(ThreadPool, SlotIsolatedResultsMatchSerial) {
+  const std::size_t n = 5000;
+  std::vector<double> serial(n), parallel(n);
+  const auto f = [](std::size_t i) {
+    return std::sin(static_cast<double>(i) * 0.37) * 3.0 + 1.0;
+  };
+  for (std::size_t i = 0; i < n; ++i) serial[i] = f(i);
+  ThreadPool pool(4);
+  pool.parallel_for(n, [&](std::size_t i) { parallel[i] = f(i); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(serial[i], parallel[i]);
+}
+
+TEST(ThreadPool, ZeroAndOneIterations) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, LaneIndicesInBounds) {
+  ThreadPool pool(4);
+  const std::size_t n = 4096;
+  std::vector<int> lane_of(n, -1);
+  pool.parallel_for_lane(n, [&](int lane, std::size_t i) {
+    EXPECT_GE(lane, 0);
+    EXPECT_LT(lane, pool.lane_count());
+    lane_of[i] = lane;
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_GE(lane_of[i], 0) << i;
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [&](std::size_t i) {
+                          if (i == 613) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  const std::size_t n = 64;
+  std::vector<double> out(n, 0.0);
+  pool.parallel_for(n, [&](std::size_t i) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    // Nested loop must run inline (no deadlock, no re-fan-out).
+    double s = 0.0;
+    pool.parallel_for(10, [&](std::size_t j) {
+      s += static_cast<double>(i * 10 + j);
+    });
+    out[i] = s;
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 10; ++j) s += static_cast<double>(i * 10 + j);
+    EXPECT_EQ(out[i], s);
+  }
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across thread counts.
+// ---------------------------------------------------------------------------
+
+void expect_library_identical(const liberty::Library& a,
+                              const liberty::Library& b) {
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  for (std::size_t i = 0; i < a.cell_count(); ++i) {
+    const liberty::CharacterizedCell& ca = a.cell(i);
+    const liberty::CharacterizedCell& cb = b.cell(i);
+    EXPECT_EQ(ca.name, cb.name);
+    EXPECT_EQ(ca.master_index, cb.master_index);
+    EXPECT_EQ(ca.input_cap_ff, cb.input_cap_ff);
+    EXPECT_EQ(ca.leakage_nw, cb.leakage_nw);
+    EXPECT_TRUE(ca.arc.delay_rise == cb.arc.delay_rise);
+    EXPECT_TRUE(ca.arc.delay_fall == cb.arc.delay_fall);
+    EXPECT_TRUE(ca.arc.slew_rise == cb.arc.slew_rise);
+    EXPECT_TRUE(ca.arc.slew_fall == cb.arc.slew_fall);
+  }
+}
+
+TEST(Determinism, CharacterizationBitIdenticalAcrossThreadCounts) {
+  const tech::TechNode node = tech::make_tech_65nm();
+  const tech::DeviceModel device(node);
+  const auto masters = liberty::make_standard_masters(node);
+
+  ThreadPool p1(1), p2(2), p8(8);
+  liberty::CharacterizeOptions o1, o2, o8;
+  o1.pool = &p1;
+  o2.pool = &p2;
+  o8.pool = &p8;
+  const liberty::Library l1 =
+      liberty::characterize(device, masters, 1.5, -0.5, o1);
+  const liberty::Library l2 =
+      liberty::characterize(device, masters, 1.5, -0.5, o2);
+  const liberty::Library l8 =
+      liberty::characterize(device, masters, 1.5, -0.5, o8);
+  expect_library_identical(l1, l2);
+  expect_library_identical(l1, l8);
+}
+
+TEST(Determinism, YieldAnalysisBitIdenticalAcrossThreadCounts) {
+  flow::DesignContext ctx(gen::aes65_spec().scaled(0.03));
+  variation::VariationModel model;
+  model.monte_carlo_samples = 12;
+  variation::YieldAnalyzer analyzer(&ctx.netlist(), &ctx.placement(),
+                                    &ctx.repo(), &ctx.timer(), model);
+  sta::VariantAssignment base(ctx.netlist().cell_count());
+
+  ThreadPool p1(1), p2(2), p8(8);
+  const variation::YieldResult r1 = analyzer.analyze(base, &p1);
+  const variation::YieldResult r2 = analyzer.analyze(base, &p2);
+  const variation::YieldResult r8 = analyzer.analyze(base, &p8);
+  ASSERT_EQ(r1.dies.size(), r2.dies.size());
+  ASSERT_EQ(r1.dies.size(), r8.dies.size());
+  for (std::size_t i = 0; i < r1.dies.size(); ++i) {
+    EXPECT_EQ(r1.dies[i].mct_ns, r2.dies[i].mct_ns) << i;
+    EXPECT_EQ(r1.dies[i].mct_ns, r8.dies[i].mct_ns) << i;
+    EXPECT_EQ(r1.dies[i].leakage_uw, r2.dies[i].leakage_uw) << i;
+    EXPECT_EQ(r1.dies[i].leakage_uw, r8.dies[i].leakage_uw) << i;
+  }
+  EXPECT_EQ(r1.mean_mct_ns, r2.mean_mct_ns);
+  EXPECT_EQ(r1.mean_mct_ns, r8.mean_mct_ns);
+  EXPECT_EQ(r1.p95_mct_ns, r8.p95_mct_ns);
+  EXPECT_EQ(r1.mean_leakage_uw, r8.mean_leakage_uw);
+}
+
+// ---------------------------------------------------------------------------
+// CsrMatrix transpose-gather products.
+// ---------------------------------------------------------------------------
+
+la::TripletMatrix random_triplets(std::size_t rows, std::size_t cols,
+                                  std::size_t per_row, std::uint64_t seed) {
+  Rng rng(seed);
+  la::TripletMatrix t(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t k = 0; k < per_row; ++k)
+      t.add(r, rng.uniform_index(cols), rng.uniform(-2.0, 2.0));
+  return t;
+}
+
+/// Reference A^T x accumulated per column in row-ascending order -- the
+/// exact order the gather index visits entries, so results must be
+/// bit-identical.
+la::Vec reference_multiply_transpose(const la::CsrMatrix& a, const la::Vec& x) {
+  la::Vec y(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k)
+      y[a.col_idx()[k]] += a.values()[k] * x[r];
+  return y;
+}
+
+TEST(CsrMatrix, TransposeGatherMatchesSerialReference) {
+  // Small (serial path) and large (above the parallel thresholds).
+  for (const auto& [rows, cols, per_row] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{40, 23, 4},
+        std::tuple<std::size_t, std::size_t, std::size_t>{1500, 700, 16}}) {
+    const la::CsrMatrix a(random_triplets(rows, cols, per_row, 7 * rows));
+    Rng rng(5);
+    la::Vec x(rows);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+
+    la::Vec y;
+    a.multiply_transpose(x, y);
+    const la::Vec ref = reference_multiply_transpose(a, x);
+    ASSERT_EQ(y.size(), ref.size());
+    for (std::size_t c = 0; c < cols; ++c) EXPECT_EQ(y[c], ref[c]) << c;
+
+    // gram_diagonal: column sums of squares in the same order.
+    la::Vec gd_ref(cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k)
+        gd_ref[a.col_idx()[k]] += a.values()[k] * a.values()[k];
+    const la::Vec gd = a.gram_diagonal();
+    for (std::size_t c = 0; c < cols; ++c)
+      EXPECT_NEAR(gd[c], gd_ref[c], 1e-12 * (1.0 + std::abs(gd_ref[c]))) << c;
+  }
+}
+
+TEST(CsrMatrix, AddGramProductMatchesComposition) {
+  const la::CsrMatrix a(random_triplets(600, 512, 40, 31));
+  Rng rng(17);
+  la::Vec x(a.cols());
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+
+  la::Vec y(a.cols(), 0.25), scratch(a.rows(), 0.0);
+  a.add_gram_product(1.7, x, y, scratch);
+
+  // Reference: scratch = A x, y += tr gather of (1.7 * scratch).
+  la::Vec ax;
+  a.multiply(x, ax);
+  la::Vec y_ref(a.cols(), 0.25);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k)
+      y_ref[a.col_idx()[k]] += a.values()[k] * (1.7 * ax[r]);
+  for (std::size_t c = 0; c < a.cols(); ++c)
+    EXPECT_NEAR(y[c], y_ref[c], 1e-12 * (1.0 + std::abs(y_ref[c]))) << c;
+}
+
+TEST(CsrMatrix, ScaledMatchesTripletRebuild) {
+  const std::size_t rows = 50, cols = 30;
+  const la::TripletMatrix t = random_triplets(rows, cols, 5, 101);
+  const la::CsrMatrix a(t);
+  Rng rng(3);
+  la::Vec d(rows), e(cols);
+  for (auto& v : d) v = rng.uniform(0.1, 2.0);
+  for (auto& v : e) v = rng.uniform(0.1, 2.0);
+
+  const la::CsrMatrix s = a.scaled(d, e);
+
+  la::TripletMatrix ts(rows, cols);
+  for (std::size_t i = 0; i < t.nnz(); ++i)
+    ts.add(t.row_indices()[i], t.col_indices()[i],
+           t.values()[i] * d[t.row_indices()[i]] * e[t.col_indices()[i]]);
+  const la::CsrMatrix s_ref(ts);
+
+  ASSERT_EQ(s.nnz(), s_ref.nnz());
+  ASSERT_EQ(s.row_ptr(), s_ref.row_ptr());
+  for (std::size_t k = 0; k < s.nnz(); ++k) {
+    EXPECT_EQ(s.col_idx()[k], s_ref.col_idx()[k]);
+    EXPECT_NEAR(s.values()[k], s_ref.values()[k],
+                1e-15 * (1.0 + std::abs(s_ref.values()[k])));
+  }
+
+  // The scaled matrix's own transpose index works too.
+  la::Vec x(rows);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  la::Vec y;
+  s.multiply_transpose(x, y);
+  const la::Vec ref = reference_multiply_transpose(s, x);
+  for (std::size_t c = 0; c < cols; ++c) EXPECT_EQ(y[c], ref[c]) << c;
+}
+
+}  // namespace
+}  // namespace doseopt

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/rng.h"
 #include "gen/design_gen.h"
 #include "sta/timer.h"
 #include "test_helpers.h"
@@ -248,6 +249,127 @@ TEST_P(TopPathsExact, MatchesBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TopPathsExact, ::testing::Range(1, 6));
+
+// --- randomized incremental-STA equivalence against full analyze() ---
+
+void expect_timing_identical(const TimingResult& incr, const TimingResult& full,
+                             int round) {
+  ASSERT_EQ(incr.cells.size(), full.cells.size());
+  EXPECT_NEAR(incr.mct_ns, full.mct_ns, 1e-12) << "round " << round;
+  EXPECT_NEAR(incr.clock_ns, full.clock_ns, 1e-12) << "round " << round;
+  EXPECT_NEAR(incr.worst_slack_ns, full.worst_slack_ns, 1e-12)
+      << "round " << round;
+  EXPECT_NEAR(incr.worst_hold_slack_ns, full.worst_hold_slack_ns, 1e-12)
+      << "round " << round;
+  for (std::size_t c = 0; c < full.cells.size(); ++c) {
+    const CellTiming& a = incr.cells[c];
+    const CellTiming& b = full.cells[c];
+    ASSERT_NEAR(a.arrival_ns, b.arrival_ns, 1e-12)
+        << "cell " << c << " round " << round;
+    ASSERT_NEAR(a.min_arrival_ns, b.min_arrival_ns, 1e-12)
+        << "cell " << c << " round " << round;
+    ASSERT_NEAR(a.required_ns, b.required_ns, 1e-12)
+        << "cell " << c << " round " << round;
+    ASSERT_NEAR(a.slack_ns, b.slack_ns, 1e-12)
+        << "cell " << c << " round " << round;
+    ASSERT_NEAR(a.gate_delay_ns, b.gate_delay_ns, 1e-12)
+        << "cell " << c << " round " << round;
+    ASSERT_NEAR(a.input_slew_ns, b.input_slew_ns, 1e-12)
+        << "cell " << c << " round " << round;
+    ASSERT_NEAR(a.output_slew_ns, b.output_slew_ns, 1e-12)
+        << "cell " << c << " round " << round;
+    ASSERT_NEAR(a.load_ff, b.load_ff, 1e-12)
+        << "cell " << c << " round " << round;
+  }
+}
+
+/// Nets whose extracted parasitics differ between two snapshots.
+std::vector<netlist::NetId> diff_parasitics(const extract::Parasitics& before,
+                                            const extract::Parasitics& after) {
+  std::vector<netlist::NetId> changed;
+  for (std::size_t i = 0; i < after.net_count(); ++i) {
+    const auto n = static_cast<netlist::NetId>(i);
+    const extract::NetParasitics& x = before.net(n);
+    const extract::NetParasitics& y = after.net(n);
+    if (x.length_um != y.length_um || x.wire_cap_ff != y.wire_cap_ff ||
+        x.wire_res_kohm != y.wire_res_kohm)
+      changed.push_back(n);
+  }
+  return changed;
+}
+
+class IncrementalSta : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalSta, RandomVariantChangesMatchFullAnalyze) {
+  gen::DesignSpec spec = gen::aes65_spec().scaled(0.025);
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 7919;
+  const tech::TechNode node = tech::make_tech_65nm();
+  liberty::LibraryRepository repo(node);
+  const gen::GeneratedDesign d =
+      gen::generate_design(spec, repo.masters(), node);
+  const extract::Parasitics para = extract::extract(*d.placement, node);
+  Timer timer(d.netlist.get(), &para, &repo);
+
+  const std::size_t cells = d.netlist->cell_count();
+  VariantAssignment va(cells);
+  Rng rng(42 + static_cast<std::uint64_t>(GetParam()));
+  TimingState state;
+
+  // First update on an empty state = full init.
+  expect_timing_identical(timer.update(state, va), timer.analyze(va), -1);
+
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t n_changes = 1 + rng.uniform_index(5);
+    for (std::size_t j = 0; j < n_changes; ++j) {
+      const auto c = static_cast<netlist::CellId>(rng.uniform_index(cells));
+      va.set(c, static_cast<int>(rng.uniform_index(liberty::kVariantsPerLayer)),
+             static_cast<int>(rng.uniform_index(liberty::kVariantsPerLayer)));
+    }
+    expect_timing_identical(timer.update(state, va), timer.analyze(va), round);
+  }
+
+  // A no-op update must leave everything unchanged.
+  expect_timing_identical(timer.update(state, va), timer.analyze(va), 99);
+}
+
+TEST_P(IncrementalSta, PlacementSwapsWithChangedNetsMatchFullAnalyze) {
+  gen::DesignSpec spec = gen::aes65_spec().scaled(0.025);
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 104729;
+  const tech::TechNode node = tech::make_tech_65nm();
+  liberty::LibraryRepository repo(node);
+  gen::GeneratedDesign d = gen::generate_design(spec, repo.masters(), node);
+  extract::Parasitics para = extract::extract(*d.placement, node);
+  Timer timer(d.netlist.get(), &para, &repo);
+
+  const std::size_t cells = d.netlist->cell_count();
+  VariantAssignment va(cells);
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  TimingState state;
+  timer.update(state, va);
+
+  for (int round = 0; round < 8; ++round) {
+    // Mix a placement swap (parasitics change) with occasional dose moves.
+    const auto a = static_cast<netlist::CellId>(rng.uniform_index(cells));
+    const auto b = static_cast<netlist::CellId>(rng.uniform_index(cells));
+    d.placement->swap_cells(a, b);
+    const extract::Parasitics before = para;
+    para = extract::extract(*d.placement, node);
+    const std::vector<netlist::NetId> changed = diff_parasitics(before, para);
+    if (round % 2 == 0) {
+      const auto c = static_cast<netlist::CellId>(rng.uniform_index(cells));
+      va.set(c, static_cast<int>(rng.uniform_index(liberty::kVariantsPerLayer)),
+             10);
+    }
+    expect_timing_identical(timer.update(state, va, changed),
+                            timer.analyze(va), round);
+  }
+
+  // invalidate() forces a clean re-init that must agree as well.
+  state.invalidate();
+  expect_timing_identical(timer.update(state, va), timer.analyze(va), 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSta, ::testing::Range(1, 4));
 
 TEST(CriticalPercentage, CountsWithinBand) {
   std::vector<TimingPath> paths(10);
