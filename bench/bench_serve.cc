@@ -1,0 +1,131 @@
+// Job-server latency: cold vs cache-warm requests.
+//
+// Starts an in-process doseopt server on a Unix-domain socket and times the
+// same aes65 job through three temperatures:
+//
+//   cold        -- empty caches: generate + characterize + fit + solve
+//   sweep-warm  -- session cached, new solver knobs: solve only
+//   warm        -- identical repeat: memoized result, no solve at all
+//
+// plus a restart with the snapshot directory, where the design state is
+// re-adopted from disk instead of re-generated.  Writes BENCH_serve.json.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+using namespace doseopt;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double run_job_ms(serve::Client& client, const serve::JobSpec& spec) {
+  const auto t0 = clock_type::now();
+  const serve::Client::Reply reply = client.submit_with_retry(spec);
+  const auto t1 = clock_type::now();
+  if (!reply.ok()) {
+    std::fprintf(stderr, "bench_serve: job failed: %s\n",
+                 reply.payload.dump().c_str());
+    std::exit(1);
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("bench_serve: job server cold vs warm request latency");
+
+  const std::string uds =
+      "/tmp/doseopt_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  const std::string snapshot_dir =
+      "/tmp/doseopt_bench_serve_snap_" + std::to_string(::getpid());
+  std::filesystem::remove_all(snapshot_dir);
+
+  serve::JobSpec job;
+  job.id = "bench";
+  job.design = "aes65";
+  job.scale = flow::design_scale() * 0.5;  // half Table I size per request
+  job.mode = "timing";
+  job.grid_um = 20.0;
+
+  serve::ServerOptions options;
+  options.uds_path = uds;
+  options.lanes = 2;
+  options.snapshot_dir = snapshot_dir;
+
+  double cold_ms = 0.0, sweep_ms = 0.0, warm_ms = 0.0, restart_ms = 0.0;
+  constexpr int kWarmReps = 5;
+  {
+    serve::Server server(options);
+    server.start();
+    serve::Client client = serve::Client::connect_unix_path(uds);
+
+    cold_ms = run_job_ms(client, job);
+
+    // Parameter sweep on the cached session: new grid -> solve, no setup.
+    serve::JobSpec sweep = job;
+    sweep.id = "bench-sweep";
+    sweep.grid_um = 25.0;
+    sweep_ms = run_job_ms(client, sweep);
+
+    // Exact repeats: memoized results.
+    std::vector<double> reps(kWarmReps);
+    for (int i = 0; i < kWarmReps; ++i) reps[i] = run_job_ms(client, job);
+    warm_ms = *std::min_element(reps.begin(), reps.end());
+
+    server.stop();  // persists the session snapshot
+  }
+  {
+    // Fresh process state, warm disk: the snapshot replaces generation and
+    // characterization; only the solve runs.
+    serve::Server server(options);
+    server.start();
+    serve::Client client = serve::Client::connect_unix_path(uds);
+    restart_ms = run_job_ms(client, job);
+    server.stop();
+  }
+  std::filesystem::remove_all(snapshot_dir);
+
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  std::printf("\n%-22s %12s\n", "request", "latency (ms)");
+  std::printf("%-22s %12.2f\n", "cold", cold_ms);
+  std::printf("%-22s %12.2f\n", "sweep (session warm)", sweep_ms);
+  std::printf("%-22s %12.2f   (min of %d)\n", "warm (repeat)", warm_ms,
+              kWarmReps);
+  std::printf("%-22s %12.2f\n", "snapshot restart", restart_ms);
+  std::printf("\nwarm speedup over cold: %.1fx %s\n", speedup,
+              speedup >= 5.0 ? "(>= 5x: OK)" : "(below 5x target!)");
+
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serve: cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"design\": \"%s\",\n"
+               "  \"scale\": %g,\n"
+               "  \"grid_um\": %g,\n"
+               "  \"lanes\": %d,\n"
+               "  \"cold_ms\": %.3f,\n"
+               "  \"sweep_warm_ms\": %.3f,\n"
+               "  \"warm_ms\": %.3f,\n"
+               "  \"snapshot_restart_ms\": %.3f,\n"
+               "  \"warm_speedup\": %.1f\n"
+               "}\n",
+               job.design.c_str(), job.scale, job.grid_um, options.lanes,
+               cold_ms, sweep_ms, warm_ms, restart_ms, speedup);
+  std::fclose(f);
+  std::printf("BENCH_serve.json written\n");
+  return speedup >= 5.0 ? 0 : 1;
+}

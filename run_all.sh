@@ -1,6 +1,9 @@
 #!/bin/bash
 cd /root/repo
+FAILED=""
+
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+[ "${PIPESTATUS[0]}" -eq 0 ] || FAILED="$FAILED ctest"
 
 # ThreadSanitizer smoke run of the thread-pool / determinism tests: builds
 # only test_parallel in a separate build tree with -DDOSEOPT_SANITIZE=thread
@@ -11,17 +14,29 @@ ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
   cmake -B build-tsan -S . -DDOSEOPT_SANITIZE=thread >/dev/null \
     && cmake --build build-tsan --target test_parallel -j "$(nproc)" >/dev/null \
     && timeout 1200 ./build-tsan/tests/test_parallel
-  echo "(tsan exit: $?)"
+  rc=$?
+  echo "(tsan exit: $rc)"
+  echo "$rc" > /tmp/doseopt_tsan_rc
 } 2>&1 | tee -a /root/repo/test_output.txt
+[ "$(cat /tmp/doseopt_tsan_rc)" -eq 0 ] || FAILED="$FAILED tsan:test_parallel"
 
-BENCHES="bench_fig3_fig4 bench_fig5_fig6 bench_table1_table7 bench_table2_table3 bench_fit_residuals bench_wafer bench_yield bench_table4 bench_table8_fig10 bench_table6 bench_table5 bench_ablation bench_micro"
+BENCHES="bench_fig3_fig4 bench_fig5_fig6 bench_table1_table7 bench_table2_table3 bench_fit_residuals bench_wafer bench_yield bench_table4 bench_table8_fig10 bench_table6 bench_table5 bench_ablation bench_serve bench_micro"
+: > /tmp/doseopt_bench_failures
 {
   for name in $BENCHES; do
     b=build/bench/$name
     echo ""
     echo "################ $b ################"
     timeout 1200 stdbuf -oL "$b" 2>&1
-    echo "(exit: $?)"
+    rc=$?
+    echo "(exit: $rc)"
+    [ "$rc" -eq 0 ] || echo "$name" >> /tmp/doseopt_bench_failures
   done
 } 2>&1 | tee /root/repo/bench_output.txt
-echo ALL_DONE
+while read -r name; do FAILED="$FAILED $name"; done < /tmp/doseopt_bench_failures
+
+if [ -n "$FAILED" ]; then
+  echo "ALL_DONE (FAILURES:$FAILED)"
+  exit 1
+fi
+echo "ALL_DONE (all stages passed)"

@@ -1,7 +1,10 @@
 #include "common/strings.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/error.h"
 
@@ -45,6 +48,30 @@ std::string str_format(const char* fmt, ...) {
   std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
   va_end(args_copy);
   return out;
+}
+
+bool try_parse_double(std::string_view s, double* out) {
+  const std::string buf(trim(s));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;  // trailing garbage
+  if (errno == ERANGE || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+bool try_parse_int(std::string_view s, long* out) {
+  const std::string buf(trim(s));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (errno == ERANGE) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace doseopt

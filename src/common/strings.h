@@ -20,4 +20,11 @@ bool starts_with(std::string_view s, std::string_view prefix);
 std::string str_format(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Strict numeric parsing for user input (CLI flags, config fields): the
+/// whole string must be a single finite number -- trailing garbage, empty
+/// input, and out-of-range values all return false (unlike std::atof,
+/// which silently yields 0).
+bool try_parse_double(std::string_view s, double* out);
+bool try_parse_int(std::string_view s, long* out);
+
 }  // namespace doseopt

@@ -16,6 +16,24 @@ DesignContext::DesignContext(const gen::DesignSpec& spec)
   refresh_nominal();
 }
 
+DesignContext::DesignContext(serde::DesignState state)
+    : spec_(std::move(state.spec)), node_(std::move(state.node)),
+      repo_(std::move(state.repo)) {
+  design_.spec = spec_;
+  design_.netlist = std::move(state.netlist);
+  design_.die = state.die;
+  design_.placement = std::move(state.placement);
+  parasitics_ = extract::extract(*design_.placement, node_);
+  timer_ = std::make_unique<sta::Timer>(design_.netlist.get(), &parasitics_,
+                                        repo_.get());
+  refresh_nominal();
+}
+
+void DesignContext::save_snapshot(const std::string& path) const {
+  serde::write_design_snapshot(path, spec_, *design_.netlist,
+                               *design_.placement, *repo_);
+}
+
 void DesignContext::refresh_nominal() {
   sta::VariantAssignment nominal(design_.netlist->cell_count());
   nominal_timing_ = timer_->analyze(nominal);

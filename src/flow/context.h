@@ -15,6 +15,7 @@
 #include "liberty/coeff_fit.h"
 #include "liberty/repository.h"
 #include "power/leakage.h"
+#include "serde/snapshot.h"
 #include "sta/timer.h"
 
 namespace doseopt::flow {
@@ -24,6 +25,16 @@ class DesignContext {
  public:
   /// Generate, place, extract, and time the design described by `spec`.
   explicit DesignContext(const gen::DesignSpec& spec);
+
+  /// Adopt a snapshot-restored design (serde::read_design_state): skips
+  /// generation and characterization, re-derives parasitics and the nominal
+  /// baseline deterministically.  Bit-identical to the generating
+  /// constructor for the same spec.
+  explicit DesignContext(serde::DesignState state);
+
+  /// Write this context's durable state (spec, netlist, placement, every
+  /// characterized variant) as a snapshot.
+  void save_snapshot(const std::string& path) const;
 
   const gen::DesignSpec& spec() const { return spec_; }
   const tech::TechNode& node() const { return node_; }
@@ -41,6 +52,12 @@ class DesignContext {
   /// Fitted coefficients; characterizes the 21 (or 21x21) variant libraries
   /// on first use.  `width` selects whether B/gamma are fitted too.
   const liberty::CoefficientSet& coefficients(bool width);
+
+  /// True when coefficients(width) has already been fitted (cache-hit
+  /// telemetry for the job server).
+  bool has_coefficients(bool width) const {
+    return width ? coeffs_width_.has_value() : coeffs_length_.has_value();
+  }
 
   /// Re-run nominal timing (after the placement was perturbed).
   void refresh_nominal();

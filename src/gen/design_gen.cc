@@ -90,6 +90,15 @@ std::vector<DesignSpec> table1_specs() {
   return {aes65_spec(), jpeg65_spec(), aes90_spec(), jpeg90_spec()};
 }
 
+DesignSpec spec_by_name(const std::string& name) {
+  if (name == "aes65") return aes65_spec();
+  if (name == "jpeg65") return jpeg65_spec();
+  if (name == "aes90") return aes90_spec();
+  if (name == "jpeg90") return jpeg90_spec();
+  throw Error("unknown design: " + name +
+              " (expected aes65|jpeg65|aes90|jpeg90)");
+}
+
 namespace {
 
 /// Combinational master mix: (master, relative weight, input count).

@@ -48,6 +48,10 @@ DesignSpec jpeg90_spec();
 /// All four, in the paper's order.
 std::vector<DesignSpec> table1_specs();
 
+/// Look up a Table I spec by name ("aes65", "jpeg65", "aes90", "jpeg90");
+/// throws doseopt::Error on unknown names.
+DesignSpec spec_by_name(const std::string& name);
+
 /// A generated design: netlist + legal placement on a die sized to the
 /// spec's chip area.
 struct GeneratedDesign {

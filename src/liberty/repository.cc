@@ -25,21 +25,30 @@ int dose_to_variant_index(double dose_pct) {
 LibraryRepository::LibraryRepository(const tech::TechNode& node)
     : device_(node), masters_(make_standard_masters(node)) {}
 
+LibraryRepository::Entry& LibraryRepository::entry_for(
+    const std::pair<int, int>& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_[key];
+}
+
+std::unique_ptr<Library> LibraryRepository::characterize_variant(int il,
+                                                                 int iw) {
+  characterize_calls_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<Library>(characterize(
+      device_, masters_, dose_to_delta_cd_nm(variant_index_to_dose_pct(il)),
+      dose_to_delta_cd_nm(variant_index_to_dose_pct(iw))));
+}
+
 const Library& LibraryRepository::variant(int il, int iw) {
   DOSEOPT_CHECK(il >= 0 && il < kVariantsPerLayer &&
                     iw >= 0 && iw < kVariantsPerLayer,
                 "LibraryRepository::variant: index out of range");
-  const auto key = std::make_pair(il, iw);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    const double dose_l = variant_index_to_dose_pct(il);
-    const double dose_w = variant_index_to_dose_pct(iw);
-    auto lib = std::make_unique<Library>(
-        characterize(device_, masters_, dose_to_delta_cd_nm(dose_l),
-                     dose_to_delta_cd_nm(dose_w)));
-    it = cache_.emplace(key, std::move(lib)).first;
-  }
-  return *it->second;
+  Entry& e = entry_for({il, iw});
+  std::call_once(e.once, [&] {
+    e.lib = characterize_variant(il, iw);
+    e.ready.store(true, std::memory_order_release);
+  });
+  return *e.lib;
 }
 
 void LibraryRepository::warm(const std::vector<std::pair<int, int>>& keys,
@@ -49,7 +58,7 @@ void LibraryRepository::warm(const std::vector<std::pair<int, int>>& keys,
     DOSEOPT_CHECK(key.first >= 0 && key.first < kVariantsPerLayer &&
                       key.second >= 0 && key.second < kVariantsPerLayer,
                   "LibraryRepository::warm: index out of range");
-    if (!cache_.contains(key) &&
+    if (!entry_for(key).ready.load(std::memory_order_acquire) &&
         std::find(missing.begin(), missing.end(), key) == missing.end())
       missing.push_back(key);
   }
@@ -61,18 +70,64 @@ void LibraryRepository::warm(const std::vector<std::pair<int, int>>& keys,
     const auto [il, iw] = missing[i];
     // characterize() itself fans out over the pool; from inside a pool
     // task that nested loop runs inline, so either level parallelizes.
-    built[i] = std::make_unique<Library>(characterize(
-        device_, masters_, dose_to_delta_cd_nm(variant_index_to_dose_pct(il)),
-        dose_to_delta_cd_nm(variant_index_to_dose_pct(iw))));
+    built[i] = characterize_variant(il, iw);
   });
-  for (std::size_t i = 0; i < missing.size(); ++i)
-    cache_.emplace(missing[i], std::move(built[i]));
+  // Publish in key order.  A variant() racing us may have won its slot's
+  // call_once already; our copy is then dropped (identical contents).
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    Entry& e = entry_for(missing[i]);
+    std::call_once(e.once, [&] {
+      e.lib = std::move(built[i]);
+      e.ready.store(true, std::memory_order_release);
+    });
+  }
 }
 
 const Library& LibraryRepository::variant_for_dose(double dose_poly_pct,
                                                    double dose_active_pct) {
   return variant(dose_to_variant_index(dose_poly_pct),
                  dose_to_variant_index(dose_active_pct));
+}
+
+const Library* LibraryRepository::find_variant(int il, int iw) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cache_.find({il, iw});
+  if (it == cache_.end() ||
+      !it->second.ready.load(std::memory_order_acquire))
+    return nullptr;
+  return it->second.lib.get();
+}
+
+void LibraryRepository::insert_variant(int il, int iw,
+                                       std::unique_ptr<Library> lib) {
+  DOSEOPT_CHECK(il >= 0 && il < kVariantsPerLayer &&
+                    iw >= 0 && iw < kVariantsPerLayer,
+                "LibraryRepository::insert_variant: index out of range");
+  DOSEOPT_CHECK(lib != nullptr,
+                "LibraryRepository::insert_variant: null library");
+  Entry& e = entry_for({il, iw});
+  std::call_once(e.once, [&] {
+    e.lib = std::move(lib);
+    e.ready.store(true, std::memory_order_release);
+  });
+}
+
+std::size_t LibraryRepository::characterized_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, entry] : cache_)
+    if (entry.ready.load(std::memory_order_acquire)) ++n;
+  return n;
+}
+
+std::vector<std::pair<int, int>> LibraryRepository::characterized_keys()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<int, int>> keys;
+  keys.reserve(cache_.size());
+  for (const auto& [key, entry] : cache_)
+    if (entry.ready.load(std::memory_order_acquire)) keys.push_back(key);
+  return keys;
 }
 
 }  // namespace doseopt::liberty

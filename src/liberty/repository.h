@@ -9,8 +9,11 @@
 // Section IV-A).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -39,6 +42,12 @@ double variant_index_to_dose_pct(int index);
 int dose_to_variant_index(double dose_pct);
 
 /// Lazily characterized variant library cache.
+///
+/// Thread-safe: concurrent variant() calls for the same missing variant
+/// characterize it exactly once (per-variant std::once_flag behind a cache
+/// mutex), and returned references stay stable for the repository's
+/// lifetime.  Characterization is deterministic, so the cache contents are
+/// identical whichever thread wins.
 class LibraryRepository {
  public:
   /// Build masters for `node` and prepare the cache (no characterization
@@ -53,30 +62,61 @@ class LibraryRepository {
                                             kVariantsPerLayer / 2); }
 
   /// Variant at poly index `il` and active index `iw` (each 0..20, 10 =
-  /// nominal). Characterizes on first use.
-  ///
-  /// NOT thread-safe when the variant is missing (the cache insert races);
-  /// parallel consumers must warm() every variant they will touch first,
-  /// after which concurrent variant() calls are read-only and safe.
+  /// nominal).  Characterizes on first use; safe to call concurrently.
   const Library& variant(int il, int iw);
 
   /// Characterize every missing variant among `keys` (pairs of (il, iw)),
   /// fanning the characterization runs out over `pool` (nullptr = the
-  /// process pool).  Insertion happens on the calling thread in key order,
-  /// so the cache contents are identical for any thread count.
+  /// process pool).  Publication happens on the calling thread in key
+  /// order, so the cache contents are identical for any thread count.
   void warm(const std::vector<std::pair<int, int>>& keys,
             ThreadPool* pool = nullptr);
 
   /// Variant for dose percentages, snapped to the characterization grid.
   const Library& variant_for_dose(double dose_poly_pct, double dose_active_pct);
 
+  /// The variant at (il, iw) if it is already characterized, else nullptr.
+  /// Never characterizes; safe for concurrent readers (e.g. the snapshot
+  /// writer walking the cache).
+  const Library* find_variant(int il, int iw) const;
+
+  /// Adopt an externally built (e.g. snapshot-restored) variant library.
+  /// A variant that is already characterized keeps the existing object
+  /// (references must stay stable); `lib` is then discarded.
+  void insert_variant(int il, int iw, std::unique_ptr<Library> lib);
+
   /// Number of variants characterized so far (tests/telemetry).
-  std::size_t characterized_count() const { return cache_.size(); }
+  std::size_t characterized_count() const;
+
+  /// Keys of every characterized variant, in ascending (il, iw) order.
+  std::vector<std::pair<int, int>> characterized_keys() const;
+
+  /// Number of characterize() runs this repository has performed (telemetry;
+  /// snapshot-restored variants do not count).
+  std::uint64_t characterize_calls() const {
+    return characterize_calls_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One cache slot.  `ready` is the acquire/release-published "lib is
+  /// usable" flag; `once` makes the build-and-publish step run exactly once.
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<Library> lib;
+    std::atomic<bool> ready{false};
+  };
+
+  /// Locate (or default-create) the entry for `key`.  std::map nodes never
+  /// move, so the reference stays valid without the lock held.
+  Entry& entry_for(const std::pair<int, int>& key);
+
+  std::unique_ptr<Library> characterize_variant(int il, int iw);
+
   tech::DeviceModel device_;
   std::vector<CellMaster> masters_;
-  std::map<std::pair<int, int>, std::unique_ptr<Library>> cache_;
+  mutable std::mutex mu_;  ///< guards cache_ map structure
+  std::map<std::pair<int, int>, Entry> cache_;
+  std::atomic<std::uint64_t> characterize_calls_{0};
 };
 
 }  // namespace doseopt::liberty

@@ -1,0 +1,68 @@
+// Versioned, checksummed binary snapshots of analyzed-design state.
+//
+// A snapshot captures everything that is expensive to rebuild for a dose
+// optimization request: the design spec, the generated netlist (with exact
+// sink and PI/PO orders, so restored STA is bit-identical), the legal
+// placement, and every characterized library variant (full NLDM tables).
+// Parasitics and fitted coefficients are *derived* state -- recomputed
+// deterministically from the restored objects -- and are not stored.
+//
+// File layout:
+//
+//   [ 8 bytes magic "DOSESNAP" ][ u32 version ][ u64 payload size ]
+//   [ u64 FNV-1a checksum of payload ][ payload bytes ... ]
+//
+// The reader validates magic, version, size, and checksum before decoding
+// a single payload value; any mismatch throws doseopt::Error with a
+// description (never undefined behavior on corrupt input).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "gen/design_gen.h"
+#include "liberty/repository.h"
+#include "netlist/netlist.h"
+#include "place/placement.h"
+#include "tech/tech_node.h"
+
+namespace doseopt::serde {
+
+/// Current snapshot format version.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// A restored design: the netlist is bound to the repository's master list,
+/// the repository holds every variant the snapshot carried.  Feed this to
+/// flow::DesignContext to resume optimization without re-generating or
+/// re-characterizing anything.
+struct DesignState {
+  gen::DesignSpec spec;
+  tech::TechNode node;
+  std::unique_ptr<liberty::LibraryRepository> repo;
+  std::unique_ptr<netlist::Netlist> netlist;
+  place::Die die;
+  std::unique_ptr<place::Placement> placement;
+};
+
+/// Serialize design state to a stream.  `repo` contributes its master list
+/// (validated on read) and every characterized variant.
+void write_design_state(std::ostream& os, const gen::DesignSpec& spec,
+                        const netlist::Netlist& netlist,
+                        const place::Placement& placement,
+                        const liberty::LibraryRepository& repo);
+
+/// Deserialize a snapshot written by write_design_state.  Throws
+/// doseopt::Error on bad magic, unsupported version, size or checksum
+/// mismatch, or structurally invalid content (netlist validation runs).
+DesignState read_design_state(std::istream& is);
+
+/// File convenience wrappers (atomic write via rename).
+void write_design_snapshot(const std::string& path,
+                           const gen::DesignSpec& spec,
+                           const netlist::Netlist& netlist,
+                           const place::Placement& placement,
+                           const liberty::LibraryRepository& repo);
+DesignState read_design_snapshot(const std::string& path);
+
+}  // namespace doseopt::serde

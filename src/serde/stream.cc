@@ -1,0 +1,109 @@
+#include "serde/stream.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace doseopt::serde {
+
+std::uint64_t fnv1a64(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void ByteWriter::put_u8(std::uint8_t v) {
+  buf_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void ByteWriter::put_f64(double v) {
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::put_string(std::string_view s) {
+  put_u64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void ByteWriter::put_f64_vec(const std::vector<double>& v) {
+  put_u64(v.size());
+  for (const double x : v) put_f64(x);
+}
+
+void ByteWriter::put_u32_vec(const std::vector<std::uint32_t>& v) {
+  put_u64(v.size());
+  for (const std::uint32_t x : v) put_u32(x);
+}
+
+const std::uint8_t* ByteReader::need(std::size_t n) {
+  if (data_.size() - pos_ < n)
+    throw Error("snapshot truncated: need " + std::to_string(n) +
+                " bytes at offset " + std::to_string(pos_) + ", have " +
+                std::to_string(data_.size() - pos_));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::size_t ByteReader::get_count(std::size_t elem_size) {
+  const std::uint64_t n = get_u64();
+  if (n > remaining() / elem_size)
+    throw Error("snapshot corrupt: sequence of " + std::to_string(n) +
+                " elements exceeds remaining payload");
+  return static_cast<std::size_t>(n);
+}
+
+std::uint8_t ByteReader::get_u8() { return *need(1); }
+
+std::uint32_t ByteReader::get_u32() {
+  const std::uint8_t* p = need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  const std::uint8_t* p = need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double ByteReader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::string ByteReader::get_string() {
+  const std::size_t n = get_count(1);
+  const std::uint8_t* p = need(n);
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+std::vector<double> ByteReader::get_f64_vec() {
+  const std::size_t n = get_count(8);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = get_f64();
+  return v;
+}
+
+std::vector<std::uint32_t> ByteReader::get_u32_vec() {
+  const std::size_t n = get_count(4);
+  std::vector<std::uint32_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = get_u32();
+  return v;
+}
+
+}  // namespace doseopt::serde

@@ -1,0 +1,74 @@
+// Binary stream primitives for the snapshot layer.
+//
+// All multi-byte quantities are packed little-endian with explicit byte
+// shifts, so the on-disk format is identical on any host.  Doubles travel
+// as their IEEE-754 bit pattern (bit_cast), which makes snapshot round
+// trips bit-exact.  A running FNV-1a 64 checksum over the payload bytes is
+// maintained on both sides; the snapshot header stores it so corruption is
+// detected before any value is interpreted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace doseopt::serde {
+
+/// FNV-1a 64-bit over a byte range, continuing from `seed`.
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = 14695981039346656037ULL);
+
+/// Append-only little-endian encoder over an owned byte buffer.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_f64(double v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_string(std::string_view s);
+  void put_f64_vec(const std::vector<double>& v);
+  void put_u32_vec(const std::vector<std::uint32_t>& v);
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range.  Every
+/// read past the end throws doseopt::Error("snapshot truncated ...").
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+  double get_f64();
+  bool get_bool() { return get_u8() != 0; }
+  std::string get_string();
+  std::vector<double> get_f64_vec();
+  std::vector<std::uint32_t> get_u32_vec();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  const std::uint8_t* need(std::size_t n);
+  /// Validated element count for a sequence of `elem_size`-byte items; caps
+  /// counts at the bytes actually remaining so a corrupt length cannot
+  /// drive a huge allocation.
+  std::size_t get_count(std::size_t elem_size);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace doseopt::serde

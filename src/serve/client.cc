@@ -1,0 +1,84 @@
+#include "serve/client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "serve/socket.h"
+
+namespace doseopt::serve {
+
+Client Client::connect_unix_path(const std::string& path) {
+  return Client(connect_unix(path));
+}
+
+Client Client::connect_tcp_port(int port) { return Client(connect_tcp(port)); }
+
+Client::~Client() {
+  if (fd_ >= 0) close_socket(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close_socket(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Client::ping() {
+  write_frame(fd_, MsgType::kPing, "");
+  Frame frame;
+  DOSEOPT_CHECK(read_frame(fd_, &frame), "client: server closed during ping");
+  DOSEOPT_CHECK(frame.type == MsgType::kPong,
+                "client: unexpected reply to ping");
+}
+
+Client::Reply Client::read_reply() {
+  Frame frame;
+  DOSEOPT_CHECK(read_frame(fd_, &frame),
+                "client: server closed before replying");
+  DOSEOPT_CHECK(frame.type == MsgType::kJobResult ||
+                    frame.type == MsgType::kJobError ||
+                    frame.type == MsgType::kJobRejected,
+                "client: unexpected reply frame type");
+  Reply reply;
+  reply.type = frame.type;
+  reply.payload = Json::parse(frame.payload);
+  return reply;
+}
+
+Client::Reply Client::submit(const JobSpec& spec) {
+  write_frame(fd_, MsgType::kJobRequest, spec.to_json().dump());
+  return read_reply();
+}
+
+Client::Reply Client::submit_with_retry(const JobSpec& spec,
+                                        int max_attempts) {
+  Reply reply;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    reply = submit(spec);
+    if (reply.type != MsgType::kJobRejected) return reply;
+    const double wait_ms = reply.payload.get_number("retry_after_ms", 100.0);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<long>(wait_ms * 1000.0)));
+  }
+  return reply;
+}
+
+Json Client::metrics() {
+  write_frame(fd_, MsgType::kMetricsRequest, "");
+  Frame frame;
+  DOSEOPT_CHECK(read_frame(fd_, &frame),
+                "client: server closed before metrics reply");
+  DOSEOPT_CHECK(frame.type == MsgType::kMetricsReply,
+                "client: unexpected reply to metrics request");
+  return Json::parse(frame.payload);
+}
+
+void Client::request_shutdown() { write_frame(fd_, MsgType::kShutdown, ""); }
+
+}  // namespace doseopt::serve

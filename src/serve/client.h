@@ -1,0 +1,61 @@
+// Blocking client for the doseopt job server.
+//
+// One Client wraps one connection and keeps at most one job outstanding:
+// submit() writes a kJobRequest frame and blocks until the matching reply
+// (result, error, or backpressure rejection) arrives.  Concurrency comes
+// from using one Client per thread; the server interleaves jobs from many
+// connections across its worker lanes.
+#pragma once
+
+#include <string>
+
+#include "serve/job.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+
+namespace doseopt::serve {
+
+class Client {
+ public:
+  /// Connect over a Unix-domain socket / loopback TCP.  Throws on failure.
+  static Client connect_unix_path(const std::string& path);
+  static Client connect_tcp_port(int port);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trip a kPing; throws if the server does not answer kPong.
+  void ping();
+
+  /// A job's terminal reply.
+  struct Reply {
+    MsgType type = MsgType::kJobError;  ///< kJobResult/kJobError/kJobRejected
+    Json payload;
+    bool ok() const { return type == MsgType::kJobResult; }
+  };
+
+  /// Submit one job and block for its reply.
+  Reply submit(const JobSpec& spec);
+
+  /// Submit with bounded retries on backpressure rejection: sleeps the
+  /// server-suggested retry_after_ms between attempts.  Returns the first
+  /// non-rejection reply (or the last rejection when attempts run out).
+  Reply submit_with_retry(const JobSpec& spec, int max_attempts = 16);
+
+  /// Fetch the server's telemetry JSON.
+  Json metrics();
+
+  /// Ask the server to drain and exit (no reply expected).
+  void request_shutdown();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  Reply read_reply();
+
+  int fd_ = -1;
+};
+
+}  // namespace doseopt::serve

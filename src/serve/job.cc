@@ -1,0 +1,161 @@
+#include "serve/job.h"
+
+#include "common/error.h"
+#include "serde/stream.h"
+
+namespace doseopt::serve {
+
+JobSpec JobSpec::from_json(const Json& j) {
+  DOSEOPT_CHECK(j.is_object(), "job: request payload must be a JSON object");
+  JobSpec spec;
+  spec.id = j.get_string("id", "");
+  spec.design = j.get_string("design", spec.design);
+  spec.scale = j.get_number("scale", spec.scale);
+  spec.seed = static_cast<std::uint64_t>(j.get_number("seed", 0.0));
+  spec.mode = j.get_string("mode", spec.mode);
+  spec.grid_um = j.get_number("grid", spec.grid_um);
+  spec.smoothness_delta = j.get_number("delta", spec.smoothness_delta);
+  spec.dose_range_pct = j.get_number("range", spec.dose_range_pct);
+  spec.modulate_width = j.get_bool("width", spec.modulate_width);
+  spec.run_dosepl = j.get_bool("dosepl", spec.run_dosepl);
+  spec.deadline_ms = j.get_number("deadline_ms", spec.deadline_ms);
+
+  DOSEOPT_CHECK(spec.scale > 0.0 && spec.scale <= 1.0,
+                "job: scale must be in (0, 1]");
+  DOSEOPT_CHECK(spec.mode == "timing" || spec.mode == "leakage",
+                "job: mode must be 'timing' or 'leakage'");
+  DOSEOPT_CHECK(spec.grid_um > 0.0, "job: grid must be positive");
+  DOSEOPT_CHECK(spec.dose_range_pct > 0.0, "job: range must be positive");
+  DOSEOPT_CHECK(spec.deadline_ms >= 0.0, "job: deadline_ms must be >= 0");
+  return spec;
+}
+
+Json JobSpec::to_json() const {
+  Json j = Json::object();
+  if (!id.empty()) j.set("id", Json::string(id));
+  j.set("design", Json::string(design));
+  j.set("scale", Json::number(scale));
+  if (seed != 0) j.set("seed", Json::number(static_cast<double>(seed)));
+  j.set("mode", Json::string(mode));
+  j.set("grid", Json::number(grid_um));
+  j.set("delta", Json::number(smoothness_delta));
+  j.set("range", Json::number(dose_range_pct));
+  j.set("width", Json::boolean(modulate_width));
+  j.set("dosepl", Json::boolean(run_dosepl));
+  if (deadline_ms > 0.0) j.set("deadline_ms", Json::number(deadline_ms));
+  return j;
+}
+
+gen::DesignSpec JobSpec::design_spec() const {
+  gen::DesignSpec spec = gen::spec_by_name(design);
+  if (scale < 1.0) spec = spec.scaled(scale);
+  if (seed != 0) spec.seed = seed;
+  return spec;
+}
+
+flow::FlowOptions JobSpec::flow_options() const {
+  flow::FlowOptions options;
+  options.mode = mode == "leakage" ? flow::DmoptMode::kMinimizeLeakage
+                                   : flow::DmoptMode::kMinimizeCycleTime;
+  options.dmopt.grid_um = grid_um;
+  options.dmopt.smoothness_delta = smoothness_delta;
+  options.dmopt.dose_lower_pct = -dose_range_pct;
+  options.dmopt.dose_upper_pct = dose_range_pct;
+  options.dmopt.modulate_width = modulate_width;
+  options.run_dose_placement = run_dosepl;
+  return options;
+}
+
+namespace {
+
+std::uint64_t hash_field(std::uint64_t h, const std::string& s) {
+  h = serde::fnv1a64(s.data(), s.size(), h);
+  const char sep = '|';
+  return serde::fnv1a64(&sep, 1, h);
+}
+
+std::uint64_t hash_field(std::uint64_t h, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  return serde::fnv1a64(&bits, sizeof(bits), h);
+}
+
+std::uint64_t hash_field(std::uint64_t h, std::uint64_t v) {
+  return serde::fnv1a64(&v, sizeof(v), h);
+}
+
+}  // namespace
+
+std::uint64_t JobSpec::session_key() const {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = hash_field(h, design);
+  h = hash_field(h, scale);
+  h = hash_field(h, seed);
+  return h;
+}
+
+std::uint64_t JobSpec::job_key() const {
+  std::uint64_t h = session_key();
+  h = hash_field(h, mode);
+  h = hash_field(h, grid_um);
+  h = hash_field(h, smoothness_delta);
+  h = hash_field(h, dose_range_pct);
+  h = hash_field(h, static_cast<std::uint64_t>(modulate_width ? 1 : 0));
+  h = hash_field(h, static_cast<std::uint64_t>(run_dosepl ? 1 : 0));
+  return h;
+}
+
+namespace {
+
+Json dose_map_to_json(const dose::DoseMap& map) {
+  Json j = Json::object();
+  j.set("rows", Json::number(static_cast<double>(map.rows())));
+  j.set("cols", Json::number(static_cast<double>(map.cols())));
+  Json doses = Json::array();
+  for (const double d : map.doses()) doses.push_back(Json::number(d));
+  j.set("doses", std::move(doses));
+  return j;
+}
+
+}  // namespace
+
+Json flow_result_to_json(const flow::FlowResult& result) {
+  Json j = Json::object();
+  j.set("nominal_mct_ns", Json::number(result.nominal_mct_ns));
+  j.set("nominal_leakage_uw", Json::number(result.nominal_leakage_uw));
+  j.set("final_mct_ns", Json::number(result.final_mct_ns));
+  j.set("final_leakage_uw", Json::number(result.final_leakage_uw));
+
+  Json dm = Json::object();
+  dm.set("golden_mct_ns", Json::number(result.dmopt.golden_mct_ns));
+  dm.set("golden_leakage_uw", Json::number(result.dmopt.golden_leakage_uw));
+  dm.set("model_mct_ns", Json::number(result.dmopt.model_mct_ns));
+  dm.set("model_delta_leakage_uw",
+         Json::number(result.dmopt.model_delta_leakage_uw));
+  dm.set("solver_status",
+         Json::string(qp::to_string(result.dmopt.solver_status)));
+  dm.set("total_qp_iterations",
+         Json::number(result.dmopt.total_qp_iterations));
+  dm.set("bisection_probes", Json::number(result.dmopt.bisection_probes));
+  dm.set("runtime_s", Json::number(result.dmopt.runtime_s));
+  dm.set("poly_map", dose_map_to_json(result.dmopt.poly_map));
+  if (result.dmopt.active_map.has_value())
+    dm.set("active_map", dose_map_to_json(*result.dmopt.active_map));
+  j.set("dmopt", std::move(dm));
+
+  if (result.dosepl_run) {
+    Json dp = Json::object();
+    dp.set("rounds_run", Json::number(result.dosepl.rounds_run));
+    dp.set("rounds_accepted", Json::number(result.dosepl.rounds_accepted));
+    dp.set("swaps_accepted", Json::number(result.dosepl.swaps_accepted));
+    dp.set("initial_mct_ns", Json::number(result.dosepl.initial_mct_ns));
+    dp.set("final_mct_ns", Json::number(result.dosepl.final_mct_ns));
+    dp.set("initial_leakage_uw",
+           Json::number(result.dosepl.initial_leakage_uw));
+    dp.set("final_leakage_uw", Json::number(result.dosepl.final_leakage_uw));
+    dp.set("runtime_s", Json::number(result.dosepl.runtime_s));
+    j.set("dosepl", std::move(dp));
+  }
+  return j;
+}
+
+}  // namespace doseopt::serve

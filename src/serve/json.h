@@ -1,0 +1,72 @@
+// Minimal JSON value, parser, and writer for the job protocol.
+//
+// Implements the subset the doseopt service needs: objects, arrays, UTF-8
+// strings with \" \\ \/ \b \f \n \r \t \uXXXX escapes, IEEE doubles, bools,
+// null.  Numbers are written with %.17g so every double survives a
+// serialize/parse round trip bit-exactly -- the end-to-end tests rely on
+// this to assert server results equal direct flow:: calls.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace doseopt::serve {
+
+/// A JSON value (tree-owning).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Typed accessors; throw doseopt::Error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;
+
+  /// Object field access.  get() throws on a missing key; the defaulted
+  /// variants return the fallback when the key is absent or null.
+  bool has(const std::string& key) const;
+  const Json& get(const std::string& key) const;
+  double get_number(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+  /// Mutators (object/array only).
+  void set(const std::string& key, Json value);
+  void push_back(Json value);
+
+  /// Serialize (compact, keys in sorted order -- deterministic output).
+  std::string dump() const;
+
+  /// Parse a complete JSON document; throws doseopt::Error with the byte
+  /// offset on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+
+  void dump_to(std::string& out) const;
+};
+
+}  // namespace doseopt::serve

@@ -1,0 +1,61 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "serve/socket.h"
+
+namespace doseopt::serve {
+
+namespace {
+
+void put_u32_le(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t get_u32_le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+bool valid_type(std::uint32_t t) {
+  return t >= static_cast<std::uint32_t>(MsgType::kPing) &&
+         t <= static_cast<std::uint32_t>(MsgType::kShutdown);
+}
+
+}  // namespace
+
+void write_frame(int fd, MsgType type, const std::string& payload) {
+  DOSEOPT_CHECK(payload.size() <= kMaxFramePayload,
+                "write_frame: payload too large");
+  std::string buf(12 + payload.size(), '\0');
+  put_u32_le(buf.data(), kFrameMagic);
+  put_u32_le(buf.data() + 4, static_cast<std::uint32_t>(type));
+  put_u32_le(buf.data() + 8, static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(buf.data() + 12, payload.data(), payload.size());
+  send_all(fd, buf.data(), buf.size());
+}
+
+bool read_frame(int fd, Frame* frame) {
+  char header[12];
+  if (!recv_all(fd, header, sizeof(header))) return false;
+  if (get_u32_le(header) != kFrameMagic)
+    throw Error("protocol: bad frame magic");
+  const std::uint32_t type = get_u32_le(header + 4);
+  if (!valid_type(type))
+    throw Error("protocol: unknown message type " + std::to_string(type));
+  const std::uint32_t length = get_u32_le(header + 8);
+  if (length > kMaxFramePayload)
+    throw Error("protocol: frame payload of " + std::to_string(length) +
+                " bytes exceeds limit");
+  frame->type = static_cast<MsgType>(type);
+  frame->payload.resize(length);
+  if (length > 0 && !recv_all(fd, frame->payload.data(), length))
+    throw Error("protocol: connection closed mid-frame");
+  return true;
+}
+
+}  // namespace doseopt::serve

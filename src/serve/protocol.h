@@ -1,0 +1,51 @@
+// Wire protocol of the doseopt job service.
+//
+// Every message is one length-prefixed frame:
+//
+//   [ u32 magic 0x444F5331 "DOS1" ][ u32 type ][ u32 payload length ]
+//   [ payload bytes (UTF-8 JSON, except kPing/kPong which are empty) ]
+//
+// all little-endian.  Frames are independent; a connection carries any
+// number of them in either direction.  Payloads are JSON documents -- see
+// job.h for the job request/result schema and server.h for metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace doseopt::serve {
+
+/// Frame magic ("DOS1" read as little-endian u32).
+inline constexpr std::uint32_t kFrameMagic = 0x3153'4F44u;
+
+/// Frames larger than this are rejected as corrupt (protects the server
+/// from a garbage length prefix allocating gigabytes).
+inline constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/// Message types.
+enum class MsgType : std::uint32_t {
+  kPing = 1,            ///< liveness probe, empty payload
+  kPong = 2,            ///< reply to kPing, empty payload
+  kJobRequest = 3,      ///< JSON job description (job.h)
+  kJobResult = 4,       ///< JSON result for one job
+  kJobError = 5,        ///< JSON {"id", "error"} -- job failed
+  kJobRejected = 6,     ///< JSON {"id", "retry_after_ms"} -- backpressure
+  kMetricsRequest = 7,  ///< empty payload
+  kMetricsReply = 8,    ///< JSON telemetry dump
+  kShutdown = 9,        ///< ask the server to drain and stop; empty payload
+};
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::string payload;
+};
+
+/// Write one frame to `fd` (blocking, whole-frame).
+void write_frame(int fd, MsgType type, const std::string& payload);
+
+/// Read one frame.  Returns false on clean EOF at a frame boundary; throws
+/// doseopt::Error on corrupt framing, oversized payloads, or mid-frame EOF.
+bool read_frame(int fd, Frame* frame);
+
+}  // namespace doseopt::serve

@@ -1,0 +1,429 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+#include "flow/optimize.h"
+#include "serve/protocol.h"
+#include "serve/socket.h"
+
+namespace doseopt::serve {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0,
+                std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point t0,
+                       std::chrono::steady_clock::time_point t1) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.snapshot_dir) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  DOSEOPT_CHECK(!running(), "serve: server already started");
+  DOSEOPT_CHECK(!options_.uds_path.empty() || options_.tcp_port >= 0,
+                "serve: no listener configured (need uds_path or tcp_port)");
+  DOSEOPT_CHECK(options_.lanes >= 1, "serve: lanes must be >= 1");
+  DOSEOPT_CHECK(options_.queue_capacity >= 1,
+                "serve: queue_capacity must be >= 1");
+
+  stopping_.store(false, std::memory_order_release);
+  shutdown_requested_.store(false, std::memory_order_release);
+  start_time_ = std::chrono::steady_clock::now();
+
+  if (!options_.uds_path.empty()) uds_fd_ = listen_unix(options_.uds_path);
+  if (options_.tcp_port >= 0) tcp_fd_ = listen_tcp(options_.tcp_port,
+                                                   &tcp_port_);
+
+  // Worker lanes: a dedicated scheduler thread enters parallel_for_lane
+  // with one long-lived iteration per lane.  Inside an iteration the pool
+  // region is active, so every parallel loop a job issues runs inline --
+  // each job is serial on its lane, which is what makes results
+  // bit-identical to a direct flow:: call at any lane count.
+  pool_ = std::make_unique<ThreadPool>(options_.lanes);
+  const std::size_t lanes = static_cast<std::size_t>(options_.lanes);
+  scheduler_thread_ = std::thread([this, lanes] {
+    pool_->parallel_for_lane(
+        lanes, [this](int, std::size_t i) { worker_loop(static_cast<int>(i)); });
+  });
+
+  if (uds_fd_ >= 0)
+    accept_threads_.emplace_back([this, fd = uds_fd_] { accept_loop(fd); });
+  if (tcp_fd_ >= 0)
+    accept_threads_.emplace_back([this, fd = tcp_fd_] { accept_loop(fd); });
+
+  running_.store(true, std::memory_order_release);
+  if (options_.verbose)
+    std::fprintf(stderr, "[serve] listening (lanes=%d queue=%zu)\n",
+                 options_.lanes, options_.queue_capacity);
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // Stop accepting: closing the listeners makes accept_connection return
+  // -1 in the accept loops.
+  if (uds_fd_ >= 0) close_socket(std::exchange(uds_fd_, -1));
+  if (tcp_fd_ >= 0) close_socket(std::exchange(tcp_fd_, -1));
+  for (auto& t : accept_threads_) t.join();
+  accept_threads_.clear();
+
+  // Graceful drain: new requests are rejected (stopping_), queued jobs run
+  // to completion and their replies still go out over open connections.
+  queue_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drain_cv_.wait(lock,
+                   [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+  queue_cv_.notify_all();
+  if (scheduler_thread_.joinable()) scheduler_thread_.join();
+  pool_.reset();
+
+  // Unblock and join the connection readers; each reader closes its own fd
+  // on exit.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (const auto& conn : conns)
+    if (conn->open.load(std::memory_order_acquire))
+      ::shutdown(conn->fd, SHUT_RDWR);
+  for (const auto& conn : conns)
+    if (conn->reader.joinable()) conn->reader.join();
+
+  cache_.save_all();
+  if (!options_.uds_path.empty()) ::unlink(options_.uds_path.c_str());
+  if (options_.verbose) std::fprintf(stderr, "[serve] stopped\n");
+}
+
+void Server::wait_for_shutdown() const {
+  while (!shutdown_requested_.load(std::memory_order_acquire) &&
+         running_.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+void Server::accept_loop(int listen_fd) {
+  while (true) {
+    const int fd = accept_connection(listen_fd);
+    if (fd < 0) return;  // listener closed by stop()
+    if (stopping_.load(std::memory_order_acquire)) {
+      close_socket(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  try {
+    Frame frame;
+    while (read_frame(conn->fd, &frame)) {
+      switch (frame.type) {
+        case MsgType::kPing:
+          reply(conn, static_cast<std::uint32_t>(MsgType::kPong),
+                Json::object());
+          break;
+        case MsgType::kJobRequest:
+          handle_request(conn, frame.payload);
+          break;
+        case MsgType::kMetricsRequest:
+          reply(conn, static_cast<std::uint32_t>(MsgType::kMetricsReply),
+                metrics());
+          break;
+        case MsgType::kShutdown:
+          if (options_.verbose)
+            std::fprintf(stderr, "[serve] shutdown requested by client\n");
+          request_shutdown();
+          break;
+        default: {
+          Json err = Json::object();
+          err.set("error", Json::string("unexpected frame type"));
+          reply(conn, static_cast<std::uint32_t>(MsgType::kJobError), err);
+          break;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    if (options_.verbose)
+      std::fprintf(stderr, "[serve] connection error: %s\n", e.what());
+  }
+  conn->open.store(false, std::memory_order_release);
+  close_socket(conn->fd);
+}
+
+void Server::handle_request(const std::shared_ptr<Connection>& conn,
+                            const std::string& payload) {
+  JobSpec spec;
+  try {
+    spec = JobSpec::from_json(Json::parse(payload));
+  } catch (const std::exception& e) {
+    Json err = Json::object();
+    err.set("error", Json::string(e.what()));
+    reply(conn, static_cast<std::uint32_t>(MsgType::kJobError), err);
+    return;
+  }
+
+  const auto reject = [&] {
+    jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
+    Json r = Json::object();
+    if (!spec.id.empty()) r.set("id", Json::string(spec.id));
+    r.set("retry_after_ms", Json::number(options_.retry_after_ms));
+    reply(conn, static_cast<std::uint32_t>(MsgType::kJobRejected), r);
+  };
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    reject();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= options_.queue_capacity) {
+      reject();
+      return;
+    }
+    queue_.push_back(PendingJob{conn, std::move(spec),
+                                std::chrono::steady_clock::now()});
+  }
+  jobs_accepted_.fetch_add(1, std::memory_order_relaxed);
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop(int lane) {
+  while (true) {
+    PendingJob job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    if (options_.verbose)
+      std::fprintf(stderr, "[serve] lane %d: job '%s' (%s)\n", lane,
+                   job.spec.id.c_str(), job.spec.design.c_str());
+    execute_job(std::move(job));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --in_flight_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+bool Server::expired(const PendingJob& job) {
+  if (job.spec.deadline_ms <= 0.0) return false;
+  const double waited =
+      ms_since(job.enqueued, std::chrono::steady_clock::now());
+  if (waited <= job.spec.deadline_ms) return false;
+  jobs_expired_.fetch_add(1, std::memory_order_relaxed);
+  Json err = Json::object();
+  if (!job.spec.id.empty()) err.set("id", Json::string(job.spec.id));
+  err.set("error", Json::string("deadline exceeded"));
+  err.set("expired", Json::boolean(true));
+  err.set("waited_ms", Json::number(waited));
+  reply(job.conn, static_cast<std::uint32_t>(MsgType::kJobError), err);
+  return true;
+}
+
+void Server::execute_job(PendingJob job) {
+  using clock = std::chrono::steady_clock;
+  try {
+    if (!job.conn->open.load(std::memory_order_acquire)) {
+      jobs_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (expired(job)) return;
+
+    // Memoized identical job: the flow is deterministic, so the stored
+    // result document is exactly what a fresh solve would produce.
+    const std::uint64_t job_key = job.spec.job_key();
+    if (const auto cached = cache_.lookup_result(job_key)) {
+      Json out = Json::object();
+      if (!job.spec.id.empty()) out.set("id", Json::string(job.spec.id));
+      out.set("status", Json::string("ok"));
+      Json cache_info = Json::object();
+      cache_info.set("context_hit", Json::boolean(true));
+      cache_info.set("snapshot_restored", Json::boolean(false));
+      cache_info.set("coefficients_hit", Json::boolean(true));
+      cache_info.set("result_hit", Json::boolean(true));
+      out.set("cache", std::move(cache_info));
+      Json stages = Json::object();
+      stages.set("context_ms", Json::number(0.0));
+      stages.set("coefficients_ms", Json::number(0.0));
+      stages.set("flow_ms", Json::number(0.0));
+      out.set("stage_ms", std::move(stages));
+      out.set("result", Json::parse(*cached));
+      jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+      reply(job.conn, static_cast<std::uint32_t>(MsgType::kJobResult), out);
+      return;
+    }
+
+    auto session = cache_.acquire(job.spec);
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    // Re-check after possibly waiting on another job of the same session.
+    if (!job.conn->open.load(std::memory_order_acquire)) {
+      jobs_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (expired(job)) return;
+
+    const auto t0 = clock::now();
+    const bool ctx_hit = session->ctx != nullptr;
+    bool restored = false;
+    cache_.populate(*session, job.spec, &restored);
+    flow::DesignContext& ctx = *session->ctx;
+    const auto t1 = clock::now();
+    stage_context_us_.fetch_add(us_since(t0, t1), std::memory_order_relaxed);
+    if (expired(job)) return;
+
+    const bool coeff_hit = ctx.has_coefficients(job.spec.modulate_width);
+    cache_.count_coeff(coeff_hit);
+    ctx.coefficients(job.spec.modulate_width);
+    const auto t2 = clock::now();
+    stage_coeff_us_.fetch_add(us_since(t1, t2), std::memory_order_relaxed);
+    if (expired(job)) return;
+
+    // dosePl mutates the context's placement and parasitics in place; save
+    // and restore them so the cached session stays pristine for later jobs.
+    std::optional<place::Placement> saved_placement;
+    std::optional<extract::Parasitics> saved_parasitics;
+    if (job.spec.run_dosepl) {
+      saved_placement = ctx.placement();
+      saved_parasitics = ctx.parasitics();
+    }
+    flow::FlowResult result = flow::run_flow(ctx, job.spec.flow_options());
+    if (saved_placement.has_value()) {
+      ctx.placement() = std::move(*saved_placement);
+      ctx.parasitics() = std::move(*saved_parasitics);
+    }
+    const auto t3 = clock::now();
+    stage_flow_us_.fetch_add(us_since(t2, t3), std::memory_order_relaxed);
+
+    Json out = Json::object();
+    if (!job.spec.id.empty()) out.set("id", Json::string(job.spec.id));
+    out.set("status", Json::string("ok"));
+    Json cache_info = Json::object();
+    cache_info.set("context_hit", Json::boolean(ctx_hit));
+    cache_info.set("snapshot_restored", Json::boolean(restored));
+    cache_info.set("coefficients_hit", Json::boolean(coeff_hit));
+    cache_info.set("result_hit", Json::boolean(false));
+    out.set("cache", std::move(cache_info));
+    Json stages = Json::object();
+    stages.set("context_ms", Json::number(ms_since(t0, t1)));
+    stages.set("coefficients_ms", Json::number(ms_since(t1, t2)));
+    stages.set("flow_ms", Json::number(ms_since(t2, t3)));
+    out.set("stage_ms", std::move(stages));
+    Json result_json = flow_result_to_json(result);
+    cache_.store_result(job_key, result_json.dump());
+    out.set("result", std::move(result_json));
+
+    jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+    reply(job.conn, static_cast<std::uint32_t>(MsgType::kJobResult), out);
+  } catch (const std::exception& e) {
+    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+    Json err = Json::object();
+    if (!job.spec.id.empty()) err.set("id", Json::string(job.spec.id));
+    err.set("error", Json::string(e.what()));
+    reply(job.conn, static_cast<std::uint32_t>(MsgType::kJobError), err);
+  }
+}
+
+void Server::reply(const std::shared_ptr<Connection>& conn,
+                   std::uint32_t type, const Json& payload) {
+  if (!conn->open.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  try {
+    write_frame(conn->fd, static_cast<MsgType>(type), payload.dump());
+  } catch (const std::exception& e) {
+    // Peer went away mid-reply; the reader loop will observe the closed
+    // socket and retire the connection.
+    conn->open.store(false, std::memory_order_release);
+    if (options_.verbose)
+      std::fprintf(stderr, "[serve] dropped reply: %s\n", e.what());
+  }
+}
+
+Json Server::metrics() const {
+  Json m = Json::object();
+  m.set("lanes", Json::number(options_.lanes));
+  m.set("queue_capacity",
+        Json::number(static_cast<double>(options_.queue_capacity)));
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    m.set("queue_depth", Json::number(static_cast<double>(queue_.size())));
+    m.set("in_flight", Json::number(static_cast<double>(in_flight_)));
+  }
+  const auto n = [](const std::atomic<std::uint64_t>& a) {
+    return Json::number(
+        static_cast<double>(a.load(std::memory_order_relaxed)));
+  };
+  Json jobs = Json::object();
+  jobs.set("accepted", n(jobs_accepted_));
+  jobs.set("completed", n(jobs_completed_));
+  jobs.set("failed", n(jobs_failed_));
+  jobs.set("rejected", n(jobs_rejected_));
+  jobs.set("expired", n(jobs_expired_));
+  jobs.set("dropped", n(jobs_dropped_));
+  m.set("jobs", std::move(jobs));
+
+  const SessionCache::Stats s = cache_.stats();
+  Json c = Json::object();
+  c.set("sessions", Json::number(static_cast<double>(s.sessions)));
+  c.set("context_hits", Json::number(static_cast<double>(s.context_hits)));
+  c.set("context_misses",
+        Json::number(static_cast<double>(s.context_misses)));
+  c.set("snapshots_restored",
+        Json::number(static_cast<double>(s.snapshots_restored)));
+  c.set("coefficient_hits", Json::number(static_cast<double>(s.coeff_hits)));
+  c.set("coefficient_misses",
+        Json::number(static_cast<double>(s.coeff_misses)));
+  c.set("result_hits", Json::number(static_cast<double>(s.result_hits)));
+  c.set("result_misses", Json::number(static_cast<double>(s.result_misses)));
+  c.set("characterize_calls",
+        Json::number(static_cast<double>(s.characterize_calls)));
+  m.set("cache", std::move(c));
+
+  Json stages = Json::object();
+  const auto us_ms = [](const std::atomic<std::uint64_t>& a) {
+    return Json::number(
+        static_cast<double>(a.load(std::memory_order_relaxed)) / 1000.0);
+  };
+  stages.set("context_ms", us_ms(stage_context_us_));
+  stages.set("coefficients_ms", us_ms(stage_coeff_us_));
+  stages.set("flow_ms", us_ms(stage_flow_us_));
+  m.set("stage_ms_total", std::move(stages));
+
+  m.set("uptime_ms",
+        Json::number(ms_since(start_time_, std::chrono::steady_clock::now())));
+  return m;
+}
+
+}  // namespace doseopt::serve

@@ -1,0 +1,40 @@
+// Thin POSIX socket helpers for the job server: Unix-domain and TCP
+// listeners/connectors plus whole-buffer send/recv.  All functions throw
+// doseopt::Error on system-call failure (with errno text); writes use
+// MSG_NOSIGNAL so a peer hangup surfaces as an error, not SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace doseopt::serve {
+
+/// Bind + listen on a Unix-domain socket at `path` (unlinks a stale file
+/// first).  Returns the listening fd.
+int listen_unix(const std::string& path);
+
+/// Bind + listen on 127.0.0.1:`port` (port 0 = kernel-assigned).  Returns
+/// the listening fd; `*bound_port` receives the actual port when non-null.
+int listen_tcp(int port, int* bound_port = nullptr);
+
+/// Connect to a Unix-domain socket.
+int connect_unix(const std::string& path);
+
+/// Connect to 127.0.0.1:`port`.
+int connect_tcp(int port);
+
+/// Accept one connection; returns the fd, or -1 when the listener was shut
+/// down (any other failure throws).
+int accept_connection(int listen_fd);
+
+/// Write exactly `size` bytes; throws on error or peer hangup.
+void send_all(int fd, const void* data, std::size_t size);
+
+/// Read exactly `size` bytes.  Returns false on clean EOF at offset 0;
+/// throws on error or mid-buffer EOF.
+bool recv_all(int fd, void* data, std::size_t size);
+
+/// shutdown(2) both directions then close(2); ignores errors (teardown).
+void close_socket(int fd);
+
+}  // namespace doseopt::serve

@@ -5,8 +5,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -176,6 +179,65 @@ TEST(Determinism, YieldAnalysisBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(r1.mean_mct_ns, r8.mean_mct_ns);
   EXPECT_EQ(r1.p95_mct_ns, r8.p95_mct_ns);
   EXPECT_EQ(r1.mean_leakage_uw, r8.mean_leakage_uw);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent lazy characterization in the repository.
+// ---------------------------------------------------------------------------
+
+TEST(Repository, ConcurrentVariantCharacterizesEachVariantExactlyOnce) {
+  const tech::TechNode node = tech::make_tech_65nm();
+  liberty::LibraryRepository repo(node);
+
+  // Threads hammer a small key set in per-thread shuffled order, so every
+  // variant sees racing first requests.
+  const std::vector<std::pair<int, int>> keys = {
+      {8, 10}, {9, 10}, {10, 10}, {11, 10}, {12, 10}, {10, 8}};
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5;
+  std::vector<std::map<std::pair<int, int>, const liberty::Library*>> seen(
+      kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<std::uint64_t>(t));
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::pair<int, int>> order = keys;
+        for (std::size_t i = order.size(); i > 1; --i)
+          std::swap(order[i - 1], order[rng.uniform_index(i)]);
+        for (const auto& key : order) {
+          const liberty::Library& lib = repo.variant(key.first, key.second);
+          const auto [it, inserted] = seen[t].emplace(key, &lib);
+          // Pointer stability: repeated calls return the same object.
+          EXPECT_EQ(it->second, &lib);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Exactly one characterization per distinct variant, no duplicates.
+  EXPECT_EQ(repo.characterize_calls(), keys.size());
+  EXPECT_EQ(repo.characterized_count(), keys.size());
+  // All threads observed the same library object per key.
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+TEST(Repository, WarmMatchesLazyCharacterizationBitForBit) {
+  const tech::TechNode node = tech::make_tech_65nm();
+  liberty::LibraryRepository lazy_repo(node);
+  liberty::LibraryRepository warm_repo(node);
+
+  const std::vector<std::pair<int, int>> keys = {{6, 10}, {10, 10}, {14, 10}};
+  ThreadPool pool(4);
+  warm_repo.warm(keys, &pool);
+  EXPECT_EQ(warm_repo.characterized_count(), keys.size());
+  for (const auto& [il, iw] : keys) {
+    ASSERT_NE(warm_repo.find_variant(il, iw), nullptr);
+    expect_library_identical(*warm_repo.find_variant(il, iw),
+                             lazy_repo.variant(il, iw));
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,180 @@
+// Tests for the binary snapshot layer: byte-stream primitives, round-trip
+// fidelity (restored designs time bit-identically), and corrupt-input
+// rejection (bad magic/version/checksum/truncation all fail with a clean
+// error, never undefined behavior).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "flow/context.h"
+#include "gen/design_gen.h"
+#include "serde/snapshot.h"
+#include "serde/stream.h"
+
+namespace doseopt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Byte-stream primitives.
+// ---------------------------------------------------------------------------
+
+TEST(ByteStream, RoundTripsEveryPrimitive) {
+  serde::ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u32(0xDEADBEEFu);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_i32(-12345);
+  w.put_f64(-0.1);  // not exactly representable: bit pattern must survive
+  w.put_bool(true);
+  w.put_string("hello \xE2\x82\xAC");
+  w.put_f64_vec({1.5, -2.25, 3.0e-300});
+  w.put_u32_vec({7, 0, 42});
+
+  serde::ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_i32(), -12345);
+  EXPECT_EQ(r.get_f64(), -0.1);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_EQ(r.get_string(), "hello \xE2\x82\xAC");
+  const std::vector<double> f = r.get_f64_vec();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], 1.5);
+  EXPECT_EQ(f[1], -2.25);
+  EXPECT_EQ(f[2], 3.0e-300);
+  const std::vector<std::uint32_t> u = r.get_u32_vec();
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_EQ(u[2], 42u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteStream, TruncatedReadThrows) {
+  serde::ByteWriter w;
+  w.put_u64(7);
+  serde::ByteReader r(std::string_view(w.bytes()).substr(0, 4));
+  EXPECT_THROW(r.get_u64(), doseopt::Error);
+}
+
+TEST(ByteStream, GarbageCountDoesNotAllocate) {
+  // A corrupt length prefix claiming 2^32 elements must throw instead of
+  // attempting a gigantic allocation.
+  serde::ByteWriter w;
+  w.put_u64(0xFFFFFFFFull);
+  serde::ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_f64_vec(), doseopt::Error);
+}
+
+TEST(ByteStream, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64 of "a" is a published constant.
+  EXPECT_EQ(serde::fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+}
+
+// ---------------------------------------------------------------------------
+// Design snapshot round trip.
+// ---------------------------------------------------------------------------
+
+void expect_timing_identical(const sta::TimingResult& a,
+                             const sta::TimingResult& b) {
+  EXPECT_EQ(a.mct_ns, b.mct_ns);
+  EXPECT_EQ(a.worst_slack_ns, b.worst_slack_ns);
+  EXPECT_EQ(a.worst_hold_slack_ns, b.worst_hold_slack_ns);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].arrival_ns, b.cells[i].arrival_ns) << i;
+    EXPECT_EQ(a.cells[i].slack_ns, b.cells[i].slack_ns) << i;
+    EXPECT_EQ(a.cells[i].output_slew_ns, b.cells[i].output_slew_ns) << i;
+    EXPECT_EQ(a.cells[i].load_ff, b.cells[i].load_ff) << i;
+  }
+}
+
+TEST(Snapshot, RoundTripReproducesGoldenStaBitForBit) {
+  flow::DesignContext original(gen::aes65_spec().scaled(0.03));
+  // Fit coefficients so several variant libraries exist in the cache.
+  original.coefficients(/*width=*/false);
+  const std::size_t variants = original.repo().characterized_count();
+  EXPECT_GT(variants, 0u);
+
+  std::stringstream buf;
+  serde::write_design_state(buf, original.spec(), original.netlist(),
+                            original.placement(), original.repo());
+
+  serde::DesignState state = serde::read_design_state(buf);
+  EXPECT_EQ(state.spec.name, original.spec().name);
+  EXPECT_EQ(state.repo->characterized_count(), variants);
+  // Restored variants are adopted, not re-characterized.
+  EXPECT_EQ(state.repo->characterize_calls(), 0u);
+
+  flow::DesignContext restored(std::move(state));
+  EXPECT_EQ(restored.nominal_mct_ns(), original.nominal_mct_ns());
+  EXPECT_EQ(restored.nominal_leakage_uw(), original.nominal_leakage_uw());
+  expect_timing_identical(restored.nominal_timing(),
+                          original.nominal_timing());
+}
+
+TEST(Snapshot, FileRoundTripAndCorruptionErrors) {
+  const std::string path =
+      "/tmp/doseopt_test_snapshot_" + std::to_string(::getpid()) + ".snap";
+  flow::DesignContext ctx(gen::aes65_spec().scaled(0.02));
+  ctx.save_snapshot(path);
+
+  // Clean read works.
+  serde::DesignState state = serde::read_design_snapshot(path);
+  EXPECT_EQ(state.spec.name, ctx.spec().name);
+
+  // Load the raw bytes for corruption experiments.
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    bytes = ss.str();
+  }
+  std::remove(path.c_str());
+  ASSERT_GT(bytes.size(), 64u);
+
+  const auto read_from = [](std::string data) {
+    std::stringstream ss(std::move(data));
+    return serde::read_design_state(ss);
+  };
+
+  // Bad magic.
+  {
+    std::string b = bytes;
+    b[0] ^= 0xFF;
+    EXPECT_THROW(read_from(b), doseopt::Error);
+  }
+  // Unsupported version (bytes 8..11).
+  {
+    std::string b = bytes;
+    b[8] = static_cast<char>(99);
+    EXPECT_THROW(read_from(b), doseopt::Error);
+  }
+  // Payload corruption -> checksum mismatch.
+  {
+    std::string b = bytes;
+    b[b.size() / 2] ^= 0x01;
+    EXPECT_THROW(read_from(b), doseopt::Error);
+  }
+  // Truncation mid-payload.
+  {
+    EXPECT_THROW(read_from(bytes.substr(0, bytes.size() - 16)),
+                 doseopt::Error);
+  }
+  // Trailing garbage after the payload.
+  {
+    EXPECT_THROW(read_from(bytes + "extra"), doseopt::Error);
+  }
+}
+
+}  // namespace
+}  // namespace doseopt

@@ -7,14 +7,15 @@
 // Usage:
 //   doseopt_cli [--design aes65|jpeg65|aes90|jpeg90] [--scale F]
 //               [--mode timing|leakage] [--grid UM] [--delta PCT]
-//               [--range PCT] [--width] [--dosepl] [--verilog FILE]
+//               [--range PCT] [--width] [--dosepl] [--threads N]
+//               [--verilog FILE]
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "flow/optimize.h"
 #include "netlist/verilog_io.h"
 
@@ -22,22 +23,15 @@ using namespace doseopt;
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
+[[noreturn]] void usage(const char* argv0, const std::string& reason = "") {
+  if (!reason.empty()) std::fprintf(stderr, "error: %s\n", reason.c_str());
   std::fprintf(stderr,
                "usage: %s [--design aes65|jpeg65|aes90|jpeg90] [--scale F]\n"
                "          [--mode timing|leakage] [--grid UM] [--delta PCT]\n"
-               "          [--range PCT] [--width] [--dosepl]"
-               " [--verilog FILE]\n",
+               "          [--range PCT] [--width] [--dosepl] [--threads N]\n"
+               "          [--verilog FILE]\n",
                argv0);
   std::exit(2);
-}
-
-gen::DesignSpec spec_by_name(const std::string& name) {
-  if (name == "aes65") return gen::aes65_spec();
-  if (name == "jpeg65") return gen::jpeg65_spec();
-  if (name == "aes90") return gen::aes90_spec();
-  if (name == "jpeg90") return gen::jpeg90_spec();
-  throw doseopt::Error("unknown design: " + name);
 }
 
 }  // namespace
@@ -52,37 +46,56 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) usage(argv[0], arg + " requires a value");
       return argv[++i];
     };
+    auto number = [&]() -> double {
+      const std::string text = value();
+      double v = 0.0;
+      if (!try_parse_double(text, &v))
+        usage(argv[0], arg + ": '" + text + "' is not a number");
+      return v;
+    };
     if (arg == "--design") design = value();
-    else if (arg == "--scale") scale = std::atof(value().c_str());
+    else if (arg == "--scale") scale = number();
     else if (arg == "--mode") {
       const std::string m = value();
       if (m == "timing") options.mode = flow::DmoptMode::kMinimizeCycleTime;
       else if (m == "leakage") options.mode = flow::DmoptMode::kMinimizeLeakage;
-      else usage(argv[0]);
+      else usage(argv[0], "--mode must be 'timing' or 'leakage'");
     } else if (arg == "--grid") {
-      options.dmopt.grid_um = std::atof(value().c_str());
+      options.dmopt.grid_um = number();
     } else if (arg == "--delta") {
-      options.dmopt.smoothness_delta = std::atof(value().c_str());
+      options.dmopt.smoothness_delta = number();
     } else if (arg == "--range") {
-      const double r = std::atof(value().c_str());
+      const double r = number();
       options.dmopt.dose_lower_pct = -r;
       options.dmopt.dose_upper_pct = r;
     } else if (arg == "--width") {
       options.dmopt.modulate_width = true;
     } else if (arg == "--dosepl") {
       options.run_dose_placement = true;
+    } else if (arg == "--threads") {
+      const std::string text = value();
+      long n = 0;
+      if (!try_parse_int(text, &n) || n < 1)
+        usage(argv[0], "--threads: '" + text + "' is not a positive integer");
+      // ThreadPool::global() reads this once at first use, which is after
+      // argument parsing -- so the flag wins over the inherited env.
+      setenv("DOSEOPT_THREADS", std::to_string(n).c_str(), /*overwrite=*/1);
     } else if (arg == "--verilog") {
       verilog_out = value();
     } else {
-      usage(argv[0]);
+      usage(argv[0], "unknown argument: " + arg);
     }
   }
+  if (scale <= 0.0 || scale > 1.0) usage(argv[0], "--scale must be in (0, 1]");
+  if (options.dmopt.grid_um <= 0.0) usage(argv[0], "--grid must be positive");
+  if (options.dmopt.dose_upper_pct <= 0.0)
+    usage(argv[0], "--range must be positive");
 
   try {
-    gen::DesignSpec spec = spec_by_name(design);
+    gen::DesignSpec spec = gen::spec_by_name(design);
     if (scale < 1.0) spec = spec.scaled(scale);
     std::printf("doseopt: %s (%zu cells target), mode=%s, grid=%.1f um, "
                 "delta=%.1f%%, range +/-%.1f%%, width=%s, dosepl=%s\n",

@@ -1,0 +1,111 @@
+// Client for the doseopt job server.
+//
+// Submits one job (same knobs as doseopt_cli) and prints the JSON reply,
+// or fetches telemetry / requests a graceful shutdown.
+//
+// Usage:
+//   doseopt_client (--socket PATH | --tcp PORT)
+//                  [--design NAME] [--scale F] [--seed N]
+//                  [--mode timing|leakage] [--grid UM] [--delta PCT]
+//                  [--range PCT] [--width] [--dosepl] [--deadline MS]
+//                  [--id NAME] [--metrics] [--shutdown] [--ping]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "serve/client.h"
+
+using namespace doseopt;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& reason = "") {
+  if (!reason.empty()) std::fprintf(stderr, "error: %s\n", reason.c_str());
+  std::fprintf(stderr,
+               "usage: %s (--socket PATH | --tcp PORT)\n"
+               "          [--design NAME] [--scale F] [--seed N]\n"
+               "          [--mode timing|leakage] [--grid UM] [--delta PCT]\n"
+               "          [--range PCT] [--width] [--dosepl] [--deadline MS]\n"
+               "          [--id NAME] [--metrics] [--shutdown] [--ping]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string uds_path;
+  int tcp_port = -1;
+  bool want_metrics = false;
+  bool want_shutdown = false;
+  bool want_ping = false;
+  serve::JobSpec spec;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], arg + " requires a value");
+      return argv[++i];
+    };
+    auto number = [&]() -> double {
+      const std::string text = value();
+      double v = 0.0;
+      if (!try_parse_double(text, &v))
+        usage(argv[0], arg + ": '" + text + "' is not a number");
+      return v;
+    };
+    if (arg == "--socket") uds_path = value();
+    else if (arg == "--tcp") {
+      long p = 0;
+      const std::string text = value();
+      if (!try_parse_int(text, &p) || p < 1 || p > 65535)
+        usage(argv[0], "--tcp: '" + text + "' is not a valid port");
+      tcp_port = static_cast<int>(p);
+    } else if (arg == "--design") spec.design = value();
+    else if (arg == "--scale") spec.scale = number();
+    else if (arg == "--seed") spec.seed = static_cast<std::uint64_t>(number());
+    else if (arg == "--mode") spec.mode = value();
+    else if (arg == "--grid") spec.grid_um = number();
+    else if (arg == "--delta") spec.smoothness_delta = number();
+    else if (arg == "--range") spec.dose_range_pct = number();
+    else if (arg == "--width") spec.modulate_width = true;
+    else if (arg == "--dosepl") spec.run_dosepl = true;
+    else if (arg == "--deadline") spec.deadline_ms = number();
+    else if (arg == "--id") spec.id = value();
+    else if (arg == "--metrics") want_metrics = true;
+    else if (arg == "--shutdown") want_shutdown = true;
+    else if (arg == "--ping") want_ping = true;
+    else usage(argv[0], "unknown argument: " + arg);
+  }
+  if (uds_path.empty() == (tcp_port < 0))
+    usage(argv[0], "need exactly one of --socket / --tcp");
+
+  try {
+    serve::Client client = uds_path.empty()
+                               ? serve::Client::connect_tcp_port(tcp_port)
+                               : serve::Client::connect_unix_path(uds_path);
+    if (want_ping) {
+      client.ping();
+      std::printf("pong\n");
+      return 0;
+    }
+    if (want_metrics) {
+      std::printf("%s\n", client.metrics().dump().c_str());
+      return 0;
+    }
+    if (want_shutdown) {
+      client.request_shutdown();
+      std::printf("shutdown requested\n");
+      return 0;
+    }
+    const serve::Client::Reply reply = client.submit_with_retry(spec);
+    std::printf("%s\n", reply.payload.dump().c_str());
+    if (!reply.ok()) return 1;
+  } catch (const doseopt::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Persistent doseopt job server.
+//
+// Listens on a Unix-domain socket (and/or loopback TCP), runs framed JSON
+// job requests on worker lanes, and caches analyzed designs across
+// requests.  SIGTERM/SIGINT (or a client kShutdown frame) triggers a
+// graceful drain: queued jobs finish, sessions are snapshotted, then the
+// process exits.
+//
+// Usage:
+//   doseopt_server --socket PATH [--tcp PORT] [--lanes N] [--queue N]
+//                  [--snapshot-dir DIR] [--metrics FILE] [--threads N]
+//                  [--verbose]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "serve/server.h"
+
+using namespace doseopt;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& reason = "") {
+  if (!reason.empty()) std::fprintf(stderr, "error: %s\n", reason.c_str());
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--tcp PORT] [--lanes N] [--queue N]\n"
+               "          [--snapshot-dir DIR] [--metrics FILE] [--threads N]\n"
+               "          [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerOptions options;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], arg + " requires a value");
+      return argv[++i];
+    };
+    auto integer = [&](long min) -> long {
+      const std::string text = value();
+      long v = 0;
+      if (!try_parse_int(text, &v) || v < min)
+        usage(argv[0], arg + ": '" + text + "' is not a valid integer");
+      return v;
+    };
+    if (arg == "--socket") options.uds_path = value();
+    else if (arg == "--tcp") options.tcp_port = static_cast<int>(integer(0));
+    else if (arg == "--lanes") options.lanes = static_cast<int>(integer(1));
+    else if (arg == "--queue")
+      options.queue_capacity = static_cast<std::size_t>(integer(1));
+    else if (arg == "--snapshot-dir") options.snapshot_dir = value();
+    else if (arg == "--metrics") metrics_path = value();
+    else if (arg == "--threads") {
+      const long n = integer(1);
+      setenv("DOSEOPT_THREADS", std::to_string(n).c_str(), /*overwrite=*/1);
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      usage(argv[0], "unknown argument: " + arg);
+    }
+  }
+  if (options.uds_path.empty() && options.tcp_port < 0)
+    usage(argv[0], "need --socket PATH and/or --tcp PORT");
+
+  try {
+    serve::Server server(options);
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+
+    server.start();
+    if (!options.uds_path.empty())
+      std::printf("doseopt_server: unix %s\n", options.uds_path.c_str());
+    if (options.tcp_port >= 0)
+      std::printf("doseopt_server: tcp 127.0.0.1:%d\n", server.tcp_port());
+    std::printf("doseopt_server: lanes=%d queue=%zu%s\n", options.lanes,
+                options.queue_capacity,
+                options.snapshot_dir.empty() ? "" : " (snapshots on)");
+    std::fflush(stdout);
+
+    server.wait_for_shutdown();
+    std::printf("doseopt_server: draining...\n");
+    std::fflush(stdout);
+    server.stop();  // drain: queued jobs finish before counters are read
+    const serve::Json final_metrics = server.metrics();
+    g_server = nullptr;
+
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      os << final_metrics.dump() << "\n";
+      std::printf("doseopt_server: metrics written to %s\n",
+                  metrics_path.c_str());
+    }
+    std::printf("doseopt_server: bye\n");
+  } catch (const doseopt::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
