@@ -1,0 +1,152 @@
+// Incremental cutting-plane solve path: cold vs warm A/B on the AES-65 QCP
+// flow (minimize_cycle_time, the richest trajectory: a bisection probe
+// sequence on top of the cutting-plane rounds).
+//
+// Both modes must walk the same trajectory -- identical cuts, rounds, and
+// probes, with golden results the same doubles -- so the comparison is pure
+// solver work: per-round constraint assembly (full rebuild vs append-only)
+// and ADMM iterations (zero dual vs carried dual + cached scaling).
+//
+// Writes BENCH_qp.json and fails (exit 1) when the warm path is less than
+// 3x faster on total cutting-plane solve time (assembly + ADMM, summed over
+// every round and probe) or when the golden results diverge.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "dmopt/dmopt.h"
+
+using namespace doseopt;
+
+namespace {
+
+struct ModeStats {
+  dmopt::DmoptResult result;
+  double assembly_ms = 0.0;
+  double admm_ms = 0.0;
+  double extract_ms = 0.0;
+  double total_ms = 0.0;           ///< assembly + ADMM (the compared cost)
+  double assembly_ns_per_round = 0.0;
+  int rounds = 0;
+  int admm_iterations = 0;
+  std::size_t cuts = 0;
+};
+
+ModeStats run_mode(flow::DesignContext& ctx,
+                   const liberty::CoefficientSet& coeffs, bool incremental) {
+  dmopt::DmoptOptions opt;
+  opt.grid_um = 10.0;
+  opt.incremental = incremental;
+  dmopt::DoseMapOptimizer optimizer(
+      &ctx.netlist(), &ctx.placement(), &ctx.parasitics(), &ctx.repo(),
+      &coeffs, &ctx.timer(), &ctx.nominal_timing(), opt);
+  ModeStats s;
+  s.result = optimizer.minimize_cycle_time();
+  const dmopt::CutTelemetry& t = s.result.telemetry;
+  s.assembly_ms = static_cast<double>(t.assembly_ns) / 1e6;
+  s.admm_ms = static_cast<double>(t.solve_ns) / 1e6;
+  s.extract_ms = static_cast<double>(t.extract_ns) / 1e6;
+  s.total_ms = s.assembly_ms + s.admm_ms;
+  s.rounds = t.total_rounds;
+  s.admm_iterations = t.total_admm_iterations;
+  s.cuts = t.total_cuts;
+  s.assembly_ns_per_round =
+      t.total_rounds > 0
+          ? static_cast<double>(t.assembly_ns) / t.total_rounds
+          : 0.0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Incremental cutting-plane solve path -- cold vs warm-started QP "
+      "(AES-65, QCP bisection)");
+
+  const gen::DesignSpec spec = flow::scaled_spec(gen::aes65_spec());
+  flow::DesignContext ctx(spec);
+  const liberty::CoefficientSet& coeffs = ctx.coefficients(false);
+  std::printf("nominal: MCT %.4f ns, leakage %.1f uW, %zu cells\n\n",
+              ctx.nominal_mct_ns(), ctx.nominal_leakage_uw(),
+              ctx.netlist().cell_count());
+
+  const ModeStats cold = run_mode(ctx, coeffs, /*incremental=*/false);
+  const ModeStats warm = run_mode(ctx, coeffs, /*incremental=*/true);
+
+  TextTable t;
+  t.set_header({"Mode", "Rounds", "Cuts", "ADMM iters", "Assembly (ms)",
+                "ns/round", "ADMM (ms)", "Solve total (ms)", "DMopt (s)"});
+  for (const auto* m : {&cold, &warm}) {
+    t.add_row({m == &cold ? "cold (rebuild)" : "warm (incremental)",
+               fmt_f(m->rounds, 0), fmt_f(static_cast<double>(m->cuts), 0),
+               fmt_f(m->admm_iterations, 0), fmt_f(m->assembly_ms, 2),
+               fmt_f(m->assembly_ns_per_round, 0), fmt_f(m->admm_ms, 2),
+               fmt_f(m->total_ms, 2), fmt_f(m->result.runtime_s, 2)});
+  }
+  t.print(std::cout);
+
+  // Trajectory lock: the incremental path is a pure perf change.
+  int variant_diffs = 0;
+  for (std::size_t c = 0; c < ctx.netlist().cell_count(); ++c)
+    if (cold.result.variants.get(static_cast<netlist::CellId>(c)) !=
+        warm.result.variants.get(static_cast<netlist::CellId>(c)))
+      ++variant_diffs;
+  const bool bit_identical =
+      cold.result.golden_mct_ns == warm.result.golden_mct_ns &&
+      cold.result.golden_leakage_uw == warm.result.golden_leakage_uw &&
+      cold.rounds == warm.rounds && cold.cuts == warm.cuts &&
+      cold.result.bisection_probes == warm.result.bisection_probes &&
+      variant_diffs == 0;
+
+  const double speedup =
+      warm.total_ms > 0.0 ? cold.total_ms / warm.total_ms : 0.0;
+  const double assembly_speedup =
+      warm.assembly_ms > 0.0 ? cold.assembly_ms / warm.assembly_ms : 0.0;
+  std::printf(
+      "\ngolden: cold MCT %.6f ns / %.1f uW, warm MCT %.6f ns / %.1f uW "
+      "(%s, %d variant diffs)\n",
+      cold.result.golden_mct_ns, cold.result.golden_leakage_uw,
+      warm.result.golden_mct_ns, warm.result.golden_leakage_uw,
+      bit_identical ? "bit-identical" : "DIVERGED", variant_diffs);
+  std::printf("assembly speedup: %.1fx, ADMM iterations %d -> %d\n",
+              assembly_speedup, cold.admm_iterations, warm.admm_iterations);
+  std::printf("cutting-plane solve speedup: %.1fx %s\n", speedup,
+              speedup >= 3.0 ? "(>= 3x: OK)" : "(below 3x target!)");
+
+  std::FILE* f = std::fopen("BENCH_qp.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_qp: cannot write BENCH_qp.json\n");
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"design\": \"aes65\",\n"
+      "  \"scale\": %g,\n"
+      "  \"grid_um\": 10.0,\n"
+      "  \"cells\": %zu,\n"
+      "  \"rounds\": %d,\n"
+      "  \"cuts\": %zu,\n"
+      "  \"bisection_probes\": %d,\n"
+      "  \"cold\": {\"assembly_ms\": %.3f, \"assembly_ns_per_round\": %.0f,"
+      " \"admm_iterations\": %d, \"admm_ms\": %.3f, \"solve_total_ms\":"
+      " %.3f, \"dmopt_s\": %.3f},\n"
+      "  \"warm\": {\"assembly_ms\": %.3f, \"assembly_ns_per_round\": %.0f,"
+      " \"admm_iterations\": %d, \"admm_ms\": %.3f, \"solve_total_ms\":"
+      " %.3f, \"dmopt_s\": %.3f},\n"
+      "  \"assembly_speedup\": %.2f,\n"
+      "  \"solve_speedup\": %.2f,\n"
+      "  \"golden_bit_identical\": %s\n"
+      "}\n",
+      flow::design_scale(), ctx.netlist().cell_count(), cold.rounds,
+      cold.cuts, cold.result.bisection_probes, cold.assembly_ms,
+      cold.assembly_ns_per_round, cold.admm_iterations, cold.admm_ms,
+      cold.total_ms, cold.result.runtime_s, warm.assembly_ms,
+      warm.assembly_ns_per_round, warm.admm_iterations, warm.admm_ms,
+      warm.total_ms, warm.result.runtime_s, assembly_speedup, speedup,
+      bit_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("BENCH_qp.json written\n");
+  return (speedup >= 3.0 && bit_identical) ? 0 : 1;
+}

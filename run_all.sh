@@ -20,7 +20,7 @@ ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 } 2>&1 | tee -a /root/repo/test_output.txt
 [ "$(cat /tmp/doseopt_tsan_rc)" -eq 0 ] || FAILED="$FAILED tsan:test_parallel"
 
-BENCHES="bench_fig3_fig4 bench_fig5_fig6 bench_table1_table7 bench_table2_table3 bench_fit_residuals bench_wafer bench_yield bench_table4 bench_table8_fig10 bench_table6 bench_table5 bench_ablation bench_serve bench_micro"
+BENCHES="bench_fig3_fig4 bench_fig5_fig6 bench_table1_table7 bench_table2_table3 bench_fit_residuals bench_wafer bench_yield bench_table4 bench_table8_fig10 bench_table6 bench_table5 bench_ablation bench_qp bench_serve bench_micro"
 : > /tmp/doseopt_bench_failures
 {
   for name in $BENCHES; do

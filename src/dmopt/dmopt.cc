@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <queue>
 
 #include "common/error.h"
@@ -100,6 +98,10 @@ DoseMapOptimizer::DoseMapOptimizer(
         {kNoCell, drv,
          parasitics_->wire_delay_ns(n, timer_->options().output_load_ff)});
   }
+  endpoint_base_by_cell_.assign(nl_->cell_count(), 0.0);
+  for (const CellTimingEdgeData& e : endpoint_edges_)
+    endpoint_base_by_cell_[e.from] =
+        std::max(endpoint_base_by_cell_[e.from], e.base_delay_ns);
 
   // Nominal golden leakage, the reference for delta-leakage budgets.
   {
@@ -157,10 +159,9 @@ double DoseMapOptimizer::model_mct_uniform(double dose_poly_pct,
   return model_mct(poly, active);
 }
 
-std::vector<DoseMapOptimizer::PathConstraint>
-DoseMapOptimizer::extract_violated_paths(const la::Vec& poly,
-                                         const la::Vec& active, double tau,
-                                         std::size_t max_paths) const {
+std::vector<PathConstraint> DoseMapOptimizer::extract_violated_paths(
+    const la::Vec& poly, const la::Vec& active, double tau,
+    std::size_t max_paths) const {
   la::Vec arrival;
   model_arrivals(poly, active, arrival);
 
@@ -238,76 +239,28 @@ struct VarLayout {
 
 }  // namespace
 
-qp::QpProblem DoseMapOptimizer::build_problem(
-    const std::vector<PathConstraint>& paths, double tau) const {
+std::unique_ptr<IncrementalProblem> DoseMapOptimizer::make_problem() const {
   VarLayout vars{poly_template_.grid_count(), options_.modulate_width};
   const std::size_t n = vars.count();
 
-  qp::QpProblem p;
-  p.p_diag.assign(n, 0.0);
-  p.q.assign(n, 0.0);
+  la::Vec p_diag(n, 0.0), q(n, 0.0);
   for (std::size_t c = 0; c < nl_->cell_count(); ++c) {
     const liberty::LeakageCoeffs& lc = coeffs_->leakage_coeffs(
         nl_->cell(static_cast<CellId>(c)).master_index);
     const std::size_t g = cell_grid_[c];
-    p.p_diag[vars.poly(g)] += 2.0 * lc.alpha_nw_per_nm2 * kDs * kDs;
-    p.q[vars.poly(g)] += lc.beta_nw_per_nm * kDs;
+    p_diag[vars.poly(g)] += 2.0 * lc.alpha_nw_per_nm2 * kDs * kDs;
+    q[vars.poly(g)] += lc.beta_nw_per_nm * kDs;
     if (options_.modulate_width)
-      p.q[vars.active(g)] += lc.gamma_nw_per_nm * kDs;
+      q[vars.active(g)] += lc.gamma_nw_per_nm * kDs;
   }
 
-  const auto pairs = poly_template_.neighbor_pairs();
-  const std::size_t layers = options_.modulate_width ? 2 : 1;
-  const std::size_t n_rows =
-      layers * vars.n_grids + layers * pairs.size() + paths.size();
-  la::TripletMatrix triplets(n_rows, n);
-  la::Vec lower(n_rows), upper(n_rows);
-  std::size_t row = 0;
-
-  // Correction range (eq. (3)/(8)).
-  for (std::size_t layer = 0; layer < layers; ++layer) {
-    for (std::size_t g = 0; g < vars.n_grids; ++g) {
-      triplets.add(row, layer == 0 ? vars.poly(g) : vars.active(g), 1.0);
-      lower[row] = options_.dose_lower_pct;
-      upper[row] = options_.dose_upper_pct;
-      ++row;
-    }
-  }
-  // Smoothness (eq. (4)/(9)).
-  for (std::size_t layer = 0; layer < layers; ++layer) {
-    for (const auto& [ga, gb] : pairs) {
-      triplets.add(row, layer == 0 ? vars.poly(ga) : vars.active(ga), 1.0);
-      triplets.add(row, layer == 0 ? vars.poly(gb) : vars.active(gb), -1.0);
-      lower[row] = -options_.smoothness_delta;
-      upper[row] = options_.smoothness_delta;
-      ++row;
-    }
-  }
-  // Path constraints: sum over path cells of (A_c Ds dP(g) + B_c Ds dA(g))
-  // <= tau - base(path).  These rows are the projection of the arrival-time
-  // system (eq. (5)/(6)) onto the dose variables.
-  for (std::size_t pi = 0; pi < paths.size(); ++pi) {
-    const PathConstraint& pc = paths[pi];
-    // Aggregate per grid (paths revisit grids often).
-    std::vector<std::pair<std::size_t, double>> poly_terms, active_terms;
-    for (const CellId c : pc.cells) {
-      const std::size_t g = cell_grid_[c];
-      poly_terms.emplace_back(vars.poly(g), cell_a_coeff_[c] * kDs);
-      if (options_.modulate_width && cell_b_coeff_[c] != 0.0)
-        active_terms.emplace_back(vars.active(g), cell_b_coeff_[c] * kDs);
-    }
-    for (const auto& [v, coef] : poly_terms) triplets.add(row, v, coef);
-    for (const auto& [v, coef] : active_terms) triplets.add(row, v, coef);
-    lower[row] = -qp::kInfinity;
-    upper[row] = tau - pc.base_ns;
-    ++row;
-  }
-  DOSEOPT_CHECK(row == n_rows, "build_problem: row count mismatch");
-
-  p.a = la::CsrMatrix(triplets);
-  p.lower = std::move(lower);
-  p.upper = std::move(upper);
-  return p;
+  // Path rows appended later are the projection of the arrival-time system
+  // (eq. (5)/(6)) onto the dose variables: sum over path cells of
+  // (A_c Ds dP(g) + B_c Ds dA(g)) <= tau - base(path).
+  return std::make_unique<IncrementalProblem>(
+      vars.n_grids, options_.modulate_width, poly_template_.neighbor_pairs(),
+      options_.dose_lower_pct, options_.dose_upper_pct,
+      options_.smoothness_delta, std::move(p_diag), std::move(q));
 }
 
 double DoseMapOptimizer::path_base_delay(const PathConstraint& pc) const {
@@ -336,25 +289,34 @@ double DoseMapOptimizer::path_base_delay(const PathConstraint& pc) const {
     DOSEOPT_CHECK(best > -1e30, "path_base_delay: broken chain");
     base += best;
   }
-  const CellId end_cell = pc.cells.back();
-  double best_endpoint = 0.0;
-  for (const CellTimingEdgeData& e : endpoint_edges_)
-    if (e.from == end_cell)
-      best_endpoint = std::max(best_endpoint, e.base_delay_ns);
-  base += best_endpoint;
+  base += endpoint_base_by_cell_[pc.cells.back()];
   return base;
 }
 
 DoseMapOptimizer::SolveOutcome DoseMapOptimizer::solve_leakage_qp(
-    double tau, WorkingSet& working_set, la::Vec& warm_doses) {
+    double tau, WorkingSet& working_set) {
+  using Clock = std::chrono::steady_clock;
+  auto elapsed_ns = [](Clock::time_point a, Clock::time_point b) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+
   VarLayout vars{poly_template_.grid_count(), options_.modulate_width};
   SolveOutcome outcome;
   outcome.poly.assign(vars.n_grids, 0.0);
   outcome.active.assign(vars.n_grids, 0.0);
 
-  qp::QpSolver solver(options_.qp_settings);
-  la::Vec x = warm_doses;
-  if (x.size() != vars.count()) x.assign(vars.count(), 0.0);
+  qp::QpSettings settings = options_.qp_settings;
+  settings.warm_start = settings.warm_start && options_.incremental;
+  if (settings.warm_start) {
+    // The incremental package: exit through the active-set polish as soon
+    // as a stable/plateau set passes KKT, and stop burning iterations on
+    // near-infeasible probes once the residuals flatline.  The cold A/B
+    // reference keeps the historical polish-at-termination semantics.
+    settings.early_polish = true;
+    if (settings.stall_window == 0) settings.stall_window = 500;
+  }
+  qp::QpSolver solver(settings);
 
   auto path_hash = [](const PathConstraint& pc) {
     std::uint64_t h = 0x9e3779b97f4a7c15ULL;
@@ -364,42 +326,65 @@ DoseMapOptimizer::SolveOutcome DoseMapOptimizer::solve_leakage_qp(
     return h;
   };
 
-  const bool trace = std::getenv("DOSEOPT_TRACE") != nullptr;
   constexpr int kMaxRounds = 40;
   constexpr std::size_t kBatch = 300;
   for (int round = 0; round < kMaxRounds; ++round) {
-    const auto tr0 = std::chrono::steady_clock::now();
-    const qp::QpProblem problem = build_problem(working_set.paths, tau);
-    la::Vec y0(problem.num_constraints(), 0.0);
-    const qp::QpSolution sol = solver.solve(problem, x, y0);
+    CutRound tele;
+    tele.tau_ns = tau;
+    tele.round = round;
+
+    const auto ta0 = Clock::now();
+    if (options_.incremental) {
+      // Static rows persist; only fresh cuts are appended, and a tau
+      // retarget touches only the path-row uppers.
+      if (!working_set.problem) working_set.problem = make_problem();
+      working_set.problem->set_tau(tau);
+      working_set.problem->append_paths(working_set.paths,
+                                        working_set.paths_assembled,
+                                        cell_grid_, cell_a_coeff_,
+                                        cell_b_coeff_, kDs);
+    } else {
+      // Historical A/B reference: full rebuild every round.  Same canonical
+      // assembly routine, so the matrix is bit-identical to the incremental
+      // path's.
+      working_set.problem = make_problem();
+      working_set.problem->set_tau(tau);
+      working_set.problem->append_paths(working_set.paths, 0, cell_grid_,
+                                        cell_a_coeff_, cell_b_coeff_, kDs);
+    }
+    working_set.paths_assembled = working_set.paths.size();
+    const auto ta1 = Clock::now();
+    tele.assembly_ns = elapsed_ns(ta0, ta1);
+    tele.working_set = working_set.paths.size();
+
+    const qp::QpSolution sol = solver.solve_incremental(
+        working_set.problem->problem(), working_set.qp_state);
+    const auto ta2 = Clock::now();
+    tele.solve_ns = elapsed_ns(ta1, ta2);
+    tele.admm_iterations = sol.iterations;
     outcome.status = sol.status;
     outcome.qp_iterations += sol.iterations;
-    x = sol.x;
-    if (sol.status == qp::QpStatus::kPrimalInfeasible) break;
+    if (sol.status == qp::QpStatus::kPrimalInfeasible) {
+      telemetry_.add(tele);
+      break;
+    }
 
     for (std::size_t g = 0; g < vars.n_grids; ++g) {
-      outcome.poly[g] = std::clamp(x[vars.poly(g)], options_.dose_lower_pct,
+      outcome.poly[g] = std::clamp(sol.x[vars.poly(g)],
+                                   options_.dose_lower_pct,
                                    options_.dose_upper_pct);
       outcome.active[g] =
           options_.modulate_width
-              ? std::clamp(x[vars.active(g)], options_.dose_lower_pct,
+              ? std::clamp(sol.x[vars.active(g)], options_.dose_lower_pct,
                            options_.dose_upper_pct)
               : 0.0;
     }
 
-    const auto tr1 = std::chrono::steady_clock::now();
     std::vector<PathConstraint> fresh =
         extract_violated_paths(outcome.poly, outcome.active, tau, kBatch);
-    const auto tr2 = std::chrono::steady_clock::now();
-    if (trace)
-      std::fprintf(stderr,
-                   "  [dmopt] tau=%.4f round=%d ws=%zu fresh=%zu iters=%d "
-                   "solve=%.2fs extract=%.2fs\n",
-                   tau, round, working_set.paths.size(), fresh.size(),
-                   sol.iterations,
-                   std::chrono::duration<double>(tr1 - tr0).count(),
-                   std::chrono::duration<double>(tr2 - tr1).count());
+    tele.extract_ns = elapsed_ns(ta2, Clock::now());
     if (fresh.empty()) {
+      telemetry_.add(tele);
       outcome.feasible = true;
       break;
     }
@@ -411,6 +396,8 @@ DoseMapOptimizer::SolveOutcome DoseMapOptimizer::solve_leakage_qp(
       working_set.paths.push_back(std::move(pc));
       ++added;
     }
+    tele.fresh_cuts = added;
+    telemetry_.add(tele);
     if (added == 0) {
       // No new cuts: remaining violations are at solver-tolerance level.
       outcome.feasible =
@@ -428,7 +415,6 @@ DoseMapOptimizer::SolveOutcome DoseMapOptimizer::solve_leakage_qp(
         kDs * outcome.poly[g],
         options_.modulate_width ? kDs * outcome.active[g] : 0.0);
   }
-  warm_doses = x;
   return outcome;
 }
 
@@ -528,7 +514,7 @@ DmoptResult DoseMapOptimizer::minimize_leakage(double timing_bound_ns) {
                                 ? timing_bound_ns
                                 : nominal_timing_->mct_ns;
   WorkingSet working_set;
-  la::Vec warm;
+  telemetry_ = CutTelemetry();
 
   // Golden-corrected outer loop: the fitted linear delay model ignores slew
   // propagation and load coupling (as the paper's does), so the model bound
@@ -543,7 +529,7 @@ DmoptResult DoseMapOptimizer::minimize_leakage(double timing_bound_ns) {
   int probes = 0;
   const double tol_ns = std::max(5e-4, 0.001 * tau_target);
   for (int it = 0; it < 8; ++it) {
-    outcome = solve_leakage_qp(tau_model, working_set, warm);
+    outcome = solve_leakage_qp(tau_model, working_set);
     ++probes;
     double golden_mct = 0.0, golden_leak = 0.0;
     golden_eval(outcome, &golden_mct, &golden_leak);
@@ -559,6 +545,7 @@ DmoptResult DoseMapOptimizer::minimize_leakage(double timing_bound_ns) {
   }
 
   DmoptResult result = finalize(outcome, probes);
+  result.telemetry = telemetry_;
   result.runtime_s = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
@@ -579,9 +566,9 @@ DmoptResult DoseMapOptimizer::minimize_cycle_time(double leakage_budget_uw) {
   // snapping, so the reported result always honors the budget.
   const double leak_budget_uw = nominal_leakage_uw_ + leakage_budget_uw;
   WorkingSet working_set;  // shared across probes
-  la::Vec warm;
+  telemetry_ = CutTelemetry();
 
-  SolveOutcome best = solve_leakage_qp(tau_hi, working_set, warm);
+  SolveOutcome best = solve_leakage_qp(tau_hi, working_set);
   DOSEOPT_CHECK(best.feasible, "minimize_cycle_time: tau_hi probe infeasible");
   int probes = 1;
   int total_iters = best.qp_iterations;
@@ -590,7 +577,7 @@ DmoptResult DoseMapOptimizer::minimize_cycle_time(double leakage_budget_uw) {
   for (int it = 0; it < options_.bisection_iterations; ++it) {
     if (feasible_tau - tau_lo < 1e-4) break;
     const double tau = 0.5 * (tau_lo + feasible_tau);
-    SolveOutcome probe = solve_leakage_qp(tau, working_set, warm);
+    SolveOutcome probe = solve_leakage_qp(tau, working_set);
     ++probes;
     total_iters += probe.qp_iterations;
     bool ok = probe.feasible;
@@ -608,6 +595,7 @@ DmoptResult DoseMapOptimizer::minimize_cycle_time(double leakage_budget_uw) {
   }
 
   DmoptResult result = finalize(best, probes);
+  result.telemetry = telemetry_;
   result.total_qp_iterations = total_iters;
   result.runtime_s = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)

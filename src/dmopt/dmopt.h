@@ -28,9 +28,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
+#include "dmopt/incremental_problem.h"
 #include "dose/dose_map.h"
 #include "liberty/coeff_fit.h"
 #include "qp/qp_solver.h"
@@ -48,6 +50,49 @@ struct DmoptOptions {
   int bisection_iterations = 8;    ///< QCP: bisection steps on tau
   double leakage_tolerance_uw = 1e-3;  ///< QCP: budget slack when probing
   qp::QpSettings qp_settings;      ///< inner solver configuration
+  /// Incremental cutting-plane solve path: static constraint rows built
+  /// once, cut rows appended, QP scaling/dual warm-started across rounds
+  /// and bisection probes.  false forces the historical per-round rebuild
+  /// + cold solve (A/B reference); golden results are bit-identical either
+  /// way (doses agree to solver tolerance and are snapped to characterized
+  /// variants before signoff).
+  bool incremental = true;
+};
+
+/// Per-round counters of the cutting-plane loop (the structured
+/// replacement for the old DOSEOPT_TRACE stderr dump).
+struct CutRound {
+  double tau_ns = 0.0;       ///< timing bound of this solve
+  int round = 0;             ///< round index within the solve
+  std::size_t working_set = 0;  ///< path rows in the QP this round
+  std::size_t fresh_cuts = 0;   ///< newly added violated paths
+  int admm_iterations = 0;
+  std::uint64_t assembly_ns = 0;  ///< problem build/append + tau retarget
+  std::uint64_t solve_ns = 0;     ///< ADMM solve
+  std::uint64_t extract_ns = 0;   ///< violated-path extraction
+};
+
+/// Cutting-plane telemetry aggregated over every round and bisection
+/// probe of one optimization run; surfaced through flow results and the
+/// server metrics endpoint.
+struct CutTelemetry {
+  std::vector<CutRound> rounds;
+  int total_rounds = 0;
+  int total_admm_iterations = 0;
+  std::size_t total_cuts = 0;
+  std::uint64_t assembly_ns = 0;
+  std::uint64_t solve_ns = 0;
+  std::uint64_t extract_ns = 0;
+
+  void add(const CutRound& r) {
+    rounds.push_back(r);
+    ++total_rounds;
+    total_admm_iterations += r.admm_iterations;
+    total_cuts += r.fresh_cuts;
+    assembly_ns += r.assembly_ns;
+    solve_ns += r.solve_ns;
+    extract_ns += r.extract_ns;
+  }
 };
 
 /// Result of one optimization run.
@@ -68,6 +113,7 @@ struct DmoptResult {
   int total_qp_iterations = 0;
   int bisection_probes = 0;
   double runtime_s = 0.0;
+  CutTelemetry telemetry;  ///< per-round cutting-plane counters
 };
 
 /// One timing-graph edge with its dose-independent delay contribution
@@ -110,17 +156,16 @@ class DoseMapOptimizer {
   std::size_t grid_count() const { return poly_template_.grid_count(); }
 
  private:
-  /// A lazily generated path constraint: the cells along one launch-to-
-  /// capture path and the path's dose-independent delay.
-  struct PathConstraint {
-    std::vector<netlist::CellId> cells;  ///< launch side first
-    double base_ns = 0.0;
-  };
-
   /// Working set shared across cutting-plane rounds and bisection probes.
+  /// Also carries the incremental assembly + QP warm state so the matrix,
+  /// scaling, and dual survive tau retargets (the bisection reuses every
+  /// row it has already paid for).
   struct WorkingSet {
     std::vector<PathConstraint> paths;
     std::unordered_set<std::uint64_t> seen;
+    std::unique_ptr<IncrementalProblem> problem;
+    std::size_t paths_assembled = 0;  ///< rows already appended to problem
+    qp::QpWarmState qp_state;
   };
 
   /// One leakage-QP solve at a fixed timing bound.
@@ -144,10 +189,10 @@ class DoseMapOptimizer {
                                                      std::size_t max_paths)
       const;
   double path_base_delay(const PathConstraint& pc) const;
-  qp::QpProblem build_problem(const std::vector<PathConstraint>& paths,
-                              double tau) const;
-  SolveOutcome solve_leakage_qp(double tau, WorkingSet& working_set,
-                                la::Vec& warm_doses);
+  /// Fresh IncrementalProblem for the current configuration (static rows
+  /// materialized, no path rows yet).
+  std::unique_ptr<IncrementalProblem> make_problem() const;
+  SolveOutcome solve_leakage_qp(double tau, WorkingSet& working_set);
   sta::VariantAssignment snap_variants(const SolveOutcome& outcome) const;
   void golden_eval(const SolveOutcome& outcome, double* mct_ns,
                    double* leakage_uw) const;
@@ -172,8 +217,13 @@ class DoseMapOptimizer {
   std::vector<double> cell_b_coeff_;    ///< B_p (ns/nm) per cell
   std::vector<CellTimingEdgeData> edges_;
   std::vector<CellTimingEdgeData> endpoint_edges_;
+  /// Worst endpoint-edge base delay per driving cell (0 when a cell drives
+  /// no endpoint), indexed once at construction so path_base_delay avoids
+  /// the O(paths x endpoint_edges) scan.
+  std::vector<double> endpoint_base_by_cell_;
   std::vector<netlist::CellId> topo_order_;
   std::vector<std::vector<std::size_t>> incoming_;  ///< edge ids per cell
+  CutTelemetry telemetry_;  ///< accumulated by solve_leakage_qp
 };
 
 }  // namespace doseopt::dmopt

@@ -1,0 +1,103 @@
+#include "dmopt/incremental_problem.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace doseopt::dmopt {
+
+IncrementalProblem::IncrementalProblem(
+    std::size_t n_grids, bool width,
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+    double dose_lower_pct, double dose_upper_pct, double smoothness_delta,
+    la::Vec p_diag, la::Vec q)
+    : n_grids_(n_grids), width_(width) {
+  const std::size_t layers = width ? 2 : 1;
+  const std::size_t n = layers * n_grids;
+  DOSEOPT_CHECK(p_diag.size() == n && q.size() == n,
+                "IncrementalProblem: objective size mismatch");
+  problem_.p_diag = std::move(p_diag);
+  problem_.q = std::move(q);
+
+  static_rows_ = layers * n_grids + layers * pairs.size();
+  la::TripletMatrix triplets(static_rows_, n);
+  problem_.lower.resize(static_rows_);
+  problem_.upper.resize(static_rows_);
+  std::size_t row = 0;
+
+  // Correction range (eq. (3)/(8)).
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    const std::size_t base = layer * n_grids;
+    for (std::size_t g = 0; g < n_grids; ++g) {
+      triplets.add(row, base + g, 1.0);
+      problem_.lower[row] = dose_lower_pct;
+      problem_.upper[row] = dose_upper_pct;
+      ++row;
+    }
+  }
+  // Smoothness (eq. (4)/(9)).
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    const std::size_t base = layer * n_grids;
+    for (const auto& [ga, gb] : pairs) {
+      triplets.add(row, base + ga, 1.0);
+      triplets.add(row, base + gb, -1.0);
+      problem_.lower[row] = -smoothness_delta;
+      problem_.upper[row] = smoothness_delta;
+      ++row;
+    }
+  }
+  DOSEOPT_CHECK(row == static_rows_,
+                "IncrementalProblem: static row count mismatch");
+  problem_.a = la::CsrMatrix(triplets);
+}
+
+void IncrementalProblem::append_paths(
+    const std::vector<PathConstraint>& paths, std::size_t first,
+    const std::vector<std::size_t>& cell_grid,
+    const std::vector<double>& a_coeff, const std::vector<double>& b_coeff,
+    double ds) {
+  if (first >= paths.size()) return;
+
+  std::vector<la::CsrMatrix::Row> batch;
+  batch.reserve(paths.size() - first);
+  la::CsrMatrix::Row entries;
+  for (std::size_t pi = first; pi < paths.size(); ++pi) {
+    const PathConstraint& pc = paths[pi];
+    entries.clear();
+    for (const netlist::CellId c : pc.cells) {
+      const auto g = static_cast<std::uint32_t>(cell_grid[c]);
+      entries.emplace_back(g, a_coeff[c] * ds);
+      if (width_ && b_coeff[c] != 0.0)
+        entries.emplace_back(static_cast<std::uint32_t>(n_grids_ + g),
+                             b_coeff[c] * ds);
+    }
+    // Canonical row: stable sort keeps same-grid terms in path order, so
+    // the duplicate merge sums them in a mode-independent order.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    la::CsrMatrix::Row merged;
+    for (const auto& [v, coef] : entries) {
+      if (!merged.empty() && merged.back().first == v) {
+        merged.back().second += coef;
+      } else {
+        merged.emplace_back(v, coef);
+      }
+    }
+    batch.push_back(std::move(merged));
+
+    problem_.lower.push_back(-qp::kInfinity);
+    problem_.upper.push_back(tau_ - pc.base_ns);
+    path_base_.push_back(pc.base_ns);
+  }
+  problem_.a.append_rows(batch);
+}
+
+void IncrementalProblem::set_tau(double tau) {
+  tau_ = tau;
+  for (std::size_t p = 0; p < path_base_.size(); ++p)
+    problem_.upper[static_rows_ + p] = tau - path_base_[p];
+}
+
+}  // namespace doseopt::dmopt

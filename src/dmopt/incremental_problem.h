@@ -1,0 +1,73 @@
+// Append-only assembly of the cutting-plane QP (the inner problem of
+// Section III).
+//
+// The constraint matrix of every cutting-plane round shares the same static
+// prefix -- one dose-range row per grid per layer (eq. (3)/(8)) and one
+// smoothness row per neighbor pair per layer (eq. (4)/(9)) -- followed by
+// the accumulated path-constraint rows.  Rebuilding that matrix from
+// triplets every round is the dominant assembly cost of the loop, and the
+// 8-probe QCP bisection repeats it for every probe.
+//
+// IncrementalProblem materializes the static rows into CSR exactly once per
+// (grid, layers) configuration, appends only the fresh path rows of each
+// round (one batched CSR append, one transpose rebuild), and retargets the
+// timing bound tau by rewriting only the path-row upper bounds -- the
+// matrix structure is untouched, so the QP solver's cached scaling and
+// warm-started dual stay valid across rounds *and* bisection probes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "qp/qp_solver.h"
+
+namespace doseopt::dmopt {
+
+/// A lazily generated path constraint: the cells along one launch-to-
+/// capture path and the path's dose-independent delay.
+struct PathConstraint {
+  std::vector<netlist::CellId> cells;  ///< launch side first
+  double base_ns = 0.0;
+};
+
+class IncrementalProblem {
+ public:
+  /// Builds the static rows.  `pairs` are the grid neighbor pairs;
+  /// `p_diag`/`q` the (fixed) leakage objective over the dose variables.
+  /// Layout: poly grid doses first, then (when `width`) active grid doses.
+  IncrementalProblem(
+      std::size_t n_grids, bool width,
+      const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+      double dose_lower_pct, double dose_upper_pct, double smoothness_delta,
+      la::Vec p_diag, la::Vec q);
+
+  /// Append the path rows for `paths[first..)`.  A path's row coefficient
+  /// for grid g sums a_coeff[c]*ds over its cells in g (and b_coeff[c]*ds
+  /// on the active layer when width-modulated); rows are canonicalized
+  /// (sorted by variable, duplicates merged in path order) so incremental
+  /// and from-scratch assembly produce bit-identical matrices.
+  void append_paths(const std::vector<PathConstraint>& paths,
+                    std::size_t first,
+                    const std::vector<std::size_t>& cell_grid,
+                    const std::vector<double>& a_coeff,
+                    const std::vector<double>& b_coeff, double ds);
+
+  /// Retarget the timing bound: rewrites only the path-row uppers
+  /// (upper = tau - base_ns); lower stays -inf.
+  void set_tau(double tau);
+
+  const qp::QpProblem& problem() const { return problem_; }
+  std::size_t static_rows() const { return static_rows_; }
+  std::size_t path_count() const { return path_base_.size(); }
+
+ private:
+  qp::QpProblem problem_;
+  std::size_t n_grids_;
+  bool width_;
+  std::size_t static_rows_ = 0;
+  la::Vec path_base_;  ///< base_ns per path row, in row order
+  double tau_ = 0.0;
+};
+
+}  // namespace doseopt::dmopt

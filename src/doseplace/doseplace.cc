@@ -87,6 +87,20 @@ DosePlResult DosePlacer::run(const dose::DoseMap& poly_map,
 
   std::unordered_set<CellId> fixed;  // rolled-back cells, never retried
 
+  // Cells per grid for candidate lookup.  Valid until a round's ECO
+  // actually moves cells (legalize after accepted swaps); a rolled-back
+  // round restores every location exactly, so the binning survives it.
+  std::vector<std::vector<CellId>> grid_cells(poly_map.grid_count());
+  bool grid_cells_dirty = true;
+
+  // Saved state for rollback (snapshotted at the top of each round).
+  struct SavedLoc {
+    CellId cell;
+    place::CellLocation loc;
+  };
+  std::vector<SavedLoc> saved;
+  saved.reserve(nl_->cell_count());
+
   for (int round = 0; round < options_.rounds; ++round) {
     ++result.rounds_run;
 
@@ -114,20 +128,18 @@ DosePlResult DosePlacer::run(const dose::DoseMap& poly_map,
                 return a.slack_ns < b.slack_ns;
               });
 
-    // Cells per grid for candidate lookup.
-    std::vector<std::vector<CellId>> grid_cells(poly_map.grid_count());
-    for (std::size_t c = 0; c < nl_->cell_count(); ++c) {
-      const auto id = static_cast<CellId>(c);
-      grid_cells[poly_map.grid_at(placement_->x_um(id), placement_->y_um(id))]
-          .push_back(id);
+    if (grid_cells_dirty) {
+      for (auto& cells : grid_cells) cells.clear();
+      for (std::size_t c = 0; c < nl_->cell_count(); ++c) {
+        const auto id = static_cast<CellId>(c);
+        grid_cells[poly_map.grid_at(placement_->x_um(id),
+                                    placement_->y_um(id))]
+            .push_back(id);
+      }
+      grid_cells_dirty = false;
     }
 
-    // Saved state for rollback.
-    struct SavedLoc {
-      CellId cell;
-      place::CellLocation loc;
-    };
-    std::vector<SavedLoc> saved;
+    saved.clear();
     for (std::size_t c = 0; c < nl_->cell_count(); ++c)
       saved.push_back({static_cast<CellId>(c),
                        placement_->location(static_cast<CellId>(c))});
@@ -182,20 +194,17 @@ DosePlResult DosePlacer::run(const dose::DoseMap& poly_map,
         for (const std::size_t g : grids) {
           if (poly_map.doses()[g] <= dose_l) break;  // no dose gain left
 
-          // Non-critical candidates in this grid, nearest first.
-          std::vector<CellId> candidates;
+          // Non-critical candidates in this grid, nearest first.  Distances
+          // are computed once per candidate, not inside the comparator.
+          std::vector<std::pair<double, CellId>> candidates;
           for (CellId cm : grid_cells[g])
             if (!critical[cm] && !fixed.contains(cm) && cm != cell_l)
-              candidates.push_back(cm);
-          std::sort(candidates.begin(), candidates.end(),
-                    [this, cell_l](CellId a, CellId b) {
-                      return place::cell_distance_um(*placement_, cell_l, a) <
-                             place::cell_distance_um(*placement_, cell_l, b);
-                    });
+              candidates.emplace_back(
+                  place::cell_distance_um(*placement_, cell_l, cm), cm);
+          std::sort(candidates.begin(), candidates.end());
 
-          for (CellId cell_m : candidates) {
-            if (place::cell_distance_um(*placement_, cell_l, cell_m) >
-                max_distance_um)
+          for (const auto& [dist_m, cell_m] : candidates) {
+            if (dist_m > max_distance_um)
               break;  // sorted by distance: all further ones fail too
             const place::Rect bm =
                 place::cell_bounding_box(*placement_, cell_m);
@@ -268,6 +277,7 @@ DosePlResult DosePlacer::run(const dose::DoseMap& poly_map,
       best_mct = after.mct_ns;
       ++result.rounds_accepted;
       result.swaps_accepted += swaps_this_round;
+      grid_cells_dirty = true;  // legalized locations stay
     } else {
       // Roll back: restore every location, re-extract, re-assign, and
       // re-sync the timing state against the restored parasitics.

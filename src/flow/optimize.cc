@@ -1,8 +1,18 @@
 #include "flow/optimize.h"
 
+#include <chrono>
+
 namespace doseopt::flow {
 
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
 FlowResult run_flow(DesignContext& ctx, const FlowOptions& options) {
+  const auto t_start = std::chrono::steady_clock::now();
   FlowResult result;
   result.nominal_mct_ns = ctx.nominal_mct_ns();
   result.nominal_leakage_uw = ctx.nominal_leakage_uw();
@@ -14,9 +24,11 @@ FlowResult run_flow(DesignContext& ctx, const FlowOptions& options) {
       &ctx.netlist(), &ctx.placement(), &ctx.parasitics(), &ctx.repo(),
       &coeffs, &ctx.timer(), &ctx.nominal_timing(), options.dmopt);
 
+  const auto t_dmopt = std::chrono::steady_clock::now();
   result.dmopt = options.mode == DmoptMode::kMinimizeLeakage
                      ? optimizer.minimize_leakage()
                      : optimizer.minimize_cycle_time();
+  result.dmopt_s = seconds_since(t_dmopt);
   result.final_mct_ns = result.dmopt.golden_mct_ns;
   result.final_leakage_uw = result.dmopt.golden_leakage_uw;
 
@@ -27,12 +39,15 @@ FlowResult run_flow(DesignContext& ctx, const FlowOptions& options) {
     const dose::DoseMap* active = result.dmopt.active_map.has_value()
                                       ? &*result.dmopt.active_map
                                       : nullptr;
+    const auto t_dosepl = std::chrono::steady_clock::now();
     result.dosepl =
         placer.run(result.dmopt.poly_map, active, result.dmopt.variants);
+    result.dosepl_s = seconds_since(t_dosepl);
     result.dosepl_run = true;
     result.final_mct_ns = result.dosepl.final_mct_ns;
     result.final_leakage_uw = result.dosepl.final_leakage_uw;
   }
+  result.total_s = seconds_since(t_start);
   return result;
 }
 

@@ -34,6 +34,12 @@ struct FlowResult {
   /// Final golden MCT/leakage after every enabled stage.
   double final_mct_ns = 0.0;
   double final_leakage_uw = 0.0;
+
+  // Stage wall times (nondeterministic -- excluded from bit-exact result
+  // comparisons, like the per-stage runtime_s fields).
+  double dmopt_s = 0.0;   ///< DMopt stage, including golden signoff
+  double dosepl_s = 0.0;  ///< dosePl stage; 0 when not run
+  double total_s = 0.0;   ///< whole flow
 };
 
 /// Run the flow on `ctx`.  When dosePl is enabled the context's placement

@@ -14,52 +14,42 @@ CgResult conjugate_gradient(const std::function<void(const Vec&, Vec&)>& op,
   DOSEOPT_CHECK(precond_diag.size() == n, "cg: preconditioner size mismatch");
 
   CgResult result;
+  ThreadPool* pool = options.pool;
   Vec r(n), z(n), p(n), ap(n);
 
   op(x, ap);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  double r_norm2 = fused_residual(b, ap, r, pool);
 
   const double b_norm = norm2(b);
   const double stop = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+  const double stop2 = stop * stop;
 
-  auto apply_precond = [&](const Vec& in, Vec& out) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d = precond_diag[i];
-      out[i] = (d > 0.0) ? in[i] / d : in[i];
-    }
-  };
-
-  apply_precond(r, z);
-  p = z;
-  double rz = dot(r, z);
-
-  double r_norm = norm2(r);
-  if (r_norm <= stop) {
+  if (r_norm2 <= stop2) {
     result.converged = true;
-    result.residual_norm = r_norm;
+    result.residual_norm = std::sqrt(r_norm2);
     return result;
   }
 
+  double rz = fused_precond_dot(r, precond_diag, z, pool);
+  p = z;
+
   for (int it = 0; it < options.max_iterations; ++it) {
     op(p, ap);
-    const double pap = dot(p, ap);
+    const double pap = fused_dot(p, ap, pool);
     if (pap <= 0.0) break;  // loss of positive-definiteness / stagnation
     const double alpha = rz / pap;
-    axpy(alpha, p, x);
-    axpy(-alpha, ap, r);
+    r_norm2 = fused_cg_update(alpha, p, ap, x, r, pool);
     result.iterations = it + 1;
-    r_norm = norm2(r);
-    if (r_norm <= stop) {
+    if (r_norm2 <= stop2) {
       result.converged = true;
       break;
     }
-    apply_precond(r, z);
-    const double rz_new = dot(r, z);
+    const double rz_new = fused_precond_dot(r, precond_diag, z, pool);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    fused_xpby(z, beta, p, pool);
   }
-  result.residual_norm = r_norm;
+  result.residual_norm = std::sqrt(r_norm2);
   return result;
 }
 

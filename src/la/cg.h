@@ -1,6 +1,10 @@
 // Preconditioned conjugate gradient for symmetric positive-definite operators
 // given implicitly as matrix-vector products.  Used by the ADMM QP solver for
 // its (P + sigma*I + rho*A^T A) x = b inner solves.
+//
+// The inner-loop vector work runs through the fused_* kernels of la/dense.h:
+// single-pass axpy+dot and preconditioner-apply+dot sweeps with fixed-chunk
+// reductions, so the solve is bit-identical at any thread count.
 #pragma once
 
 #include <functional>
@@ -20,6 +24,7 @@ struct CgResult {
 struct CgOptions {
   int max_iterations = 500;
   double tolerance = 1e-9;  ///< relative: stop when ||r|| <= tol * ||b||
+  ThreadPool* pool = nullptr;  ///< fused-kernel pool (nullptr = global)
 };
 
 /// Solve op(x) = b where op is SPD.  `x` holds the initial guess on entry and

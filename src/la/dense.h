@@ -2,9 +2,21 @@
 //
 // Vectors are std::vector<double>; these free functions provide the handful
 // of BLAS-1 style operations the solvers need, with explicit size checks.
+//
+// The fused_* kernels collapse the conjugate-gradient inner-loop vector
+// passes (axpy + dot, preconditioner apply + dot) into single sweeps and
+// reduce over *fixed-size chunks*: each chunk's partial sum is accumulated
+// serially and the partials are combined in chunk order, so the result is
+// bit-identical at any thread count (including the serial fallback).  They
+// fan out over the deterministic ThreadPool when the vectors are large
+// enough to pay for the dispatch.
 #pragma once
 
 #include <vector>
+
+namespace doseopt {
+class ThreadPool;
+}
 
 namespace doseopt::la {
 
@@ -30,5 +42,30 @@ void clamp(const Vec& lo, const Vec& hi, Vec& x);
 
 /// max_i |a_i - b_i|.
 double max_abs_diff(const Vec& a, const Vec& b);
+
+// ---------------------------------------------------------------------------
+// Fused CG kernels (deterministic fixed-chunk reductions; see file comment).
+// `pool` selects the thread pool (nullptr = the process-global pool).
+// ---------------------------------------------------------------------------
+
+/// Deterministic dot product <a, b>.
+double fused_dot(const Vec& a, const Vec& b, ThreadPool* pool = nullptr);
+
+/// r = b - ax; returns <r, r>.  Single pass.
+double fused_residual(const Vec& b, const Vec& ax, Vec& r,
+                      ThreadPool* pool = nullptr);
+
+/// The CG step update fused into one sweep: x += alpha * p,
+/// r -= alpha * ap; returns the new <r, r>.
+double fused_cg_update(double alpha, const Vec& p, const Vec& ap, Vec& x,
+                       Vec& r, ThreadPool* pool = nullptr);
+
+/// Jacobi preconditioner apply fused with the <r, z> product:
+/// z_i = r_i / d_i (d_i <= 0 passes r_i through); returns <r, z>.
+double fused_precond_dot(const Vec& r, const Vec& diag, Vec& z,
+                         ThreadPool* pool = nullptr);
+
+/// p = z + beta * p (the CG direction update).
+void fused_xpby(const Vec& z, double beta, Vec& p, ThreadPool* pool = nullptr);
 
 }  // namespace doseopt::la

@@ -159,6 +159,44 @@ Vec CsrMatrix::gram_diagonal() const {
   return d;
 }
 
+void CsrMatrix::append_rows(const std::vector<Row>& rows) {
+  if (row_ptr_.empty()) row_ptr_.push_back(0);  // default-constructed
+  for (const Row& row : rows) {
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      DOSEOPT_CHECK(row[k].first < cols_, "append_rows: column out of range");
+      DOSEOPT_CHECK(k == 0 || row[k - 1].first < row[k].first,
+                    "append_rows: row entries must be sorted and merged");
+      col_idx_.push_back(row[k].first);
+      val_.push_back(row[k].second);
+    }
+    ++rows_;
+    row_ptr_.push_back(val_.size());
+  }
+  build_transpose();
+}
+
+void CsrMatrix::append_scaled_rows(const CsrMatrix& src, std::size_t row_begin,
+                                   const Vec& row_scale_tail,
+                                   const Vec& col_scale) {
+  DOSEOPT_CHECK(src.cols_ == cols_, "append_scaled_rows: column mismatch");
+  DOSEOPT_CHECK(row_begin <= src.rows_ &&
+                    src.rows_ - row_begin == row_scale_tail.size(),
+                "append_scaled_rows: row range mismatch");
+  DOSEOPT_CHECK(col_scale.size() == cols_,
+                "append_scaled_rows: column scale mismatch");
+  if (row_ptr_.empty()) row_ptr_.push_back(0);  // default-constructed
+  for (std::size_t r = row_begin; r < src.rows_; ++r) {
+    const double d = row_scale_tail[r - row_begin];
+    for (std::size_t k = src.row_ptr_[r]; k < src.row_ptr_[r + 1]; ++k) {
+      col_idx_.push_back(src.col_idx_[k]);
+      val_.push_back(src.val_[k] * d * col_scale[src.col_idx_[k]]);
+    }
+    ++rows_;
+    row_ptr_.push_back(val_.size());
+  }
+  build_transpose();
+}
+
 CsrMatrix CsrMatrix::scaled(const Vec& row_scale, const Vec& col_scale) const {
   DOSEOPT_CHECK(row_scale.size() == rows_ && col_scale.size() == cols_,
                 "scaled: scale size mismatch");

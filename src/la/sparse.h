@@ -41,9 +41,16 @@ class TripletMatrix {
   std::vector<double> values_;
 };
 
-/// Immutable CSR sparse matrix.
+/// CSR sparse matrix.  Existing entries are immutable; rows can be
+/// *appended* in batches, which is what the incremental cutting-plane
+/// assembly relies on (static rows built once, cut rows appended per
+/// round).
 class CsrMatrix {
  public:
+  /// One fully-formed row for append_rows: (column, value) entries sorted
+  /// by column with duplicates already merged.
+  using Row = std::vector<std::pair<std::uint32_t, double>>;
+
   CsrMatrix() = default;
 
   /// Build from triplets; duplicates are summed, explicit zeros kept.
@@ -71,6 +78,17 @@ class CsrMatrix {
   /// equilibration step of the QP solver, built directly on the CSR
   /// structure instead of a triplet round-trip.
   CsrMatrix scaled(const Vec& row_scale, const Vec& col_scale) const;
+
+  /// Append a batch of rows (one transpose rebuild per call, so batch all
+  /// of a round's rows into a single append).
+  void append_rows(const std::vector<Row>& rows);
+
+  /// Append rows [row_begin, src.rows()) of `src`, entry v ->
+  /// v * row_scale_tail[r - row_begin] * col_scale[c] -- extends a Ruiz-
+  /// scaled copy with freshly scaled appended rows without rescaling the
+  /// existing block.  Column counts must match.
+  void append_scaled_rows(const CsrMatrix& src, std::size_t row_begin,
+                          const Vec& row_scale_tail, const Vec& col_scale);
 
   /// Dense row extraction for tests/debugging.
   Vec row_dense(std::size_t r) const;

@@ -18,6 +18,7 @@ JobSpec JobSpec::from_json(const Json& j) {
   spec.dose_range_pct = j.get_number("range", spec.dose_range_pct);
   spec.modulate_width = j.get_bool("width", spec.modulate_width);
   spec.run_dosepl = j.get_bool("dosepl", spec.run_dosepl);
+  spec.incremental = j.get_bool("incremental", spec.incremental);
   spec.deadline_ms = j.get_number("deadline_ms", spec.deadline_ms);
 
   DOSEOPT_CHECK(spec.scale > 0.0 && spec.scale <= 1.0,
@@ -42,6 +43,7 @@ Json JobSpec::to_json() const {
   j.set("range", Json::number(dose_range_pct));
   j.set("width", Json::boolean(modulate_width));
   j.set("dosepl", Json::boolean(run_dosepl));
+  j.set("incremental", Json::boolean(incremental));
   if (deadline_ms > 0.0) j.set("deadline_ms", Json::number(deadline_ms));
   return j;
 }
@@ -62,6 +64,7 @@ flow::FlowOptions JobSpec::flow_options() const {
   options.dmopt.dose_lower_pct = -dose_range_pct;
   options.dmopt.dose_upper_pct = dose_range_pct;
   options.dmopt.modulate_width = modulate_width;
+  options.dmopt.incremental = incremental;
   options.run_dose_placement = run_dosepl;
   return options;
 }
@@ -101,6 +104,7 @@ std::uint64_t JobSpec::job_key() const {
   h = hash_field(h, dose_range_pct);
   h = hash_field(h, static_cast<std::uint64_t>(modulate_width ? 1 : 0));
   h = hash_field(h, static_cast<std::uint64_t>(run_dosepl ? 1 : 0));
+  h = hash_field(h, static_cast<std::uint64_t>(incremental ? 1 : 0));
   return h;
 }
 
@@ -136,6 +140,18 @@ Json flow_result_to_json(const flow::FlowResult& result) {
   dm.set("total_qp_iterations",
          Json::number(result.dmopt.total_qp_iterations));
   dm.set("bisection_probes", Json::number(result.dmopt.bisection_probes));
+  // Cutting-plane counters: deterministic (compared bit-exact)...
+  const dmopt::CutTelemetry& ct = result.dmopt.telemetry;
+  dm.set("cut_rounds", Json::number(ct.total_rounds));
+  dm.set("admm_iterations", Json::number(ct.total_admm_iterations));
+  dm.set("cuts", Json::number(static_cast<double>(ct.total_cuts)));
+  // ...and wall-clock split (nondeterministic, excluded from comparisons
+  // like runtime_s).
+  Json solver_ms = Json::object();
+  solver_ms.set("assembly", Json::number(ct.assembly_ns / 1e6));
+  solver_ms.set("solve", Json::number(ct.solve_ns / 1e6));
+  solver_ms.set("extract", Json::number(ct.extract_ns / 1e6));
+  dm.set("solver_ms", std::move(solver_ms));
   dm.set("runtime_s", Json::number(result.dmopt.runtime_s));
   dm.set("poly_map", dose_map_to_json(result.dmopt.poly_map));
   if (result.dmopt.active_map.has_value())
@@ -155,6 +171,11 @@ Json flow_result_to_json(const flow::FlowResult& result) {
     dp.set("runtime_s", Json::number(result.dosepl.runtime_s));
     j.set("dosepl", std::move(dp));
   }
+  Json stage_s = Json::object();
+  stage_s.set("dmopt", Json::number(result.dmopt_s));
+  stage_s.set("dosepl", Json::number(result.dosepl_s));
+  stage_s.set("total", Json::number(result.total_s));
+  j.set("stage_s", std::move(stage_s));
   return j;
 }
 

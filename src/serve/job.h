@@ -7,7 +7,8 @@
 //
 //   { "id": "job-1", "design": "aes65", "scale": 0.05, "seed": 0,
 //     "mode": "timing" | "leakage", "grid": 10.0, "delta": 2.0,
-//     "range": 5.0, "width": false, "dosepl": false, "deadline_ms": 0 }
+//     "range": 5.0, "width": false, "dosepl": false, "incremental": true,
+//     "deadline_ms": 0 }
 //
 // Results carry the golden per-stage metrics plus the optimized dose maps;
 // every double is emitted with %.17g so comparisons against a direct
@@ -35,6 +36,9 @@ struct JobSpec {
   double dose_range_pct = 5.0;
   bool modulate_width = false;
   bool run_dosepl = false;
+  /// Incremental cutting-plane solve path (warm-started QP); false forces
+  /// the cold A/B reference.  Golden results are identical either way.
+  bool incremental = true;
   double deadline_ms = 0.0;  ///< 0 = no deadline
 
   /// Parse from the kJobRequest JSON payload; throws doseopt::Error on

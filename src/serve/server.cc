@@ -327,6 +327,19 @@ void Server::execute_job(PendingJob job) {
     const auto t3 = clock::now();
     stage_flow_us_.fetch_add(us_since(t2, t3), std::memory_order_relaxed);
 
+    const dmopt::CutTelemetry& ct = result.dmopt.telemetry;
+    dmopt_rounds_.fetch_add(static_cast<std::uint64_t>(ct.total_rounds),
+                            std::memory_order_relaxed);
+    dmopt_admm_iterations_.fetch_add(
+        static_cast<std::uint64_t>(ct.total_admm_iterations),
+        std::memory_order_relaxed);
+    dmopt_cuts_.fetch_add(ct.total_cuts, std::memory_order_relaxed);
+    dmopt_assembly_us_.fetch_add(ct.assembly_ns / 1000,
+                                 std::memory_order_relaxed);
+    dmopt_solve_us_.fetch_add(ct.solve_ns / 1000, std::memory_order_relaxed);
+    dmopt_extract_us_.fetch_add(ct.extract_ns / 1000,
+                                std::memory_order_relaxed);
+
     Json out = Json::object();
     if (!job.spec.id.empty()) out.set("id", Json::string(job.spec.id));
     out.set("status", Json::string("ok"));
@@ -420,6 +433,15 @@ Json Server::metrics() const {
   stages.set("coefficients_ms", us_ms(stage_coeff_us_));
   stages.set("flow_ms", us_ms(stage_flow_us_));
   m.set("stage_ms_total", std::move(stages));
+
+  Json dmopt = Json::object();
+  dmopt.set("cut_rounds", n(dmopt_rounds_));
+  dmopt.set("admm_iterations", n(dmopt_admm_iterations_));
+  dmopt.set("cuts", n(dmopt_cuts_));
+  dmopt.set("assembly_ms", us_ms(dmopt_assembly_us_));
+  dmopt.set("solve_ms", us_ms(dmopt_solve_us_));
+  dmopt.set("extract_ms", us_ms(dmopt_extract_us_));
+  m.set("dmopt", std::move(dmopt));
 
   m.set("uptime_ms",
         Json::number(ms_since(start_time_, std::chrono::steady_clock::now())));

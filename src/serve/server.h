@@ -143,6 +143,14 @@ class Server {
   std::atomic<std::uint64_t> stage_context_us_{0};
   std::atomic<std::uint64_t> stage_coeff_us_{0};
   std::atomic<std::uint64_t> stage_flow_us_{0};
+  /// DMopt cutting-plane telemetry, summed over jobs (the structured
+  /// replacement for the DOSEOPT_TRACE stderr dump).
+  std::atomic<std::uint64_t> dmopt_rounds_{0};
+  std::atomic<std::uint64_t> dmopt_admm_iterations_{0};
+  std::atomic<std::uint64_t> dmopt_cuts_{0};
+  std::atomic<std::uint64_t> dmopt_assembly_us_{0};
+  std::atomic<std::uint64_t> dmopt_solve_us_{0};
+  std::atomic<std::uint64_t> dmopt_extract_us_{0};
 };
 
 }  // namespace doseopt::serve

@@ -4,6 +4,9 @@
 
 #include "common/error.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "flow/optimize.h"
 
 namespace doseopt::flow {
@@ -42,6 +45,44 @@ TEST_F(FlowTest, LeakageModeFlow) {
   EXPECT_LT(r.final_leakage_uw, r.nominal_leakage_uw);
   EXPECT_LE(r.final_mct_ns, r.nominal_mct_ns * 1.004);
   EXPECT_FALSE(r.dosepl_run);
+}
+
+TEST_F(FlowTest, IncrementalAndColdSolvePathsBitIdentical) {
+  // The incremental cutting-plane path (append-only assembly + warm-started
+  // QP) is a pure performance change: with the flag off the solver takes
+  // the historical cold path, and every golden result must come out as the
+  // same doubles.  Cycle-time mode is the richest trajectory (bisection
+  // probes on top of cutting-plane rounds).
+  FlowOptions warm;
+  warm.mode = DmoptMode::kMinimizeCycleTime;
+  warm.dmopt.grid_um = 10.0;
+  FlowOptions cold = warm;
+  cold.dmopt.incremental = false;
+  const FlowResult w = run_flow(*ctx_, warm);
+  const FlowResult c = run_flow(*ctx_, cold);
+
+  // Golden (signoff) results are the flow's contract and must be the same
+  // doubles.
+  EXPECT_EQ(w.dmopt.golden_mct_ns, c.dmopt.golden_mct_ns);
+  EXPECT_EQ(w.dmopt.golden_leakage_uw, c.dmopt.golden_leakage_uw);
+  EXPECT_EQ(w.final_mct_ns, c.final_mct_ns);
+  EXPECT_EQ(w.final_leakage_uw, c.final_leakage_uw);
+  // Both modes walk the same cutting-plane trajectory (same cuts, same
+  // rounds, same probes) -- only the per-round solver work differs.
+  EXPECT_EQ(w.dmopt.telemetry.total_rounds, c.dmopt.telemetry.total_rounds);
+  EXPECT_EQ(w.dmopt.telemetry.total_cuts, c.dmopt.telemetry.total_cuts);
+  EXPECT_EQ(w.dmopt.bisection_probes, c.dmopt.bisection_probes);
+  // Model-space values may differ at solver tolerance when a degenerate
+  // probe resolves a weakly-active constraint differently (the active-set
+  // polish equalizes the two paths only when the detected sets agree).
+  EXPECT_NEAR(w.dmopt.model_mct_ns, c.dmopt.model_mct_ns, 1e-6);
+  ASSERT_EQ(w.dmopt.poly_map.doses().size(), c.dmopt.poly_map.doses().size());
+  double max_dose_diff = 0.0;
+  for (std::size_t i = 0; i < w.dmopt.poly_map.doses().size(); ++i)
+    max_dose_diff = std::max(
+        max_dose_diff,
+        std::fabs(w.dmopt.poly_map.doses()[i] - c.dmopt.poly_map.doses()[i]));
+  EXPECT_LT(max_dose_diff, 1e-5) << "max dose diff " << max_dose_diff;
 }
 
 TEST_F(FlowTest, CycleTimeModeWithDosePl) {

@@ -176,6 +176,69 @@ TEST_P(CgRandomSpd, SolvesToTolerance) {
 INSTANTIATE_TEST_SUITE_P(Sizes, CgRandomSpd,
                          ::testing::Values(2, 5, 10, 25, 50, 100));
 
+// ---------------------------------------------------------------------------
+// Fused CG kernels: single-pass sweeps must match the naive multi-pass
+// reference (values within fp tolerance; updated vectors bit-exact where the
+// arithmetic per element is identical).
+// ---------------------------------------------------------------------------
+
+class FusedKernels : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedKernels, MatchNaiveReferences) {
+  // Sizes straddle the parallel-dispatch threshold, so both the serial
+  // fallback and the chunked fan-out path are exercised.
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  Vec a(n), b(n), diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-2, 2);
+    b[i] = rng.uniform(-2, 2);
+    // A few non-positive diagonal entries exercise the pass-through branch.
+    diag[i] = rng.uniform() < 0.05 ? 0.0 : rng.uniform(0.5, 2.0);
+  }
+  const double tol = 1e-12 * static_cast<double>(n);
+
+  EXPECT_NEAR(fused_dot(a, b), dot(a, b), tol);
+
+  Vec r(n);
+  const double rr = fused_residual(b, a, r);
+  double rr_ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(r[i], b[i] - a[i]);
+    rr_ref += r[i] * r[i];
+  }
+  EXPECT_NEAR(rr, rr_ref, tol);
+
+  Vec z(n);
+  const double rz = fused_precond_dot(r, diag, z);
+  double rz_ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(z[i], diag[i] > 0.0 ? r[i] / diag[i] : r[i]);
+    rz_ref += r[i] * z[i];
+  }
+  EXPECT_NEAR(rz, rz_ref, tol);
+
+  const double alpha = 0.37, beta = -1.25;
+  Vec x = a, x_ref = a, r2 = r, r2_ref = r;
+  const double rr2 = fused_cg_update(alpha, b, z, x, r2);
+  axpy(alpha, b, x_ref);
+  axpy(-alpha, z, r2_ref);
+  double rr2_ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(x[i], x_ref[i]);
+    EXPECT_EQ(r2[i], r2_ref[i]);
+    rr2_ref += r2_ref[i] * r2_ref[i];
+  }
+  EXPECT_NEAR(rr2, rr2_ref, tol);
+
+  Vec p = b;
+  fused_xpby(z, beta, p);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(p[i], z[i] + beta * b[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FusedKernels,
+                         ::testing::Values(1, 7, 100, 5000, 50000));
+
 TEST(Cg, ImmediateConvergenceOnExactGuess) {
   auto op = [](const Vec& v, Vec& out) { out = v; };
   Vec b = {1, 2, 3};

@@ -15,6 +15,8 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "flow/context.h"
+#include "la/cg.h"
+#include "la/dense.h"
 #include "la/sparse.h"
 #include "liberty/characterizer.h"
 #include "variation/yield.h"
@@ -179,6 +181,90 @@ TEST(Determinism, YieldAnalysisBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(r1.mean_mct_ns, r8.mean_mct_ns);
   EXPECT_EQ(r1.p95_mct_ns, r8.p95_mct_ns);
   EXPECT_EQ(r1.mean_leakage_uw, r8.mean_leakage_uw);
+}
+
+TEST(Determinism, FusedCgKernelsBitIdenticalAcrossThreadCounts) {
+  // Large enough that the chunked reductions genuinely fan out (the
+  // dispatch threshold is 4 chunks of 2048); the fixed-chunk partials must
+  // make every kernel return the same doubles at 1, 2, and 8 lanes.
+  constexpr std::size_t kN = 50000;
+  Rng rng(20260807);
+  la::Vec a(kN), b(kN), diag(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    a[i] = rng.uniform(-2, 2);
+    b[i] = rng.uniform(-2, 2);
+    diag[i] = rng.uniform(0.5, 2.0);
+  }
+
+  ThreadPool p1(1), p2(2), p8(8);
+  ThreadPool* pools[] = {&p1, &p2, &p8};
+
+  double dots[3], rrs[3], rzs[3], upds[3];
+  la::Vec rs[3], zs[3], xs[3], ps[3];
+  for (int k = 0; k < 3; ++k) {
+    ThreadPool* pool = pools[k];
+    rs[k].assign(kN, 0.0);
+    zs[k].assign(kN, 0.0);
+    xs[k] = a;
+    ps[k] = b;
+    dots[k] = la::fused_dot(a, b, pool);
+    rrs[k] = la::fused_residual(b, a, rs[k], pool);
+    rzs[k] = la::fused_precond_dot(rs[k], diag, zs[k], pool);
+    upds[k] = la::fused_cg_update(0.37, b, zs[k], xs[k], rs[k], pool);
+    la::fused_xpby(zs[k], -1.25, ps[k], pool);
+  }
+  for (int k = 1; k < 3; ++k) {
+    EXPECT_EQ(dots[0], dots[k]);
+    EXPECT_EQ(rrs[0], rrs[k]);
+    EXPECT_EQ(rzs[0], rzs[k]);
+    EXPECT_EQ(upds[0], upds[k]);
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(rs[0][i], rs[k][i]) << i;
+      ASSERT_EQ(zs[0][i], zs[k][i]) << i;
+      ASSERT_EQ(xs[0][i], xs[k][i]) << i;
+      ASSERT_EQ(ps[0][i], ps[k][i]) << i;
+    }
+  }
+}
+
+TEST(Determinism, CgSolveBitIdenticalAcrossThreadCounts) {
+  // Full preconditioned CG on a large SPD Gram system, pool passed through
+  // CgOptions so the fused inner loop runs at each lane count.
+  constexpr std::size_t kN = 20000;
+  Rng rng(97);
+  la::TripletMatrix t(2 * kN, kN);
+  for (std::size_t k = 0; k < 8 * kN; ++k)
+    t.add(rng.uniform_index(2 * kN), rng.uniform_index(kN),
+          rng.uniform(-1.0, 1.0));
+  const la::CsrMatrix b_mat(t);
+  la::Vec diag = b_mat.gram_diagonal();
+  for (auto& d : diag) d += 1.0;
+  la::Vec rhs(kN);
+  for (auto& v : rhs) v = rng.uniform(-1, 1);
+
+  ThreadPool p1(1), p2(2), p8(8);
+  ThreadPool* pools[] = {&p1, &p2, &p8};
+  la::CgResult results[3];
+  la::Vec xs[3];
+  for (int k = 0; k < 3; ++k) {
+    la::Vec scratch(2 * kN);
+    auto op = [&](const la::Vec& v, la::Vec& out) {
+      out = v;
+      b_mat.add_gram_product(1.0, v, out, scratch);
+    };
+    xs[k].assign(kN, 0.0);
+    la::CgOptions opts;
+    opts.tolerance = 1e-10;
+    opts.max_iterations = 2000;
+    opts.pool = pools[k];
+    results[k] = la::conjugate_gradient(op, rhs, diag, xs[k], opts);
+    EXPECT_TRUE(results[k].converged);
+  }
+  for (int k = 1; k < 3; ++k) {
+    EXPECT_EQ(results[0].iterations, results[k].iterations);
+    EXPECT_EQ(results[0].residual_norm, results[k].residual_norm);
+    for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(xs[0][i], xs[k][i]) << i;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 #include "common/error.h"
 
 #include <cmath>
+#include <map>
 
 #include "common/rng.h"
 #include "qp/kkt_check.h"
@@ -204,6 +205,160 @@ TEST_P(RandomQp, KktHolds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomQp, ::testing::Range(1, 16));
+
+// ---------------------------------------------------------------------------
+// Incremental solves: append-only constraint growth with a persistent warm
+// state (the cutting-plane contract of src/dmopt).
+// ---------------------------------------------------------------------------
+
+// A dose-map-shaped instance: diagonal leakage-like objective over n "grid"
+// variables, one box row per variable and smoothness rows chaining
+// neighbors (the static prefix), then per-round batches of sparse path-like
+// cut rows with an upper bound only.
+class GrowingQp {
+ public:
+  GrowingQp(std::uint64_t seed, std::size_t n) : rng_(seed) {
+    la::TripletMatrix t(2 * n - 1, n);
+    for (std::size_t i = 0; i < n; ++i) t.add(i, i, 1.0);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      t.add(n + i, i, 1.0);
+      t.add(n + i, i + 1, -1.0);
+    }
+    problem.p_diag.assign(n, 0.0);
+    for (auto& v : problem.p_diag) v = rng_.uniform(0.5, 3.0);
+    problem.q.assign(n, 0.0);
+    for (auto& v : problem.q) v = rng_.uniform(-3.0, -1.0);
+    problem.a = la::CsrMatrix(t);
+    problem.lower.assign(2 * n - 1, 0.0);
+    problem.upper.assign(2 * n - 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      problem.lower[i] = -5.0;
+      problem.upper[i] = 5.0;
+    }
+    for (std::size_t i = n; i < 2 * n - 1; ++i) {
+      problem.lower[i] = -2.0;
+      problem.upper[i] = 2.0;
+    }
+  }
+
+  /// Append `count` cut rows, some of which bind at the optimum.
+  void append_cuts(std::size_t count) {
+    const std::size_t n = problem.num_variables();
+    std::vector<la::CsrMatrix::Row> rows;
+    for (std::size_t r = 0; r < count; ++r) {
+      std::map<std::uint32_t, double> entries;
+      const std::size_t nnz = 3 + rng_.uniform_index(3);
+      while (entries.size() < nnz)
+        entries[static_cast<std::uint32_t>(rng_.uniform_index(n))] = 0.0;
+      double sum = 0.0;
+      for (auto& [c, v] : entries) {
+        v = rng_.uniform(0.1, 1.0);
+        sum += v;
+      }
+      rows.emplace_back(entries.begin(), entries.end());
+      problem.lower.push_back(-kInfinity);
+      problem.upper.push_back(rng_.uniform(0.3, 1.5) * sum);
+    }
+    problem.a.append_rows(rows);
+  }
+
+  /// Retarget the cut-row uppers (a tau probe): scale each by `factor`.
+  /// Structure is untouched, so a warm state stays fully compatible.
+  void retarget_cuts(std::size_t first_cut_row, double factor) {
+    for (std::size_t r = first_cut_row; r < problem.upper.size(); ++r)
+      problem.upper[r] *= factor;
+  }
+
+  QpProblem problem;
+
+ private:
+  Rng rng_;
+};
+
+TEST(QpIncremental, WarmMatchesColdAcrossAppends) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    GrowingQp grow(seed * 104729, 40);
+    QpSettings cold_settings;
+    cold_settings.warm_start = false;
+    const QpSolver warm_solver, cold_solver(cold_settings);
+    QpWarmState warm_state;
+    for (int round = 0; round < 4; ++round) {
+      grow.append_cuts(15);
+      const QpSolution w =
+          warm_solver.solve_incremental(grow.problem, warm_state);
+      QpWarmState cold_state;
+      const QpSolution c =
+          cold_solver.solve_incremental(grow.problem, cold_state);
+      ASSERT_EQ(w.status, QpStatus::kSolved) << seed << "/" << round;
+      ASSERT_EQ(c.status, QpStatus::kSolved) << seed << "/" << round;
+      EXPECT_LT(la::max_abs_diff(w.x, c.x), 1e-5) << seed << "/" << round;
+      EXPECT_NEAR(w.objective, c.objective,
+                  1e-6 * (1.0 + std::fabs(c.objective)));
+      const KktReport kkt = check_kkt(grow.problem, w.x, w.y);
+      EXPECT_LT(kkt.primal_violation, 1e-4) << seed << "/" << round;
+      EXPECT_LT(kkt.stationarity, 1e-3) << seed << "/" << round;
+      // The cache must cover the grown matrix exactly.
+      EXPECT_EQ(warm_state.rows_cached, grow.problem.num_constraints());
+      EXPECT_EQ(warm_state.nnz_cached, grow.problem.a.nnz());
+    }
+  }
+}
+
+TEST(QpIncremental, BoundRetargetReusesStructureAndConvergesFaster) {
+  GrowingQp grow(777, 50);
+  const std::size_t first_cut = grow.problem.num_constraints();
+  grow.append_cuts(30);
+
+  const QpSolver solver;
+  QpWarmState state;
+  const QpSolution base = solver.solve_incremental(grow.problem, state);
+  ASSERT_EQ(base.status, QpStatus::kSolved);
+  const std::size_t nnz_cached = state.nnz_cached;
+
+  // Tighten the cut bounds (a tau probe) and re-solve warm vs cold.
+  grow.retarget_cuts(first_cut, 0.9);
+  const QpSolution warm = solver.solve_incremental(grow.problem, state);
+  EXPECT_EQ(state.nnz_cached, nnz_cached);  // no re-equilibration
+
+  QpSettings cold_settings;
+  cold_settings.warm_start = false;
+  QpWarmState cold_state;
+  const QpSolution cold =
+      QpSolver(cold_settings).solve_incremental(grow.problem, cold_state);
+  ASSERT_EQ(warm.status, QpStatus::kSolved);
+  ASSERT_EQ(cold.status, QpStatus::kSolved);
+  EXPECT_LE(warm.iterations, cold.iterations);
+  EXPECT_LT(la::max_abs_diff(warm.x, cold.x), 1e-5);
+}
+
+TEST(QpIncremental, PolishedSolutionsAgreeBitwiseWhenActiveSetsMatch) {
+  // The polish step solves the active-set KKT system from a fixed starting
+  // point, so a warm and a cold solve that detect the same active set must
+  // return the *same doubles*, not merely close ones.
+  GrowingQp grow(4242, 30);
+  grow.append_cuts(20);
+
+  QpWarmState warm_state;
+  const QpSolver warm_solver;
+  // Prime the state on a looser instance, then grow -- the warm solve below
+  // follows a genuinely different ADMM trajectory than the cold one.
+  (void)warm_solver.solve_incremental(grow.problem, warm_state);
+  grow.append_cuts(20);
+  const QpSolution w = warm_solver.solve_incremental(grow.problem, warm_state);
+
+  QpSettings cold_settings;
+  cold_settings.warm_start = false;
+  QpWarmState cold_state;
+  const QpSolution c =
+      QpSolver(cold_settings).solve_incremental(grow.problem, cold_state);
+  ASSERT_EQ(w.status, QpStatus::kSolved);
+  ASSERT_EQ(c.status, QpStatus::kSolved);
+  ASSERT_TRUE(w.polished);
+  ASSERT_TRUE(c.polished);
+  for (std::size_t i = 0; i < w.x.size(); ++i)
+    EXPECT_EQ(w.x[i], c.x[i]) << "x[" << i << "]";
+  EXPECT_EQ(w.objective, c.objective);
+}
 
 }  // namespace
 }  // namespace doseopt::qp

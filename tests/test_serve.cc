@@ -131,16 +131,20 @@ TEST(JobSpecTest, ValidatesAndHashesConsistently) {
 // ---------------------------------------------------------------------------
 
 /// Zero out wall-clock fields, which legitimately differ between runs.
+/// Everything else -- including the deterministic cutting-plane counters
+/// (cut_rounds, admm_iterations, cuts) -- is compared bit-exact.
 Json normalized(const Json& result) {
   Json r = result;
   Json dm = r.get("dmopt");
   dm.set("runtime_s", Json::number(0.0));
+  dm.set("solver_ms", Json::number(0.0));
   r.set("dmopt", std::move(dm));
   if (r.has("dosepl")) {
     Json dp = r.get("dosepl");
     dp.set("runtime_s", Json::number(0.0));
     r.set("dosepl", std::move(dp));
   }
+  r.set("stage_s", Json::number(0.0));
   return r;
 }
 
@@ -295,13 +299,21 @@ TEST(ServerE2E, FullQueueRejectsWithRetryAfter) {
   const int a = serve::connect_unix(options.uds_path);
   const int b = serve::connect_unix(options.uds_path);
   const int c = serve::connect_unix(options.uds_path);
-  JobSpec spec = mixed_jobs()[0];
-  serve::write_frame(a, MsgType::kJobRequest, spec.to_json().dump());
+  // A fresh session (unique seed) at a scale/grid that takes seconds even
+  // on the incremental solve path keeps the lane busy well past both
+  // sleeps.  B and C stay cheap: B only has to sit in the queue while C is
+  // rejected, so the test doesn't pay for a second slow solve.
+  JobSpec slow = mixed_jobs()[0];
+  slow.seed = 20260807;
+  slow.scale = 0.25;
+  slow.grid_um = 5.0;
+  JobSpec cheap = mixed_jobs()[0];
+  serve::write_frame(a, MsgType::kJobRequest, slow.to_json().dump());
   // Give the lane time to dequeue A before filling the queue.
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
-  serve::write_frame(b, MsgType::kJobRequest, spec.to_json().dump());
+  serve::write_frame(b, MsgType::kJobRequest, cheap.to_json().dump());
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  serve::write_frame(c, MsgType::kJobRequest, spec.to_json().dump());
+  serve::write_frame(c, MsgType::kJobRequest, cheap.to_json().dump());
 
   serve::Frame frame;
   ASSERT_TRUE(serve::read_frame(c, &frame));
@@ -332,8 +344,13 @@ TEST(ServerE2E, ExpiredDeadlineSkipsJob) {
 
   const int a = serve::connect_unix(options.uds_path);
   const int b = serve::connect_unix(options.uds_path);
+  // Slow enough (fresh session, finer grid, larger scale) that `hurried`
+  // reliably expires while queued behind it.
   JobSpec slow = mixed_jobs()[0];
-  JobSpec hurried = slow;
+  slow.seed = 20260807;
+  slow.scale = 0.25;
+  slow.grid_um = 5.0;
+  JobSpec hurried = mixed_jobs()[0];
   hurried.id = "hurried";
   hurried.deadline_ms = 1.0;  // expires while queued behind `slow`
   serve::write_frame(a, MsgType::kJobRequest, slow.to_json().dump());
