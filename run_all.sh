@@ -20,6 +20,24 @@ ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 } 2>&1 | tee -a /root/repo/test_output.txt
 [ "$(cat /tmp/doseopt_tsan_rc)" -eq 0 ] || FAILED="$FAILED tsan:test_parallel"
 
+# Fault sweep: re-run the fault/recovery suite once per registered fault
+# point, each armed to fire once through $DOSEOPT_FAULTS.  Every run must
+# recover to bit-identical results (the suite asserts it); the point list
+# is kept honest by FaultRegistry.RegisteredPointsMatchTheSweepManifest.
+FAULT_POINTS="serve.accept serve.read serve.write serve.frame serve.job serde.snapshot_write serde.snapshot_read qp.admm_diverge qp.kkt_reject dmopt.qcp_infeasible"
+: > /tmp/doseopt_fault_failures
+{
+  for p in $FAULT_POINTS; do
+    echo ""
+    echo "################ fault sweep: $p:once ################"
+    DOSEOPT_FAULTS="$p:once" timeout 1200 ./build/tests/test_faults 2>&1 | tail -3
+    rc=${PIPESTATUS[0]}
+    echo "(exit: $rc)"
+    [ "$rc" -eq 0 ] || echo "fault:$p" >> /tmp/doseopt_fault_failures
+  done
+} 2>&1 | tee -a /root/repo/test_output.txt
+while read -r name; do FAILED="$FAILED $name"; done < /tmp/doseopt_fault_failures
+
 BENCHES="bench_fig3_fig4 bench_fig5_fig6 bench_table1_table7 bench_table2_table3 bench_fit_residuals bench_wafer bench_yield bench_table4 bench_table8_fig10 bench_table6 bench_table5 bench_ablation bench_qp bench_serve bench_micro"
 : > /tmp/doseopt_bench_failures
 {

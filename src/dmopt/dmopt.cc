@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/error.h"
+#include "faultinject/fault.h"
 #include "power/leakage.h"
 
 namespace doseopt::dmopt {
@@ -359,6 +360,7 @@ DoseMapOptimizer::SolveOutcome DoseMapOptimizer::solve_leakage_qp(
 
     const qp::QpSolution sol = solver.solve_incremental(
         working_set.problem->problem(), working_set.qp_state);
+    if (sol.cold_fallback) ++telemetry_.qp_cold_fallbacks;
     const auto ta2 = Clock::now();
     tele.solve_ns = elapsed_ns(ta1, ta2);
     tele.admm_iterations = sol.iterations;
@@ -443,6 +445,8 @@ void DoseMapOptimizer::golden_eval(const SolveOutcome& outcome,
 }
 
 namespace {
+
+faultinject::FaultPoint g_fault_qcp_infeasible("dmopt.qcp_infeasible");
 
 /// Repair solver-tolerance-level violations of the smoothness bound by
 /// pulling violated neighbor pairs toward each other (projection sweeps).
@@ -568,8 +572,28 @@ DmoptResult DoseMapOptimizer::minimize_cycle_time(double leakage_budget_uw) {
   WorkingSet working_set;  // shared across probes
   telemetry_ = CutTelemetry();
 
+  // The relaxed end of the bisection must itself be feasible *and* honor
+  // the leakage budget, or no tau can: the QCP is infeasible as posed.
+  // Instead of aborting, degrade to the QP formulation ("no timing
+  // degradation, minimum leakage") and report the budget slack -- the
+  // graceful ladder for a budget the design cannot meet.
   SolveOutcome best = solve_leakage_qp(tau_hi, working_set);
-  DOSEOPT_CHECK(best.feasible, "minimize_cycle_time: tau_hi probe infeasible");
+  bool tau_hi_ok = best.feasible && !g_fault_qcp_infeasible.should_fire();
+  if (tau_hi_ok) {
+    double golden_mct = 0.0, golden_leak = 0.0;
+    golden_eval(best, &golden_mct, &golden_leak);
+    tau_hi_ok = golden_leak <= leak_budget_uw + options_.leakage_tolerance_uw;
+  }
+  if (!tau_hi_ok) {
+    DmoptResult result = minimize_leakage(0.0);
+    result.degraded = true;
+    result.fallback = "qcp_to_qp";
+    result.leakage_slack_uw = result.golden_leakage_uw - leak_budget_uw;
+    result.runtime_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    return result;
+  }
   int probes = 1;
   int total_iters = best.qp_iterations;
   double feasible_tau = tau_hi;

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_set>
 
 #include "dmopt/incremental_problem.h"
@@ -83,6 +84,9 @@ struct CutTelemetry {
   std::uint64_t assembly_ns = 0;
   std::uint64_t solve_ns = 0;
   std::uint64_t extract_ns = 0;
+  /// Warm incremental solves that failed acceptance (divergence / KKT
+  /// rejection) and recovered through the cold re-solve ladder.
+  int qp_cold_fallbacks = 0;
 
   void add(const CutRound& r) {
     rounds.push_back(r);
@@ -114,6 +118,16 @@ struct DmoptResult {
   int bisection_probes = 0;
   double runtime_s = 0.0;
   CutTelemetry telemetry;  ///< per-round cutting-plane counters
+
+  /// Degraded-mode bookkeeping.  `degraded` marks a result produced by a
+  /// fallback ladder rather than the requested formulation; `fallback`
+  /// names the ladder ("qcp_to_qp"), and for that ladder
+  /// `leakage_slack_uw` reports how far the fallback's golden leakage sits
+  /// above the leakage budget the infeasible QCP asked for (<= 0 when the
+  /// budget happens to be met anyway).
+  bool degraded = false;
+  std::string fallback;
+  double leakage_slack_uw = 0.0;
 };
 
 /// One timing-graph edge with its dose-independent delay contribution

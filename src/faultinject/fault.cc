@@ -1,0 +1,277 @@
+#include "faultinject/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace doseopt::faultinject {
+
+namespace {
+
+/// Global registry state behind a Meyers singleton so fault points
+/// constructed during static initialization of *other* translation units
+/// always find it alive.
+struct Registry {
+  std::mutex mu;
+  std::vector<FaultPoint*> points;
+  /// Specs configured before their point registered (static-init order,
+  /// or env specs naming points of libraries not linked into this binary).
+  std::map<std::string, FaultSpec> pending;
+};
+
+Registry& registry_state() {
+  static Registry r;
+  return r;
+}
+
+/// should_fire() fast-path gate: number of armed points (plus pending env
+/// specs).  Zero means every should_fire() returns false after one relaxed
+/// load.
+std::atomic<int> g_armed_count{0};
+std::atomic<int> g_suspend_depth{0};
+
+/// Applies $DOSEOPT_FAULTS during static init of this library.  Points in
+/// other translation units may register before or after this runs; both
+/// orders work because unmatched specs are held pending.
+struct EnvInit {
+  EnvInit() { configure_from_env(); }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  const std::string_view t = trim(text);
+  FaultSpec spec;
+  auto param = [&](std::string_view body) -> std::string {
+    return std::string(body);
+  };
+  if (t == "always") {
+    spec.mode = Mode::kAlways;
+  } else if (t == "once") {
+    spec.mode = Mode::kOnce;
+  } else if (starts_with(t, "nth=") || starts_with(t, "first=") ||
+             starts_with(t, "every=")) {
+    const auto eq = t.find('=');
+    long k = 0;
+    if (!try_parse_int(param(t.substr(eq + 1)), &k) || k < 1)
+      throw Error("faultinject: bad count in spec '" + std::string(t) + "'");
+    spec.k = static_cast<std::uint64_t>(k);
+    spec.mode = starts_with(t, "nth=")     ? Mode::kNth
+                : starts_with(t, "first=") ? Mode::kFirst
+                                           : Mode::kEvery;
+  } else if (starts_with(t, "prob=")) {
+    std::string_view body = t.substr(5);
+    const auto at = body.find('@');
+    if (at != std::string_view::npos) {
+      long seed = 0;
+      if (!try_parse_int(param(body.substr(at + 1)), &seed) || seed < 0)
+        throw Error("faultinject: bad seed in spec '" + std::string(t) + "'");
+      spec.seed = static_cast<std::uint64_t>(seed);
+      body = body.substr(0, at);
+    }
+    double p = 0.0;
+    if (!try_parse_double(param(body), &p) || p < 0.0 || p > 1.0)
+      throw Error("faultinject: bad probability in spec '" + std::string(t) +
+                  "'");
+    spec.probability = p;
+    spec.mode = Mode::kProb;
+  } else {
+    throw Error("faultinject: unknown spec '" + std::string(t) +
+                "' (want always|once|nth=K|first=K|every=K|prob=P[@SEED])");
+  }
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kAlways:
+      return "always";
+    case Mode::kOnce:
+      return "once";
+    case Mode::kNth:
+      return "nth=" + std::to_string(k);
+    case Mode::kFirst:
+      return "first=" + std::to_string(k);
+    case Mode::kEvery:
+      return "every=" + std::to_string(k);
+    case Mode::kProb:
+      return str_format("prob=%g@%llu", probability,
+                        static_cast<unsigned long long>(seed));
+  }
+  return "off";
+}
+
+FaultPoint::FaultPoint(const char* name) : name_(name) {
+  Registry& r = registry_state();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const FaultPoint* p : r.points)
+    if (std::string_view(p->name_) == name_)
+      throw Error(std::string("faultinject: duplicate fault point '") +
+                  name_ + "'");
+  r.points.push_back(this);
+  const auto it = r.pending.find(name_);
+  if (it != r.pending.end()) {
+    // Arm directly: arm() would double-count against g_armed_count, which
+    // already counts this pending spec.
+    k_.store(it->second.k, std::memory_order_relaxed);
+    probability_.store(it->second.probability, std::memory_order_relaxed);
+    seed_.store(it->second.seed, std::memory_order_relaxed);
+    mode_.store(static_cast<std::uint8_t>(it->second.mode),
+                std::memory_order_release);
+    r.pending.erase(it);
+  }
+}
+
+bool FaultPoint::armed() const {
+  return mode_.load(std::memory_order_acquire) !=
+         static_cast<std::uint8_t>(FaultSpec::Mode::kOff);
+}
+
+void FaultPoint::arm(const FaultSpec& spec) {
+  const bool was_armed = armed();
+  k_.store(spec.k, std::memory_order_relaxed);
+  probability_.store(spec.probability, std::memory_order_relaxed);
+  seed_.store(spec.seed, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+  mode_.store(static_cast<std::uint8_t>(spec.mode),
+              std::memory_order_release);
+  const bool now_armed = spec.mode != FaultSpec::Mode::kOff;
+  if (now_armed && !was_armed)
+    g_armed_count.fetch_add(1, std::memory_order_release);
+  else if (!now_armed && was_armed)
+    g_armed_count.fetch_sub(1, std::memory_order_release);
+}
+
+bool FaultPoint::should_fire() {
+  // Fast path: nothing armed anywhere, or injection suspended.
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return false;
+  if (g_suspend_depth.load(std::memory_order_acquire) > 0) return false;
+  const auto mode =
+      static_cast<FaultSpec::Mode>(mode_.load(std::memory_order_acquire));
+  if (mode == FaultSpec::Mode::kOff) return false;
+
+  const std::uint64_t n = hits_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  bool fire = false;
+  switch (mode) {
+    case FaultSpec::Mode::kOff:
+      break;
+    case FaultSpec::Mode::kAlways:
+      fire = true;
+      break;
+    case FaultSpec::Mode::kOnce:
+      fire = n == 1;
+      break;
+    case FaultSpec::Mode::kNth:
+      fire = n == k_.load(std::memory_order_relaxed);
+      break;
+    case FaultSpec::Mode::kFirst:
+      fire = n <= k_.load(std::memory_order_relaxed);
+      break;
+    case FaultSpec::Mode::kEvery: {
+      const std::uint64_t k = k_.load(std::memory_order_relaxed);
+      fire = k > 0 && n % k == 0;
+      break;
+    }
+    case FaultSpec::Mode::kProb: {
+      // Stateless per-hit decision: a fresh generator seeded from
+      // (seed, hit index) makes the outcome independent of thread
+      // interleaving -- hit N fires or not regardless of who observes it.
+      Rng rng(seed_.load(std::memory_order_relaxed) ^ (n * 0x9E3779B97F4A7C15ULL));
+      fire = rng.uniform() < probability_.load(std::memory_order_relaxed);
+      break;
+    }
+  }
+  if (fire) fires_.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+void configure(const std::string& config) {
+  for (const std::string& entry : split(config, ",")) {
+    const std::string_view e = trim(entry);
+    if (e.empty()) continue;
+    const auto colon = e.find(':');
+    if (colon == std::string_view::npos)
+      throw Error("faultinject: entry '" + std::string(e) +
+                  "' is not name:spec");
+    const std::string name(trim(e.substr(0, colon)));
+    const FaultSpec spec = FaultSpec::parse(std::string(e.substr(colon + 1)));
+    FaultPoint* point = find(name);
+    if (point != nullptr) {
+      point->arm(spec);
+    } else {
+      Registry& r = registry_state();
+      std::lock_guard<std::mutex> lock(r.mu);
+      const auto [it, inserted] = r.pending.insert_or_assign(name, spec);
+      (void)it;
+      if (inserted) g_armed_count.fetch_add(1, std::memory_order_release);
+    }
+  }
+}
+
+void configure_from_env() {
+  const char* env = std::getenv("DOSEOPT_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  configure(env);
+}
+
+void reset() {
+  Registry& r = registry_state();
+  std::vector<FaultPoint*> points;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    points = r.points;
+    if (!r.pending.empty()) {
+      g_armed_count.fetch_sub(static_cast<int>(r.pending.size()),
+                              std::memory_order_release);
+      r.pending.clear();
+    }
+  }
+  for (FaultPoint* p : points) p->disarm();
+}
+
+std::vector<FaultPoint*> registry() {
+  Registry& r = registry_state();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.points;
+}
+
+FaultPoint* find(const std::string& name) {
+  Registry& r = registry_state();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (FaultPoint* p : r.points)
+    if (name == p->name()) return p;
+  return nullptr;
+}
+
+bool active() {
+  return g_armed_count.load(std::memory_order_relaxed) > 0 &&
+         g_suspend_depth.load(std::memory_order_acquire) == 0;
+}
+
+void suspend() { g_suspend_depth.fetch_add(1, std::memory_order_acq_rel); }
+
+void resume() { g_suspend_depth.fetch_sub(1, std::memory_order_acq_rel); }
+
+ArmScope::ArmScope(const std::string& name, const std::string& spec)
+    : point_(find(name)) {
+  if (point_ == nullptr)
+    throw Error("faultinject: no registered fault point '" + name + "'");
+  point_->arm(FaultSpec::parse(spec));
+}
+
+ArmScope::~ArmScope() { point_->disarm(); }
+
+void maybe_throw(FaultPoint& point, const std::string& what) {
+  if (point.should_fire())
+    throw Error(std::string("[fault:") + point.name() + "] " + what);
+}
+
+}  // namespace doseopt::faultinject

@@ -1,0 +1,151 @@
+// Deterministic, seedable fault injection.
+//
+// A FaultPoint is a named hook compiled into library code at the exact
+// place a real failure could occur (a socket read, a snapshot checksum
+// validation, an ADMM iterate).  Points register themselves in a global
+// registry during static initialization; nothing fires unless a point is
+// *armed* with a FaultSpec, either programmatically (tests) or through the
+// DOSEOPT_FAULTS environment variable:
+//
+//   DOSEOPT_FAULTS="serve.read:once,qp.admm_diverge:nth=3"
+//
+// Spec grammar (all activations are deterministic functions of the
+// per-point hit counter, so a faulted run is exactly reproducible):
+//
+//   always         fire on every hit
+//   once           fire on the first hit only
+//   nth=K          fire on hit K exactly
+//   first=K        fire on hits 1..K
+//   every=K        fire on every K-th hit
+//   prob=P[@SEED]  fire with probability P per hit; the decision for hit N
+//                  is a pure function of (SEED, N), so concurrent hit
+//                  interleavings do not change which hits fire
+//
+// Disabled cost: when no point is armed, should_fire() is one relaxed
+// atomic load of a process-global flag -- no counter update, no lock.  The
+// hot numeric loops only consult points at per-solve (not per-iteration)
+// granularity, so an unset DOSEOPT_FAULTS adds no measurable overhead.
+//
+// Environment configuration is applied during static initialization of
+// this library; points registered later (static-init order is arbitrary
+// across translation units) pick up their pending spec when they register.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace doseopt::faultinject {
+
+/// Activation rule for one fault point.
+struct FaultSpec {
+  enum class Mode : std::uint8_t { kOff, kAlways, kOnce, kNth, kFirst,
+                                   kEvery, kProb };
+  Mode mode = Mode::kOff;
+  std::uint64_t k = 0;       ///< parameter of kNth/kFirst/kEvery
+  double probability = 0.0;  ///< parameter of kProb
+  std::uint64_t seed = 0;    ///< kProb decision seed
+
+  /// Parse the spec grammar above; throws doseopt::Error on bad input.
+  static FaultSpec parse(const std::string& text);
+  /// Canonical text form (parse round-trips).
+  std::string to_string() const;
+};
+
+/// One named injection site.  Construct at namespace scope in the library
+/// translation unit that hosts the fault (registration is automatic and
+/// permanent; points are never unregistered).
+class FaultPoint {
+ public:
+  explicit FaultPoint(const char* name);
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  const char* name() const { return name_; }
+
+  /// True when this hit of the site should fail.  Counts the hit iff the
+  /// point is armed and injection is not suspended.
+  bool should_fire();
+
+  /// Arm/disarm (also resets the hit counter, so specs are relative to the
+  /// arming instant).
+  void arm(const FaultSpec& spec);
+  void disarm() { arm(FaultSpec{}); }
+  bool armed() const;
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t fires() const {
+    return fires_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const char* name_;
+  // Spec fields are stored decomposed in atomics so should_fire() never
+  // takes a lock; arm() publishes mode last (release) after the parameters.
+  std::atomic<std::uint8_t> mode_{0};
+  std::atomic<std::uint64_t> k_{0};
+  std::atomic<double> probability_{0.0};
+  std::atomic<std::uint64_t> seed_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fires_{0};
+};
+
+/// Arm points from a "name:spec[,name:spec...]" config string.  Unknown
+/// names are held pending and applied when the point registers (static-init
+/// order independence); bad specs throw doseopt::Error.
+void configure(const std::string& config);
+
+/// configure() from $DOSEOPT_FAULTS; no-op when unset/empty.  Runs once
+/// automatically during static init of the faultinject library, and may be
+/// called again manually (idempotent re-application).
+void configure_from_env();
+
+/// Disarm every point, drop pending specs, and zero all counters.
+void reset();
+
+/// All registered points, in registration order.
+std::vector<FaultPoint*> registry();
+
+/// Look up a registered point by name (nullptr when absent).
+FaultPoint* find(const std::string& name);
+
+/// True when any point is armed (or a pending env spec exists) and
+/// injection is not suspended -- the should_fire() fast-path gate.
+bool active();
+
+/// Suspend/resume injection process-wide without touching hit counters.
+/// Used to compute fault-free reference results inside a faulted process
+/// (the sweep harness arms points through the environment; references must
+/// not consume the armed firing).
+void suspend();
+void resume();
+
+/// RAII: suspend injection for a scope.
+class SuspendScope {
+ public:
+  SuspendScope() { suspend(); }
+  ~SuspendScope() { resume(); }
+  SuspendScope(const SuspendScope&) = delete;
+  SuspendScope& operator=(const SuspendScope&) = delete;
+};
+
+/// RAII: arm `name` with `spec` (parsed) for a scope, disarm on exit.
+/// Throws if the point is not registered.
+class ArmScope {
+ public:
+  ArmScope(const std::string& name, const std::string& spec);
+  ~ArmScope();
+  ArmScope(const ArmScope&) = delete;
+  ArmScope& operator=(const ArmScope&) = delete;
+
+  FaultPoint& point() { return *point_; }
+
+ private:
+  FaultPoint* point_;
+};
+
+/// Throw doseopt::Error("[fault:<name>] <what>") when `point` fires.
+void maybe_throw(FaultPoint& point, const std::string& what);
+
+}  // namespace doseopt::faultinject

@@ -29,9 +29,9 @@ DesignContext::DesignContext(serde::DesignState state)
   refresh_nominal();
 }
 
-void DesignContext::save_snapshot(const std::string& path) const {
-  serde::write_design_snapshot(path, spec_, *design_.netlist,
-                               *design_.placement, *repo_);
+std::uint64_t DesignContext::save_snapshot(const std::string& path) const {
+  return serde::write_design_snapshot(path, spec_, *design_.netlist,
+                                      *design_.placement, *repo_);
 }
 
 void DesignContext::refresh_nominal() {

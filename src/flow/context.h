@@ -33,8 +33,9 @@ class DesignContext {
   explicit DesignContext(serde::DesignState state);
 
   /// Write this context's durable state (spec, netlist, placement, every
-  /// characterized variant) as a snapshot.
-  void save_snapshot(const std::string& path) const;
+  /// characterized variant) as a crash-safe snapshot.  Returns the payload
+  /// checksum (for last-good journaling).
+  std::uint64_t save_snapshot(const std::string& path) const;
 
   const gen::DesignSpec& spec() const { return spec_; }
   const tech::TechNode& node() const { return node_; }

@@ -3,11 +3,33 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "common/error.h"
+#include "faultinject/fault.h"
 #include "la/cg.h"
 
 namespace doseopt::qp {
+
+namespace {
+
+faultinject::FaultPoint g_fault_admm_diverge("qp.admm_diverge");
+faultinject::FaultPoint g_fault_kkt_reject("qp.kkt_reject");
+
+/// Acceptance gate for the warm incremental path: every component of the
+/// returned iterate and its diagnostics must be finite.
+bool solution_finite(const QpSolution& sol) {
+  const auto vec_finite = [](const la::Vec& v) {
+    for (const double a : v)
+      if (!std::isfinite(a)) return false;
+    return true;
+  };
+  return vec_finite(sol.x) && vec_finite(sol.y) && vec_finite(sol.z) &&
+         std::isfinite(sol.objective) && std::isfinite(sol.primal_residual) &&
+         std::isfinite(sol.dual_residual);
+}
+
+}  // namespace
 
 void QpProblem::validate() const {
   const std::size_t n = q.size();
@@ -567,6 +589,11 @@ QpSolution QpSolver::solve_incremental(const QpProblem& problem,
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
 
+  // Entry iterate, captured before any cache surgery: the degraded-mode
+  // cold fallback must start from exactly what a warm_start=false run
+  // would have seen.
+  const la::Vec x_entry = state.x;
+
   if (!settings_.warm_start) {
     // Historical cold path: full equilibration, zero dual; only the primal
     // iterate carries over (the pre-incremental behavior of the cutting-
@@ -650,6 +677,31 @@ QpSolution QpSolver::solve_incremental(const QpProblem& problem,
   QpSolution sol = run_admm(settings_, problem, sc, state.a_scaled,
                             state.gram_diag, std::move(x), std::move(y),
                             &rho);
+
+  // Injected divergence: poison the iterate exactly as a blown-up ADMM
+  // sequence would surface it, so the real recovery path runs.
+  if (g_fault_admm_diverge.should_fire())
+    for (double& v : sol.x) v = std::numeric_limits<double>::quiet_NaN();
+
+  const bool accepted = solution_finite(sol) &&
+                        !g_fault_kkt_reject.should_fire();
+  if (!accepted) {
+    // Degraded mode: the warm start led the iteration somewhere unusable
+    // (or acceptance was rejected).  Drop every cached artifact -- the
+    // scaling or duals may be the poison -- and re-solve on the historical
+    // cold path from the entry iterate.  This reproduces the
+    // warm_start=false semantics bit-for-bit: full equilibration, zero
+    // dual, primal carried from the pre-solve state.
+    state.reset();
+    la::Vec x0 = x_entry.size() == n ? x_entry : la::Vec(n, 0.0);
+    la::Vec y0(m, 0.0);
+    QpSolution cold = solve(problem, x0, y0);
+    cold.cold_fallback = true;
+    state.x = cold.x;
+    state.y = cold.y;
+    return cold;
+  }
+
   state.x = sol.x;
   state.y = sol.y;
   state.rho = rho;

@@ -112,6 +112,11 @@ struct QpSolution {
   double dual_residual = 0.0;
   int iterations = 0;
   bool polished = false;  ///< active-set polish succeeded and was applied
+  /// The warm incremental solve failed acceptance (non-finite iterate or
+  /// rejected KKT residuals) and this solution came from the degraded-mode
+  /// cold re-solve -- the historical warm_start=false path, bit-identical
+  /// to running with warm starts disabled from the outset.
+  bool cold_fallback = false;
 };
 
 /// Persistent state carried across a sequence of related solves over a
@@ -165,6 +170,12 @@ class QpSolver {
   /// sweeps).  With settings.warm_start == false (or a fresh/incompatible
   /// state) this degenerates to the historical cold path, carrying only
   /// the primal iterate.
+  ///
+  /// Degraded mode: when the warm-started solve produces a non-finite
+  /// iterate (ADMM divergence) or fails KKT acceptance, the cached state
+  /// is discarded and the solve falls back to the historical cold path
+  /// automatically; the returned solution carries cold_fallback = true and
+  /// is bit-identical to a warm_start=false run.
   QpSolution solve_incremental(const QpProblem& problem,
                                QpWarmState& state) const;
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -46,23 +47,46 @@ struct DesignState {
 };
 
 /// Serialize design state to a stream.  `repo` contributes its master list
-/// (validated on read) and every characterized variant.
-void write_design_state(std::ostream& os, const gen::DesignSpec& spec,
-                        const netlist::Netlist& netlist,
-                        const place::Placement& placement,
-                        const liberty::LibraryRepository& repo);
+/// (validated on read) and every characterized variant.  Returns the
+/// payload checksum written into the header.
+std::uint64_t write_design_state(std::ostream& os, const gen::DesignSpec& spec,
+                                 const netlist::Netlist& netlist,
+                                 const place::Placement& placement,
+                                 const liberty::LibraryRepository& repo);
 
 /// Deserialize a snapshot written by write_design_state.  Throws
 /// doseopt::Error on bad magic, unsupported version, size or checksum
 /// mismatch, or structurally invalid content (netlist validation runs).
 DesignState read_design_state(std::istream& is);
 
-/// File convenience wrappers (atomic write via rename).
-void write_design_snapshot(const std::string& path,
-                           const gen::DesignSpec& spec,
-                           const netlist::Netlist& netlist,
-                           const place::Placement& placement,
-                           const liberty::LibraryRepository& repo);
+/// File convenience wrappers.  Writes are crash-safe: the snapshot is
+/// streamed to a unique temp file, fsynced, renamed over `path`, and the
+/// directory entry is fsynced -- a crash at any instant leaves either the
+/// old file or the new one, never a torn mix.  Returns the payload
+/// checksum (for the last-good journal).
+std::uint64_t write_design_snapshot(const std::string& path,
+                                    const gen::DesignSpec& spec,
+                                    const netlist::Netlist& netlist,
+                                    const place::Placement& placement,
+                                    const liberty::LibraryRepository& repo);
 DesignState read_design_snapshot(const std::string& path);
+
+/// Last-good snapshot journal: an append-only text file recording, for
+/// every successfully published snapshot, its file name and payload
+/// checksum.  On restore failure the journal distinguishes "this file was
+/// once verified good and has since been corrupted on disk" from "unknown
+/// file" -- and gives tests/tools a durable record to audit against.
+///
+/// Format: one `<name> <checksum-hex>` line per publish; later lines win.
+void journal_append(const std::string& dir, const std::string& name,
+                    std::uint64_t checksum);
+
+/// Read the journal back as name -> last recorded checksum.  A missing
+/// journal yields an empty map; a torn final line (crash mid-append) is
+/// skipped, never an error.
+std::map<std::string, std::uint64_t> journal_read(const std::string& dir);
+
+/// Journal file path inside `dir` (for tests and tooling).
+std::string journal_path(const std::string& dir);
 
 }  // namespace doseopt::serde

@@ -54,13 +54,34 @@ void SessionCache::populate(Session& session, const JobSpec& spec,
   if (!snapshot_dir_.empty()) {
     const std::string path = snapshot_path(session.key);
     if (std::filesystem::exists(path)) {
-      serde::DesignState state = serde::read_design_snapshot(path);
-      if (spec_matches(state.spec, want)) {
-        session.ctx =
-            std::make_unique<flow::DesignContext>(std::move(state));
-        snapshots_restored_.fetch_add(1, std::memory_order_relaxed);
-        if (restored != nullptr) *restored = true;
-        return;
+      try {
+        serde::DesignState state = serde::read_design_snapshot(path);
+        if (spec_matches(state.spec, want)) {
+          session.ctx =
+              std::make_unique<flow::DesignContext>(std::move(state));
+          snapshots_restored_.fetch_add(1, std::memory_order_relaxed);
+          if (restored != nullptr) *restored = true;
+          return;
+        }
+      } catch (const std::exception& e) {
+        // Corrupt or unreadable snapshot (bad checksum, truncation, injected
+        // read fault): quarantine the file for post-mortem and fall through
+        // to a cold rebuild.  The rebuild is deterministic from the spec, so
+        // the session ends up bit-identical to a never-snapshotted one.
+        restore_failures_.fetch_add(1, std::memory_order_relaxed);
+        const auto journal = serde::journal_read(snapshot_dir_);
+        const std::string name = path.substr(path.find_last_of('/') + 1);
+        std::fprintf(stderr,
+                     "[serve] snapshot restore failed (%s)%s; quarantining "
+                     "and rebuilding cold: %s\n",
+                     e.what(),
+                     journal.count(name) != 0
+                         ? " [journaled as last-good: corrupted on disk]"
+                         : "",
+                     path.c_str());
+        std::error_code ec;
+        std::filesystem::rename(path, path + ".corrupt", ec);
+        if (ec) std::filesystem::remove(path, ec);
       }
     }
   }
@@ -106,8 +127,20 @@ void SessionCache::save_all() {
   }
   for (const auto& session : sessions) {
     std::lock_guard<std::mutex> lock(session->mu);
-    if (session->ctx != nullptr)
-      session->ctx->save_snapshot(snapshot_path(session->key));
+    if (session->ctx == nullptr) continue;
+    const std::string path = snapshot_path(session->key);
+    try {
+      const std::uint64_t checksum = session->ctx->save_snapshot(path);
+      serde::journal_append(snapshot_dir_,
+                            path.substr(path.find_last_of('/') + 1),
+                            checksum);
+    } catch (const std::exception& e) {
+      // One failed write (disk full, injected fault) must not abort the
+      // drain or starve the remaining sessions of persistence.
+      save_failures_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "[serve] snapshot save failed for %s: %s\n",
+                   path.c_str(), e.what());
+    }
   }
 }
 
@@ -116,6 +149,8 @@ SessionCache::Stats SessionCache::stats() const {
   s.context_hits = context_hits_.load(std::memory_order_relaxed);
   s.context_misses = context_misses_.load(std::memory_order_relaxed);
   s.snapshots_restored = snapshots_restored_.load(std::memory_order_relaxed);
+  s.restore_failures = restore_failures_.load(std::memory_order_relaxed);
+  s.save_failures = save_failures_.load(std::memory_order_relaxed);
   s.coeff_hits = coeff_hits_.load(std::memory_order_relaxed);
   s.coeff_misses = coeff_misses_.load(std::memory_order_relaxed);
   s.result_hits = result_hits_.load(std::memory_order_relaxed);

@@ -48,6 +48,8 @@ class SessionCache {
     std::uint64_t context_hits = 0;
     std::uint64_t context_misses = 0;
     std::uint64_t snapshots_restored = 0;
+    std::uint64_t restore_failures = 0;  ///< corrupt snapshot -> cold rebuild
+    std::uint64_t save_failures = 0;     ///< snapshot write failed (kept going)
     std::uint64_t coeff_hits = 0;
     std::uint64_t coeff_misses = 0;
     std::uint64_t result_hits = 0;
@@ -66,6 +68,11 @@ class SessionCache {
   /// Build (or snapshot-restore) the session's context.  Caller must hold
   /// `session.mu`.  Sets `*restored` to true when the context came from a
   /// snapshot file.  Counts hit/miss/restore statistics.
+  ///
+  /// Restore is self-healing: an unreadable or checksum-corrupt snapshot is
+  /// quarantined (renamed to `<file>.corrupt`) and the context is rebuilt
+  /// cold from the spec -- never an abort.  The rebuild is deterministic,
+  /// so the resulting session is bit-identical to a never-snapshotted one.
   void populate(Session& session, const JobSpec& spec, bool* restored);
 
   /// Record a coefficient-cache observation (telemetry only).
@@ -82,6 +89,9 @@ class SessionCache {
 
   /// Persist every built session to the snapshot directory (no-op without
   /// one).  Takes each session's mutex, so it waits for running jobs.
+  /// Per-session write failures are counted and skipped (the remaining
+  /// sessions still persist); each successful publish is recorded in the
+  /// serde last-good journal.
   void save_all();
 
   /// Statistics snapshot.  Busy sessions are skipped when summing
@@ -104,6 +114,8 @@ class SessionCache {
   std::atomic<std::uint64_t> context_hits_{0};
   std::atomic<std::uint64_t> context_misses_{0};
   std::atomic<std::uint64_t> snapshots_restored_{0};
+  std::atomic<std::uint64_t> restore_failures_{0};
+  std::atomic<std::uint64_t> save_failures_{0};
   std::atomic<std::uint64_t> coeff_hits_{0};
   std::atomic<std::uint64_t> coeff_misses_{0};
   std::atomic<std::uint64_t> result_hits_{0};

@@ -5,8 +5,17 @@
 // (result, error, or backpressure rejection) arrives.  Concurrency comes
 // from using one Client per thread; the server interleaves jobs from many
 // connections across its worker lanes.
+//
+// The client is self-healing: it remembers its endpoint, so a transport
+// failure (torn frame, dropped connection, injected socket fault, timeout)
+// can be recovered by reconnect() -- and submit_with_retry() does so
+// automatically under a RetryPolicy with exponential backoff and
+// deterministic jitter.  Because the server memoizes results by job key,
+// re-submitting after a lost reply returns the bit-identical result without
+// re-solving.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "serve/job.h"
@@ -15,11 +24,37 @@
 
 namespace doseopt::serve {
 
+/// Connection-level knobs.  Zero means "no bound" (block forever), the
+/// historical behavior.
+struct ClientOptions {
+  int connect_timeout_ms = 0;  ///< bound on each connect attempt
+  int io_timeout_ms = 0;       ///< bound on each recv/send (dead-server guard)
+};
+
+/// Retry schedule for submit_with_retry(): attempt k (0-based) sleeps
+/// min(max_ms, base_ms * multiplier^k) scaled by a deterministic jitter in
+/// [1/2, 1) drawn from common::Rng(jitter_seed) -- the same seed always
+/// produces the same backoff sequence.
+struct RetryPolicy {
+  int max_attempts = 16;
+  double base_ms = 25.0;
+  double multiplier = 2.0;
+  double max_ms = 2000.0;
+  std::uint64_t jitter_seed = 0x5eed;
+  /// Also retry transport errors (reconnecting first).  Rejections
+  /// (backpressure / open circuit breaker) are always retried after the
+  /// server-suggested retry_after_ms.
+  bool retry_on_transport_error = true;
+  /// Also retry kJobError replies (transient injected/solver faults).
+  bool retry_on_job_error = false;
+};
+
 class Client {
  public:
   /// Connect over a Unix-domain socket / loopback TCP.  Throws on failure.
-  static Client connect_unix_path(const std::string& path);
-  static Client connect_tcp_port(int port);
+  static Client connect_unix_path(const std::string& path,
+                                  const ClientOptions& options = {});
+  static Client connect_tcp_port(int port, const ClientOptions& options = {});
 
   ~Client();
   Client(Client&& other) noexcept;
@@ -37,13 +72,21 @@ class Client {
     bool ok() const { return type == MsgType::kJobResult; }
   };
 
-  /// Submit one job and block for its reply.
+  /// Submit one job and block for its reply.  Throws on transport failure.
   Reply submit(const JobSpec& spec);
 
-  /// Submit with bounded retries on backpressure rejection: sleeps the
-  /// server-suggested retry_after_ms between attempts.  Returns the first
-  /// non-rejection reply (or the last rejection when attempts run out).
-  Reply submit_with_retry(const JobSpec& spec, int max_attempts = 16);
+  /// Submit under `policy`: reconnects and retries transport errors,
+  /// honors retry_after_ms on rejections, optionally retries job errors.
+  /// Returns the first acceptable reply, or the last reply when attempts
+  /// run out; throws only if every attempt died in transport.
+  Reply submit_with_retry(const JobSpec& spec, const RetryPolicy& policy = {});
+
+  /// Drop the connection (if any) and re-establish it to the remembered
+  /// endpoint.  Safe to call when already disconnected.
+  void reconnect();
+
+  /// True while the underlying socket is believed healthy.
+  bool connected() const { return fd_ >= 0; }
 
   /// Fetch the server's telemetry JSON.
   Json metrics();
@@ -52,10 +95,20 @@ class Client {
   void request_shutdown();
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  struct Endpoint {
+    bool tcp = false;
+    std::string path;
+    int port = 0;
+  };
+
+  Client(int fd, Endpoint endpoint, ClientOptions options);
   Reply read_reply();
+  void disconnect();
+  int open_endpoint() const;
 
   int fd_ = -1;
+  Endpoint endpoint_;
+  ClientOptions options_;
 };
 
 }  // namespace doseopt::serve

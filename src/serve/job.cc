@@ -153,6 +153,17 @@ Json flow_result_to_json(const flow::FlowResult& result) {
   solver_ms.set("extract", Json::number(ct.extract_ns / 1e6));
   dm.set("solver_ms", std::move(solver_ms));
   dm.set("runtime_s", Json::number(result.dmopt.runtime_s));
+  // Recovery-ladder bookkeeping: which degraded paths (if any) produced
+  // this result.  Deterministic, compared bit-exact in the E2E tests.
+  Json recovery = Json::object();
+  recovery.set("degraded", Json::boolean(result.dmopt.degraded));
+  if (result.dmopt.degraded) {
+    recovery.set("fallback", Json::string(result.dmopt.fallback));
+    recovery.set("leakage_slack_uw",
+                 Json::number(result.dmopt.leakage_slack_uw));
+  }
+  recovery.set("qp_cold_fallbacks", Json::number(ct.qp_cold_fallbacks));
+  dm.set("recovery", std::move(recovery));
   dm.set("poly_map", dose_map_to_json(result.dmopt.poly_map));
   if (result.dmopt.active_map.has_value())
     dm.set("active_map", dose_map_to_json(*result.dmopt.active_map));

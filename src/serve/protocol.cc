@@ -3,11 +3,14 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "faultinject/fault.h"
 #include "serve/socket.h"
 
 namespace doseopt::serve {
 
 namespace {
+
+faultinject::FaultPoint g_fault_frame("serve.frame");
 
 void put_u32_le(char* p, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
@@ -42,15 +45,22 @@ void write_frame(int fd, MsgType type, const std::string& payload) {
 bool read_frame(int fd, Frame* frame) {
   char header[12];
   if (!recv_all(fd, header, sizeof(header))) return false;
+  // Fires after the header was consumed: downstream sees exactly what a
+  // torn/corrupted frame produces (a desynchronized stream).
+  faultinject::maybe_throw(g_fault_frame, "frame decode");
   if (get_u32_le(header) != kFrameMagic)
     throw Error("protocol: bad frame magic");
   const std::uint32_t type = get_u32_le(header + 4);
   if (!valid_type(type))
     throw Error("protocol: unknown message type " + std::to_string(type));
+  // Bounded *before* any allocation: a garbage length prefix (oversized, or
+  // a negative i32 reinterpreted as u32 up to 4 GiB) must never drive
+  // resize().
   const std::uint32_t length = get_u32_le(header + 8);
   if (length > kMaxFramePayload)
     throw Error("protocol: frame payload of " + std::to_string(length) +
-                " bytes exceeds limit");
+                " bytes exceeds " + std::to_string(kMaxFramePayload) +
+                "-byte limit");
   frame->type = static_cast<MsgType>(type);
   frame->payload.resize(length);
   if (length > 0 && !recv_all(fd, frame->payload.data(), length))

@@ -3,12 +3,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <optional>
 #include <utility>
 
 #include "common/error.h"
+#include "common/rng.h"
+#include "faultinject/fault.h"
 #include "flow/optimize.h"
 #include "serve/protocol.h"
 #include "serve/socket.h"
@@ -16,6 +19,8 @@
 namespace doseopt::serve {
 
 namespace {
+
+faultinject::FaultPoint g_fault_job("serve.job");
 
 double ms_since(std::chrono::steady_clock::time_point t0,
                 std::chrono::steady_clock::time_point t1) {
@@ -122,8 +127,21 @@ void Server::wait_for_shutdown() const {
 }
 
 void Server::accept_loop(int listen_fd) {
+  int consecutive_errors = 0;
   while (true) {
-    const int fd = accept_connection(listen_fd);
+    int fd = -1;
+    try {
+      fd = accept_connection(listen_fd);
+    } catch (const std::exception& e) {
+      // A transient accept failure (EMFILE, injected fault) must not kill
+      // the listener; the pending connection stays queued for the retry.
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.verbose)
+        std::fprintf(stderr, "[serve] accept error: %s\n", e.what());
+      if (++consecutive_errors >= 16) return;  // persistent: give up
+      continue;
+    }
+    consecutive_errors = 0;
     if (fd < 0) return;  // listener closed by stop()
     if (stopping_.load(std::memory_order_acquire)) {
       close_socket(fd);
@@ -169,8 +187,18 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
       }
     }
   } catch (const std::exception& e) {
+    // Corrupt framing (bad magic, oversized length, torn frame, injected
+    // read fault): the stream is desynchronized, so the only safe recovery
+    // is a best-effort protocol-error reply followed by dropping the
+    // connection.  The lane is untouched -- queued jobs from this
+    // connection still run (and are dropped on reply).
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     if (options_.verbose)
       std::fprintf(stderr, "[serve] connection error: %s\n", e.what());
+    Json err = Json::object();
+    err.set("error", Json::string(e.what()));
+    err.set("protocol_error", Json::boolean(true));
+    reply(conn, static_cast<std::uint32_t>(MsgType::kJobError), err);
   }
   conn->open.store(false, std::memory_order_release);
   close_socket(conn->fd);
@@ -188,22 +216,30 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
     return;
   }
 
-  const auto reject = [&] {
+  const auto reject = [&](double retry_after_ms, bool breaker_open) {
     jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
     Json r = Json::object();
     if (!spec.id.empty()) r.set("id", Json::string(spec.id));
-    r.set("retry_after_ms", Json::number(options_.retry_after_ms));
+    r.set("retry_after_ms", Json::number(retry_after_ms));
+    if (breaker_open) r.set("breaker_open", Json::boolean(true));
     reply(conn, static_cast<std::uint32_t>(MsgType::kJobRejected), r);
   };
 
   if (stopping_.load(std::memory_order_acquire)) {
-    reject();
+    reject(options_.retry_after_ms, false);
+    return;
+  }
+  // Open circuit breaker: shed load instead of queueing work the solver is
+  // currently failing; the hint is the breaker's remaining cooldown.
+  if (const double shed_ms = breaker_remaining_ms(); shed_ms > 0.0) {
+    jobs_shed_.fetch_add(1, std::memory_order_relaxed);
+    reject(shed_ms, true);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_.size() >= options_.queue_capacity) {
-      reject();
+      reject(options_.retry_after_ms, false);
       return;
     }
     queue_.push_back(PendingJob{conn, std::move(spec),
@@ -254,8 +290,74 @@ bool Server::expired(const PendingJob& job) {
 }
 
 void Server::execute_job(PendingJob job) {
+  const int max_attempts = std::max(1, options_.job_max_attempts);
+  std::string last_error;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    try {
+      faultinject::maybe_throw(g_fault_job, "job execution");
+      run_job(job);
+      breaker_failures_.store(0, std::memory_order_relaxed);
+      return;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      if (attempt < max_attempts &&
+          job.conn->open.load(std::memory_order_acquire)) {
+        jobs_retried_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.verbose)
+          std::fprintf(stderr, "[serve] job '%s' attempt %d failed: %s\n",
+                       job.spec.id.c_str(), attempt, e.what());
+        // Deterministic backoff: a pure function of (job key, attempt), so
+        // a replayed faulted run schedules identically.
+        Rng jitter(job.spec.job_key() ^ static_cast<std::uint64_t>(attempt));
+        const double wait_ms = options_.job_retry_backoff_ms *
+                               static_cast<double>(attempt) *
+                               (0.5 + 0.5 * jitter.uniform());
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<long>(wait_ms * 1000.0)));
+      }
+    }
+  }
+  // Attempts exhausted: report, and count toward tripping the breaker.
+  jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+  note_job_failure();
+  Json err = Json::object();
+  if (!job.spec.id.empty()) err.set("id", Json::string(job.spec.id));
+  err.set("error", Json::string(last_error));
+  err.set("attempts", Json::number(static_cast<double>(max_attempts)));
+  reply(job.conn, static_cast<std::uint32_t>(MsgType::kJobError), err);
+}
+
+double Server::breaker_remaining_ms() const {
+  const std::int64_t until =
+      breaker_open_until_us_.load(std::memory_order_acquire);
+  if (until == 0) return 0.0;
+  const std::int64_t now_us = static_cast<std::int64_t>(
+      us_since(start_time_, std::chrono::steady_clock::now()));
+  return now_us >= until ? 0.0
+                         : static_cast<double>(until - now_us) / 1000.0;
+}
+
+void Server::note_job_failure() {
+  if (options_.breaker_threshold <= 0) return;
+  const int failures =
+      breaker_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (failures < options_.breaker_threshold) return;
+  breaker_failures_.store(0, std::memory_order_relaxed);
+  breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t now_us = static_cast<std::int64_t>(
+      us_since(start_time_, std::chrono::steady_clock::now()));
+  breaker_open_until_us_.store(
+      now_us +
+          static_cast<std::int64_t>(options_.breaker_cooldown_ms * 1000.0),
+      std::memory_order_release);
+  if (options_.verbose)
+    std::fprintf(stderr, "[serve] circuit breaker open for %.0fms\n",
+                 options_.breaker_cooldown_ms);
+}
+
+void Server::run_job(const PendingJob& job) {
   using clock = std::chrono::steady_clock;
-  try {
+  {
     if (!job.conn->open.load(std::memory_order_acquire)) {
       jobs_dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -319,7 +421,19 @@ void Server::execute_job(PendingJob job) {
       saved_placement = ctx.placement();
       saved_parasitics = ctx.parasitics();
     }
-    flow::FlowResult result = flow::run_flow(ctx, job.spec.flow_options());
+    flow::FlowResult result;
+    try {
+      result = flow::run_flow(ctx, job.spec.flow_options());
+    } catch (...) {
+      // The flow may have died mid-dosePl with the placement half-moved;
+      // restore before rethrowing so the session stays usable for the
+      // retry (and for unrelated jobs sharing it).
+      if (saved_placement.has_value()) {
+        ctx.placement() = std::move(*saved_placement);
+        ctx.parasitics() = std::move(*saved_parasitics);
+      }
+      throw;
+    }
     if (saved_placement.has_value()) {
       ctx.placement() = std::move(*saved_placement);
       ctx.parasitics() = std::move(*saved_parasitics);
@@ -360,12 +474,6 @@ void Server::execute_job(PendingJob job) {
 
     jobs_completed_.fetch_add(1, std::memory_order_relaxed);
     reply(job.conn, static_cast<std::uint32_t>(MsgType::kJobResult), out);
-  } catch (const std::exception& e) {
-    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
-    Json err = Json::object();
-    if (!job.spec.id.empty()) err.set("id", Json::string(job.spec.id));
-    err.set("error", Json::string(e.what()));
-    reply(job.conn, static_cast<std::uint32_t>(MsgType::kJobError), err);
   }
 }
 
@@ -376,9 +484,13 @@ void Server::reply(const std::shared_ptr<Connection>& conn,
   try {
     write_frame(conn->fd, static_cast<MsgType>(type), payload.dump());
   } catch (const std::exception& e) {
-    // Peer went away mid-reply; the reader loop will observe the closed
-    // socket and retire the connection.
+    // Peer went away mid-reply (or the write faulted): the frame may be
+    // half-written, so the stream is unusable.  Shut the socket down so a
+    // client blocked in recv sees EOF immediately (instead of waiting out
+    // its io timeout) and can reconnect + resubmit; the memoized result
+    // makes the retry bit-identical and cheap.
     conn->open.store(false, std::memory_order_release);
+    ::shutdown(conn->fd, SHUT_RDWR);
     if (options_.verbose)
       std::fprintf(stderr, "[serve] dropped reply: %s\n", e.what());
   }
@@ -405,7 +517,22 @@ Json Server::metrics() const {
   jobs.set("rejected", n(jobs_rejected_));
   jobs.set("expired", n(jobs_expired_));
   jobs.set("dropped", n(jobs_dropped_));
+  jobs.set("retried", n(jobs_retried_));
+  jobs.set("shed", n(jobs_shed_));
   m.set("jobs", std::move(jobs));
+
+  Json breaker = Json::object();
+  breaker.set("open", Json::boolean(breaker_remaining_ms() > 0.0));
+  breaker.set("trips", n(breaker_trips_));
+  breaker.set("consecutive_failures",
+              Json::number(static_cast<double>(
+                  breaker_failures_.load(std::memory_order_relaxed))));
+  m.set("breaker", std::move(breaker));
+
+  Json transport = Json::object();
+  transport.set("accept_errors", n(accept_errors_));
+  transport.set("protocol_errors", n(protocol_errors_));
+  m.set("transport", std::move(transport));
 
   const SessionCache::Stats s = cache_.stats();
   Json c = Json::object();
@@ -415,6 +542,9 @@ Json Server::metrics() const {
         Json::number(static_cast<double>(s.context_misses)));
   c.set("snapshots_restored",
         Json::number(static_cast<double>(s.snapshots_restored)));
+  c.set("restore_failures",
+        Json::number(static_cast<double>(s.restore_failures)));
+  c.set("save_failures", Json::number(static_cast<double>(s.save_failures)));
   c.set("coefficient_hits", Json::number(static_cast<double>(s.coeff_hits)));
   c.set("coefficient_misses",
         Json::number(static_cast<double>(s.coeff_misses)));

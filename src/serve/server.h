@@ -47,6 +47,15 @@ struct ServerOptions {
   double retry_after_ms = 250.0;     ///< hint sent with kJobRejected
   std::string snapshot_dir;          ///< "" = no warm-start persistence
   bool verbose = false;              ///< log job lifecycle to stderr
+  /// Self-healing knobs.  A failing job is re-attempted in place up to
+  /// job_max_attempts times (deterministic backoff between attempts);
+  /// breaker_threshold consecutive *exhausted* jobs trip the circuit
+  /// breaker, which sheds new requests with kJobRejected (retry_after =
+  /// remaining cooldown) until breaker_cooldown_ms elapses.
+  int job_max_attempts = 2;
+  double job_retry_backoff_ms = 10.0;
+  int breaker_threshold = 8;      ///< 0 disables the breaker
+  double breaker_cooldown_ms = 1000.0;
 };
 
 class Server {
@@ -103,11 +112,19 @@ class Server {
   void handle_request(const std::shared_ptr<Connection>& conn,
                       const std::string& payload);
   void worker_loop(int lane);
+  /// Retry wrapper: run_job() with per-job re-attempts, breaker accounting,
+  /// and the terminal kJobError reply when attempts are exhausted.
   void execute_job(PendingJob job);
+  /// One attempt of a job (cache lookup, context build, flow solve, reply).
+  void run_job(const PendingJob& job);
   void reply(const std::shared_ptr<Connection>& conn, std::uint32_t type,
              const Json& payload);
   /// True (and counts/answers the job as expired) when past its deadline.
   bool expired(const PendingJob& job);
+  /// Circuit breaker: remaining shed window (0 = closed), and the
+  /// consecutive-failure bump that may open it.
+  double breaker_remaining_ms() const;
+  void note_job_failure();
 
   ServerOptions options_;
   SessionCache cache_;
@@ -139,6 +156,15 @@ class Server {
   std::atomic<std::uint64_t> jobs_rejected_{0};
   std::atomic<std::uint64_t> jobs_expired_{0};
   std::atomic<std::uint64_t> jobs_dropped_{0};  ///< client went away
+  std::atomic<std::uint64_t> jobs_retried_{0};  ///< in-place re-attempts
+  std::atomic<std::uint64_t> jobs_shed_{0};     ///< rejected by open breaker
+  std::atomic<std::uint64_t> accept_errors_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  /// Circuit breaker state: consecutive exhausted jobs, trip count, and the
+  /// shed-until instant (microseconds since start_time_; 0 = closed).
+  std::atomic<int> breaker_failures_{0};
+  std::atomic<std::uint64_t> breaker_trips_{0};
+  std::atomic<std::int64_t> breaker_open_until_us_{0};
   /// Stage wall clocks, microseconds, summed over jobs.
   std::atomic<std::uint64_t> stage_context_us_{0};
   std::atomic<std::uint64_t> stage_coeff_us_{0};

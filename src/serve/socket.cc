@@ -3,20 +3,71 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "common/error.h"
+#include "faultinject/fault.h"
 
 namespace doseopt::serve {
 
 namespace {
 
+faultinject::FaultPoint g_fault_accept("serve.accept");
+faultinject::FaultPoint g_fault_read("serve.read");
+faultinject::FaultPoint g_fault_write("serve.write");
+
 [[noreturn]] void sys_fail(const std::string& what) {
   throw Error(what + ": " + std::strerror(errno));
+}
+
+/// Drive a pending non-blocking connect to completion within `timeout_ms`
+/// (<= 0 waits forever), then surface the kernel's verdict via SO_ERROR.
+void finish_connect(int fd, int timeout_ms, const std::string& what) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLOUT;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms > 0 ? timeout_ms : -1);
+    if (rc > 0) break;
+    if (rc == 0)
+      throw Error(what + ": connect timed out after " +
+                  std::to_string(timeout_ms) + "ms");
+    if (errno != EINTR) sys_fail(what + ": poll");
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+    sys_fail(what + ": getsockopt(SO_ERROR)");
+  if (err != 0) {
+    errno = err;
+    sys_fail(what + ": connect");
+  }
+}
+
+/// connect(2) with an optional bound.  The socket is flipped non-blocking
+/// for the attempt (so a dead peer cannot hang the caller) and restored
+/// after; throws on failure or timeout, leaving the caller to close `fd`.
+void connect_bounded(int fd, const sockaddr* addr, socklen_t addr_len,
+                     int timeout_ms, const std::string& what) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) sys_fail(what + ": fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    sys_fail(what + ": fcntl(F_SETFL)");
+  const int rc = ::connect(fd, addr, addr_len);
+  if (rc != 0) {
+    // EAGAIN: AF_UNIX reports a full backlog this way; poll until writable.
+    if (errno != EINPROGRESS && errno != EINTR && errno != EAGAIN)
+      sys_fail(what + ": connect");
+    finish_connect(fd, timeout_ms, what);
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) sys_fail(what + ": fcntl(F_SETFL)");
 }
 
 }  // namespace
@@ -72,7 +123,7 @@ int listen_tcp(int port, int* bound_port) {
   return fd;
 }
 
-int connect_unix(const std::string& path) {
+int connect_unix(const std::string& path, int timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path))
@@ -81,30 +132,51 @@ int connect_unix(const std::string& path) {
 
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) sys_fail("socket(AF_UNIX)");
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  try {
+    connect_bounded(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                    timeout_ms, "connect(" + path + ")");
+  } catch (...) {
     ::close(fd);
-    sys_fail("connect(" + path + ")");
+    throw;
   }
   return fd;
 }
 
-int connect_tcp(int port) {
+int connect_tcp(int port, int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) sys_fail("socket(AF_INET)");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  try {
+    connect_bounded(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                    timeout_ms, "connect(tcp " + std::to_string(port) + ")");
+  } catch (...) {
     ::close(fd);
-    sys_fail("connect(tcp " + std::to_string(port) + ")");
+    throw;
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
 }
 
+void set_io_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+    sys_fail("setsockopt(SO_RCVTIMEO)");
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0)
+    sys_fail("setsockopt(SO_SNDTIMEO)");
+}
+
 int accept_connection(int listen_fd) {
+  // Injected before accept(2) so the pending connection survives the fault
+  // and the retried accept picks it up.
+  faultinject::maybe_throw(g_fault_accept, "accept");
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) return fd;
@@ -116,11 +188,14 @@ int accept_connection(int listen_fd) {
 }
 
 void send_all(int fd, const void* data, std::size_t size) {
+  faultinject::maybe_throw(g_fault_write, "send");
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
     const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw Error("send: timed out");
       sys_fail("send");
     }
     if (n == 0) throw Error("send: peer closed connection");
@@ -130,12 +205,15 @@ void send_all(int fd, const void* data, std::size_t size) {
 }
 
 bool recv_all(int fd, void* data, std::size_t size) {
+  faultinject::maybe_throw(g_fault_read, "recv");
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
   while (got < size) {
     const ssize_t n = ::recv(fd, p + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw Error("recv: timed out");
       sys_fail("recv");
     }
     if (n == 0) {

@@ -17,11 +17,17 @@ int listen_unix(const std::string& path);
 /// the listening fd; `*bound_port` receives the actual port when non-null.
 int listen_tcp(int port, int* bound_port = nullptr);
 
-/// Connect to a Unix-domain socket.
-int connect_unix(const std::string& path);
+/// Connect to a Unix-domain socket.  `timeout_ms > 0` bounds the connect
+/// attempt; 0 blocks indefinitely.
+int connect_unix(const std::string& path, int timeout_ms = 0);
 
-/// Connect to 127.0.0.1:`port`.
-int connect_tcp(int port);
+/// Connect to 127.0.0.1:`port`, with the same timeout contract.
+int connect_tcp(int port, int timeout_ms = 0);
+
+/// Bound every subsequent recv/send on `fd` to `timeout_ms` (SO_RCVTIMEO /
+/// SO_SNDTIMEO); 0 removes the bound.  An expired bound surfaces from
+/// recv_all/send_all as doseopt::Error("... timed out ...").
+void set_io_timeout(int fd, int timeout_ms);
 
 /// Accept one connection; returns the fd, or -1 when the listener was shut
 /// down (any other failure throws).

@@ -1,0 +1,217 @@
+// Unit tests for the deterministic fault-injection framework: spec grammar,
+// per-mode firing patterns, registry + pending-spec plumbing, the
+// suspend/resume gate used by fault-free reference computation, and the
+// maybe_throw error shape the recovery ladders match on.
+//
+// Registration is permanent (the registry keeps raw pointers forever), so
+// every test point is heap-allocated and intentionally leaked, with a name
+// unique to its test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "faultinject/fault.h"
+
+namespace doseopt {
+namespace {
+
+namespace fi = faultinject;
+
+/// Firing pattern of the next `n` hits as a bit string ("0100...").
+std::string pattern(fi::FaultPoint& p, int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) out += p.should_fire() ? '1' : '0';
+  return out;
+}
+
+TEST(FaultSpec, ParsesAndRoundTrips) {
+  // Start from a clean slate: tier-1 runs have no $DOSEOPT_FAULTS, but a
+  // stray environment must not leak armed state into these tests.
+  fi::reset();
+  EXPECT_FALSE(fi::active());
+
+  for (const char* text :
+       {"always", "once", "nth=3", "first=2", "every=5", "prob=0.25@7"}) {
+    const fi::FaultSpec spec = fi::FaultSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text) << text;
+  }
+  // Whitespace is trimmed; the canonical form is bare.
+  EXPECT_EQ(fi::FaultSpec::parse("  once ").to_string(), "once");
+  // prob without an explicit seed defaults to seed 0.
+  const fi::FaultSpec p = fi::FaultSpec::parse("prob=0.5");
+  EXPECT_EQ(p.mode, fi::FaultSpec::Mode::kProb);
+  EXPECT_EQ(p.seed, 0u);
+
+  EXPECT_THROW(fi::FaultSpec::parse(""), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("bogus"), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("nth=0"), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("nth=x"), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("first=-1"), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("every="), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("prob=1.5"), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("prob=0.5@-2"), Error);
+}
+
+TEST(FaultPoint, CountedModesFireDeterministically) {
+  auto* p = new fi::FaultPoint("test.modes");
+
+  p->arm(fi::FaultSpec::parse("always"));
+  EXPECT_EQ(pattern(*p, 4), "1111");
+  p->arm(fi::FaultSpec::parse("once"));
+  EXPECT_EQ(pattern(*p, 4), "1000");
+  p->arm(fi::FaultSpec::parse("nth=3"));
+  EXPECT_EQ(pattern(*p, 5), "00100");
+  p->arm(fi::FaultSpec::parse("first=2"));
+  EXPECT_EQ(pattern(*p, 5), "11000");
+  p->arm(fi::FaultSpec::parse("every=3"));
+  EXPECT_EQ(pattern(*p, 9), "001001001");
+
+  // Arming resets the counters, so specs are relative to the arming
+  // instant (the "first" hit above really was hit 1).
+  EXPECT_EQ(p->hits(), 9u);
+  EXPECT_EQ(p->fires(), 3u);
+  p->disarm();
+  EXPECT_FALSE(p->armed());
+  EXPECT_EQ(p->hits(), 0u);
+}
+
+TEST(FaultPoint, ProbModeIsAPureFunctionOfSeedAndHitIndex) {
+  auto* p = new fi::FaultPoint("test.prob");
+  p->arm(fi::FaultSpec::parse("prob=0.5@42"));
+  const std::string first = pattern(*p, 64);
+  // Re-arming resets the hit counter: the exact pattern repeats.
+  p->arm(fi::FaultSpec::parse("prob=0.5@42"));
+  EXPECT_EQ(pattern(*p, 64), first);
+  // Sanity: p=0.5 over 64 hits is neither all-off nor all-on.
+  EXPECT_NE(first, std::string(64, '0'));
+  EXPECT_NE(first, std::string(64, '1'));
+
+  p->arm(fi::FaultSpec::parse("prob=0@42"));
+  EXPECT_EQ(pattern(*p, 8), "00000000");
+  p->arm(fi::FaultSpec::parse("prob=1@42"));
+  EXPECT_EQ(pattern(*p, 8), "11111111");
+  p->disarm();
+}
+
+TEST(FaultPoint, DisarmedPointNeitherFiresNorCountsHits) {
+  auto* idle = new fi::FaultPoint("test.idle");
+  auto* armed = new fi::FaultPoint("test.idle_neighbor");
+  // Even with another point armed (the process-global fast-path gate is
+  // open), a disarmed point must not count hits.
+  armed->arm(fi::FaultSpec::parse("always"));
+  EXPECT_FALSE(idle->should_fire());
+  EXPECT_FALSE(idle->should_fire());
+  EXPECT_EQ(idle->hits(), 0u);
+  EXPECT_EQ(idle->fires(), 0u);
+  armed->disarm();
+}
+
+TEST(FaultPoint, SuspendBlocksFiringWithoutConsumingHits) {
+  auto* p = new fi::FaultPoint("test.suspend");
+  p->arm(fi::FaultSpec::parse("once"));
+  EXPECT_TRUE(fi::active());
+  {
+    fi::SuspendScope guard;
+    EXPECT_FALSE(fi::active());
+    // A fault-free reference computed under suspension must not consume
+    // the armed firing.
+    EXPECT_FALSE(p->should_fire());
+    EXPECT_EQ(p->hits(), 0u);
+    {
+      fi::SuspendScope nested;  // suspension is a depth, not a flag
+      EXPECT_FALSE(p->should_fire());
+    }
+    EXPECT_FALSE(fi::active());
+  }
+  EXPECT_TRUE(fi::active());
+  EXPECT_TRUE(p->should_fire());  // the `once` firing survived suspension
+  p->disarm();
+}
+
+TEST(FaultConfigure, ArmsRegisteredPointsByName) {
+  auto* p = new fi::FaultPoint("test.cfg");
+  fi::configure("test.cfg:nth=2");
+  EXPECT_TRUE(p->armed());
+  EXPECT_EQ(pattern(*p, 3), "010");
+  // Re-configuring replaces the spec (and resets the counter).
+  fi::configure(" test.cfg : once ");
+  EXPECT_EQ(pattern(*p, 2), "10");
+  p->disarm();
+
+  EXPECT_THROW(fi::configure("test.cfg"), Error);        // no spec
+  EXPECT_THROW(fi::configure("test.cfg:bogus"), Error);  // bad spec
+}
+
+TEST(FaultConfigure, UnknownNamesStayPendingUntilRegistration) {
+  // Simulates $DOSEOPT_FAULTS naming a point in a library whose static
+  // initializers have not run yet: the spec is held pending and applied
+  // the moment the point registers.
+  fi::configure("test.late:first=2");
+  EXPECT_TRUE(fi::active());  // a pending spec opens the fast-path gate
+  EXPECT_EQ(fi::find("test.late"), nullptr);
+
+  auto* p = new fi::FaultPoint("test.late");
+  EXPECT_TRUE(p->armed());
+  EXPECT_EQ(fi::find("test.late"), p);
+  EXPECT_EQ(pattern(*p, 3), "110");
+  p->disarm();
+  EXPECT_FALSE(fi::active());
+}
+
+TEST(FaultRegistry, FindAndDuplicateRejection) {
+  auto* p = new fi::FaultPoint("test.reg");
+  EXPECT_EQ(fi::find("test.reg"), p);
+  EXPECT_EQ(fi::find("test.no_such_point"), nullptr);
+  const std::vector<fi::FaultPoint*> all = fi::registry();
+  EXPECT_NE(std::find(all.begin(), all.end(), p), all.end());
+  // A second point with the same name is a programming error.
+  EXPECT_THROW(fi::FaultPoint dup("test.reg"), Error);
+}
+
+TEST(FaultArmScope, ArmsForScopeAndRejectsUnknownNames) {
+  auto* p = new fi::FaultPoint("test.scope");
+  {
+    fi::ArmScope scope("test.scope", "always");
+    EXPECT_TRUE(p->armed());
+    EXPECT_TRUE(p->should_fire());
+  }
+  EXPECT_FALSE(p->armed());
+  EXPECT_FALSE(fi::active());
+  EXPECT_THROW(fi::ArmScope("test.no_such_point", "once"), Error);
+  EXPECT_THROW(fi::ArmScope("test.scope", "bogus"), Error);
+}
+
+TEST(FaultMaybeThrow, ThrowsTaggedErrorOnlyWhenFiring) {
+  auto* p = new fi::FaultPoint("test.throw");
+  EXPECT_NO_THROW(fi::maybe_throw(*p, "io"));  // disarmed: no-op
+  p->arm(fi::FaultSpec::parse("once"));
+  try {
+    fi::maybe_throw(*p, "socket read");
+    FAIL() << "expected maybe_throw to fire";
+  } catch (const Error& e) {
+    // The tag lets logs and tests attribute a failure to its injection.
+    EXPECT_EQ(std::string(e.what()), "[fault:test.throw] socket read");
+  }
+  EXPECT_NO_THROW(fi::maybe_throw(*p, "socket read"));  // `once` spent
+  p->disarm();
+}
+
+TEST(FaultReset, DisarmsEverythingAndDropsPending) {
+  auto* p = new fi::FaultPoint("test.reset");
+  p->arm(fi::FaultSpec::parse("always"));
+  fi::configure("test.reset_pending:always");
+  EXPECT_TRUE(fi::active());
+  fi::reset();
+  EXPECT_FALSE(fi::active());
+  EXPECT_FALSE(p->armed());
+  // The dropped pending spec must not arm a later registration.
+  auto* late = new fi::FaultPoint("test.reset_pending");
+  EXPECT_FALSE(late->armed());
+}
+
+}  // namespace
+}  // namespace doseopt

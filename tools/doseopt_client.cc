@@ -8,7 +8,12 @@
 //                  [--design NAME] [--scale F] [--seed N]
 //                  [--mode timing|leakage] [--grid UM] [--delta PCT]
 //                  [--range PCT] [--width] [--dosepl] [--deadline MS]
-//                  [--id NAME] [--metrics] [--shutdown] [--ping]
+//                  [--id NAME] [--timeout MS] [--retries N]
+//                  [--metrics] [--shutdown] [--ping]
+//
+// --timeout bounds every connect and socket read/write (0 = block forever);
+// --retries caps submit_with_retry's attempts (transport errors reconnect,
+// rejections honor the server's retry_after_ms).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -28,7 +33,8 @@ namespace {
                "          [--design NAME] [--scale F] [--seed N]\n"
                "          [--mode timing|leakage] [--grid UM] [--delta PCT]\n"
                "          [--range PCT] [--width] [--dosepl] [--deadline MS]\n"
-               "          [--id NAME] [--metrics] [--shutdown] [--ping]\n",
+               "          [--id NAME] [--timeout MS] [--retries N]\n"
+               "          [--metrics] [--shutdown] [--ping]\n",
                argv0);
   std::exit(2);
 }
@@ -42,6 +48,8 @@ int main(int argc, char** argv) {
   bool want_shutdown = false;
   bool want_ping = false;
   serve::JobSpec spec;
+  serve::ClientOptions copts;
+  serve::RetryPolicy policy;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,6 +82,16 @@ int main(int argc, char** argv) {
     else if (arg == "--dosepl") spec.run_dosepl = true;
     else if (arg == "--deadline") spec.deadline_ms = number();
     else if (arg == "--id") spec.id = value();
+    else if (arg == "--timeout") {
+      const double ms = number();
+      if (ms < 0) usage(argv[0], "--timeout must be >= 0");
+      copts.connect_timeout_ms = static_cast<int>(ms);
+      copts.io_timeout_ms = static_cast<int>(ms);
+    } else if (arg == "--retries") {
+      const double n = number();
+      if (n < 1) usage(argv[0], "--retries must be >= 1");
+      policy.max_attempts = static_cast<int>(n);
+    }
     else if (arg == "--metrics") want_metrics = true;
     else if (arg == "--shutdown") want_shutdown = true;
     else if (arg == "--ping") want_ping = true;
@@ -83,9 +101,9 @@ int main(int argc, char** argv) {
     usage(argv[0], "need exactly one of --socket / --tcp");
 
   try {
-    serve::Client client = uds_path.empty()
-                               ? serve::Client::connect_tcp_port(tcp_port)
-                               : serve::Client::connect_unix_path(uds_path);
+    serve::Client client =
+        uds_path.empty() ? serve::Client::connect_tcp_port(tcp_port, copts)
+                         : serve::Client::connect_unix_path(uds_path, copts);
     if (want_ping) {
       client.ping();
       std::printf("pong\n");
@@ -100,7 +118,7 @@ int main(int argc, char** argv) {
       std::printf("shutdown requested\n");
       return 0;
     }
-    const serve::Client::Reply reply = client.submit_with_retry(spec);
+    const serve::Client::Reply reply = client.submit_with_retry(spec, policy);
     std::printf("%s\n", reply.payload.dump().c_str());
     if (!reply.ok()) return 1;
   } catch (const doseopt::Error& e) {

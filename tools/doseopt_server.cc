@@ -9,7 +9,16 @@
 // Usage:
 //   doseopt_server --socket PATH [--tcp PORT] [--lanes N] [--queue N]
 //                  [--snapshot-dir DIR] [--metrics FILE] [--threads N]
+//                  [--job-attempts N] [--breaker-threshold N]
+//                  [--breaker-cooldown MS] [--list-fault-points]
 //                  [--verbose]
+//
+// Self-healing knobs: each failing job is retried in place up to
+// --job-attempts times; --breaker-threshold consecutive exhausted jobs
+// open the circuit breaker, which sheds new requests for
+// --breaker-cooldown ms.  --list-fault-points prints the registered
+// deterministic fault-injection points (armable via $DOSEOPT_FAULTS,
+// see src/faultinject/fault.h) and exits.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +27,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "faultinject/fault.h"
 #include "serve/server.h"
 
 using namespace doseopt;
@@ -29,6 +39,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--tcp PORT] [--lanes N] [--queue N]\n"
                "          [--snapshot-dir DIR] [--metrics FILE] [--threads N]\n"
+               "          [--job-attempts N] [--breaker-threshold N]\n"
+               "          [--breaker-cooldown MS] [--list-fault-points]\n"
                "          [--verbose]\n",
                argv0);
   std::exit(2);
@@ -66,6 +78,17 @@ int main(int argc, char** argv) {
       options.queue_capacity = static_cast<std::size_t>(integer(1));
     else if (arg == "--snapshot-dir") options.snapshot_dir = value();
     else if (arg == "--metrics") metrics_path = value();
+    else if (arg == "--job-attempts")
+      options.job_max_attempts = static_cast<int>(integer(1));
+    else if (arg == "--breaker-threshold")
+      options.breaker_threshold = static_cast<int>(integer(0));
+    else if (arg == "--breaker-cooldown")
+      options.breaker_cooldown_ms = static_cast<double>(integer(0));
+    else if (arg == "--list-fault-points") {
+      for (const faultinject::FaultPoint* p : faultinject::registry())
+        std::printf("%s\n", p->name());
+      return 0;
+    }
     else if (arg == "--threads") {
       const long n = integer(1);
       setenv("DOSEOPT_THREADS", std::to_string(n).c_str(), /*overwrite=*/1);
