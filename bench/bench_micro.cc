@@ -58,6 +58,21 @@ void BM_StaAnalyze(benchmark::State& state) {
 }
 BENCHMARK(BM_StaAnalyze);
 
+void BM_StaAnalyzeBatch(benchmark::State& state) {
+  flow::DesignContext& ctx = small_ctx();
+  sta::VariantAssignment va(ctx.netlist().cell_count());
+  const sta::BatchedTimer batched(&ctx.timer());
+  sta::BatchWorkspace ws;
+  const std::vector<const double*> lanes(sta::kBatchLanes, nullptr);
+  for (auto _ : state) {
+    const sta::BatchTimingResult r = batched.analyze_batch(va, lanes, ws);
+    benchmark::DoNotOptimize(r.mct_ns[0]);
+  }
+  state.counters["cells"] = static_cast<double>(ctx.netlist().cell_count());
+  state.counters["lanes"] = static_cast<double>(sta::kBatchLanes);
+}
+BENCHMARK(BM_StaAnalyzeBatch);
+
 void BM_StaIncrementalSwap(benchmark::State& state) {
   flow::DesignContext& ctx = small_ctx();
   sta::VariantAssignment va(ctx.netlist().cell_count());
@@ -218,10 +233,53 @@ void write_bench_json(const char* path) {
       cells, full_ns, incr_ns, full_ns / incr_ns, qp_ns, char_ns);
 }
 
+// BENCH_sta.json: scalar full-pass vs batched (kBatchLanes dies/traversal)
+// at full AES-65 scale -- the per-die cost ratio the batched Monte-Carlo
+// throughput rides on.
+void write_sta_json(const char* path) {
+  flow::DesignContext& ctx = aes_ctx();
+  const std::size_t cells = ctx.netlist().cell_count();
+  sta::VariantAssignment va(cells);
+
+  const double full_ns = time_ns_per_op([&] { ctx.timer().analyze(va); });
+
+  const sta::BatchedTimer batched(&ctx.timer());
+  sta::BatchWorkspace ws;
+  const std::vector<const double*> lanes(sta::kBatchLanes, nullptr);
+  const double batch_ns =
+      time_ns_per_op([&] { batched.analyze_batch(va, lanes, ws); });
+  const double per_lane_ns = batch_ns / sta::kBatchLanes;
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"design\": \"aes65\",\n"
+               "  \"cells\": %zu,\n"
+               "  \"lanes\": %d,\n"
+               "  \"sta_scalar_ns_op\": %.1f,\n"
+               "  \"sta_batch_ns_op\": %.1f,\n"
+               "  \"sta_batch_ns_per_lane\": %.1f,\n"
+               "  \"sta_batch_per_lane_speedup\": %.2f\n"
+               "}\n",
+               cells, sta::kBatchLanes, full_ns, batch_ns, per_lane_ns,
+               full_ns / per_lane_ns);
+  std::fclose(f);
+  std::printf(
+      "BENCH_sta.json: cells=%zu scalar=%.0fns batch(%d)=%.0fns "
+      "per-lane=%.0fns (%.1fx)\n",
+      cells, full_ns, sta::kBatchLanes, batch_ns, per_lane_ns,
+      full_ns / per_lane_ns);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   write_bench_json("BENCH_micro.json");
+  write_sta_json("BENCH_sta.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -24,7 +24,7 @@ ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 # point, each armed to fire once through $DOSEOPT_FAULTS.  Every run must
 # recover to bit-identical results (the suite asserts it); the point list
 # is kept honest by FaultRegistry.RegisteredPointsMatchTheSweepManifest.
-FAULT_POINTS="serve.accept serve.read serve.write serve.frame serve.job serde.snapshot_write serde.snapshot_read qp.admm_diverge qp.kkt_reject dmopt.qcp_infeasible"
+FAULT_POINTS="serve.accept serve.read serve.write serve.frame serve.job serde.snapshot_write serde.snapshot_read qp.admm_diverge qp.kkt_reject dmopt.qcp_infeasible sta.batch_nan"
 : > /tmp/doseopt_fault_failures
 {
   for p in $FAULT_POINTS; do

@@ -76,9 +76,19 @@ double Rng::normal() {
   const double u2 = uniform();
   const double r = std::sqrt(-2.0 * std::log(u1));
   const double theta = 2.0 * std::numbers::pi * u2;
-  cached_normal_ = r * std::sin(theta);
+#if defined(__GLIBC__)
+  // glibc's sincos shares the sin/cos kernels and returns bit-identical
+  // values in one argument reduction; the Monte-Carlo sampler draws enough
+  // normals per die that the second libm call is measurable.
+  double sin_theta, cos_theta;
+  ::sincos(theta, &sin_theta, &cos_theta);
+#else
+  const double sin_theta = std::sin(theta);
+  const double cos_theta = std::cos(theta);
+#endif
+  cached_normal_ = r * sin_theta;
   has_cached_normal_ = true;
-  return r * std::cos(theta);
+  return r * cos_theta;
 }
 
 double Rng::normal(double mean, double stddev) {

@@ -20,15 +20,12 @@ NetParasitics extract_net(netlist::NetId n, const place::Placement& placement,
 
 double Parasitics::wire_delay_ns(netlist::NetId n, double sink_cap_ff) const {
   DOSEOPT_CHECK(n < nets_.size(), "wire_delay_ns: bad net");
-  const NetParasitics& p = nets_[n];
-  return p.wire_res_kohm * (0.5 * p.wire_cap_ff + sink_cap_ff) *
-         units::kPsToNs;
+  return elmore_wire_delay_ns(nets_[n], sink_cap_ff);
 }
 
 double Parasitics::wire_slew_ns(netlist::NetId n, double sink_cap_ff) const {
-  // 10-90% transition degradation ~ 2.2x the Elmore constant; wires here are
-  // short relative to drivers, so this is a small correction.
-  return 2.2 * wire_delay_ns(n, sink_cap_ff);
+  DOSEOPT_CHECK(n < nets_.size(), "wire_slew_ns: bad net");
+  return elmore_wire_slew_ns(nets_[n], sink_cap_ff);
 }
 
 void Parasitics::update_net(netlist::NetId n,

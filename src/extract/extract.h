@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/units.h"
 #include "place/placement.h"
 
 namespace doseopt::extract {
@@ -20,6 +21,22 @@ struct NetParasitics {
   double wire_cap_ff = 0.0;
   double wire_res_kohm = 0.0;
 };
+
+/// Elmore wire delay (ns) to a sink with pin capacitance `sink_cap_ff`:
+/// R_wire * (C_wire / 2 + C_pin).  Inline so the batched timing kernels can
+/// evaluate it per lane without a cross-TU call; Parasitics::wire_delay_ns
+/// routes through this same expression, keeping both paths bitwise-equal.
+inline double elmore_wire_delay_ns(const NetParasitics& p,
+                                   double sink_cap_ff) {
+  return p.wire_res_kohm * (0.5 * p.wire_cap_ff + sink_cap_ff) *
+         units::kPsToNs;
+}
+
+/// 10-90% transition degradation ~ 2.2x the Elmore constant; wires here are
+/// short relative to drivers, so this is a small correction.
+inline double elmore_wire_slew_ns(const NetParasitics& p, double sink_cap_ff) {
+  return 2.2 * elmore_wire_delay_ns(p, sink_cap_ff);
+}
 
 /// Extracted parasitics for every net of a placed design.
 class Parasitics {

@@ -12,6 +12,7 @@
 // enough to pay for the dispatch.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 namespace doseopt {
@@ -67,5 +68,64 @@ double fused_precond_dot(const Vec& r, const Vec& diag, Vec& z,
 
 /// p = z + beta * p (the CG direction update).
 void fused_xpby(const Vec& z, double beta, Vec& p, ThreadPool* pool = nullptr);
+
+// ---------------------------------------------------------------------------
+// Lane-panel kernels (batched structure-of-arrays STA).
+//
+// A "panel" is k contiguous doubles, one per batch lane; the batched timing
+// engine stores every per-net/per-cell quantity as an array of such panels
+// so one graph traversal times k Monte-Carlo dies at once.  Each kernel is
+// a dependence-free lane loop, defined inline so call sites with a
+// compile-time k fully unroll and vectorize, whose
+// per-lane arithmetic matches the scalar timer's expressions exactly --
+// max/min use std::max/std::min operand order -- so lane results stay
+// bitwise-equal to a scalar pass.
+// ---------------------------------------------------------------------------
+
+/// p[i] = v.
+inline void lane_fill(int k, double v, double* p) {
+  for (int i = 0; i < k; ++i) p[i] = v;
+}
+
+/// out[i] = a[i] + b[i].
+inline void lane_add(int k, const double* a, const double* b, double* out) {
+  for (int i = 0; i < k; ++i) out[i] = a[i] + b[i];
+}
+
+/// y[i] = alpha * x[i] + beta * y[i] (batched axpby).
+inline void lane_axpby(int k, double alpha, const double* x, double beta,
+                       double* y) {
+  for (int i = 0; i < k; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+/// acc[i] = max(acc[i], x[i]).
+inline void lane_max_into(int k, const double* x, double* acc) {
+  for (int i = 0; i < k; ++i) acc[i] = std::max(acc[i], x[i]);
+}
+
+/// acc[i] = min(acc[i], x[i]).
+inline void lane_min_into(int k, const double* x, double* acc) {
+  for (int i = 0; i < k; ++i) acc[i] = std::min(acc[i], x[i]);
+}
+
+/// acc[i] = max(acc[i], a[i] + b[i]) -- the fused arrival-plus-wire
+/// reduction of the forward timing kernel.
+inline void lane_add_max_into(int k, const double* a, const double* b,
+                              double* acc) {
+  for (int i = 0; i < k; ++i) acc[i] = std::max(acc[i], a[i] + b[i]);
+}
+
+/// acc[i] = min(acc[i], a[i] + b[i]).
+inline void lane_add_min_into(int k, const double* a, const double* b,
+                              double* acc) {
+  for (int i = 0; i < k; ++i) acc[i] = std::min(acc[i], a[i] + b[i]);
+}
+
+/// acc[i] += p[i]; the batched checksum reduction the lane-health validator
+/// runs over every panel (a NaN anywhere in a lane poisons that lane's
+/// accumulator, unlike max/min reductions which drop NaN operands).
+inline void lane_accumulate(int k, const double* p, double* acc) {
+  for (int i = 0; i < k; ++i) acc[i] += p[i];
+}
 
 }  // namespace doseopt::la

@@ -17,6 +17,10 @@
 
 namespace doseopt::liberty {
 
+/// Stack-buffer width of the batched arc evaluations; larger batches are
+/// processed in chunks of this size.
+inline constexpr int kMaxNldmBatch = 8;
+
 /// One timing arc (input pin -> output), rise and fall.
 struct TimingArc {
   NldmTable delay_rise;
@@ -29,6 +33,18 @@ struct TimingArc {
 
   /// Worst (max) of rise/fall output slew at (slew, load).
   double out_slew_ns(double slew_ns, double load_ff) const;
+
+  /// Batched forms: k (slew, load) pairs in, k worst-case values out, each
+  /// lane bitwise-equal to the scalar call with that lane's pair.
+  void delay_ns_batch(int k, const double* slew_ns, const double* load_ff,
+                      double* out) const;
+  void out_slew_ns_batch(int k, const double* slew_ns, const double* load_ff,
+                         double* out) const;
+
+  /// True when all four tables share identical slew and load axes (the
+  /// characterizer always builds arcs this way); the batched STA kernel
+  /// then performs one axis search per lane for the whole arc.
+  bool shared_axes() const;
 };
 
 /// A master characterized at this library's variant geometry.

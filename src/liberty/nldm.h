@@ -32,6 +32,24 @@ class NldmTable {
   /// Bilinear interpolation (linear extrapolation beyond the axes).
   double evaluate(double slew_ns, double load_ff) const;
 
+  /// Batched lookup: evaluate `k` (slew, load) pairs against this one table,
+  /// writing the interpolated values to `out[0..k)`.  Per lane this performs
+  /// exactly the arithmetic of evaluate() -- same segment choice, same
+  /// lerp expressions -- so each out[i] is bitwise-equal to
+  /// evaluate(slew_ns[i], load_ff[i]).  The lane loop carries no
+  /// cross-iteration dependence and compiles to vector code under
+  /// -march=native; k == 1 degenerates to the scalar path.  Non-finite
+  /// inputs clamp to the edge segment instead of invoking the binary
+  /// search (whose comparisons are unordered for NaN) and propagate NaN
+  /// through the interpolation arithmetic.
+  void evaluate_batch(int k, const double* slew_ns, const double* load_ff,
+                      double* out) const;
+
+  /// Raw row-major value storage (slew index major); the batched timing
+  /// kernels read table values directly to fuse the four lookups of a
+  /// timing arc behind one axis search.
+  const double* values_data() const { return values_.data(); }
+
   /// Index of the axis point nearest to `slew_ns` (used for per-entry
   /// coefficient lookup, "nearest entry" in Section IV-B).
   std::size_t nearest_slew_index(double slew_ns) const;

@@ -9,7 +9,9 @@
 // Section IV-A).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -40,6 +42,21 @@ double variant_index_to_dose_pct(int index);
 
 /// Nearest variant index for an arbitrary dose percentage (clamped to range).
 int dose_to_variant_index(double dose_pct);
+
+/// Poly-layer variant index after an additional printed delta-L (nm) on top
+/// of `base_index`.  Characterized steps are 1 nm of delta-L apart (0.5%
+/// dose at Ds = -2 nm/%) and positive delta-L means a *lower* index, so the
+/// shift is -round(delta_l), clamped to the characterized grid.  Both the
+/// scalar Monte-Carlo yield path and the batched STA engine snap sampled CD
+/// variation through this one function, which is what makes their per-die
+/// variant assignments -- and therefore their timing -- bitwise comparable.
+inline int shifted_poly_index(int base_index, double delta_l_nm) {
+  // Round half away from zero without the libm lround call; the index
+  // fill runs once per (cell, die) in the Monte-Carlo loop.
+  const int shift = static_cast<int>(
+      delta_l_nm >= 0.0 ? delta_l_nm + 0.5 : delta_l_nm - 0.5);
+  return std::clamp(base_index - shift, 0, kVariantsPerLayer - 1);
+}
 
 /// Lazily characterized variant library cache.
 ///

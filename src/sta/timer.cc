@@ -13,10 +13,10 @@ using netlist::kNoCell;
 using netlist::kNoNet;
 using netlist::NetId;
 
-namespace {
+using detail::kNoReqRel;
+using detail::kUnboundRequired;
 
-constexpr double kUnboundRequired = 1e30;
-constexpr double kNoReqRel = -1e30;
+namespace {
 
 /// Heap entry packing: (topological position, id).  Position in the high
 /// bits so the packed integers order by position first.

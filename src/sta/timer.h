@@ -32,7 +32,9 @@
 // time), and the slack data for Table VII and Fig. 10.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -43,6 +45,20 @@
 namespace doseopt::sta {
 
 class Timer;
+class BatchedTimer;
+
+namespace detail {
+/// Sentinels shared by the scalar and batched engines (identical values are
+/// part of their bitwise-equivalence contract).
+inline constexpr double kUnboundRequired = 1e30;
+inline constexpr double kNoReqRel = -1e30;  ///< t_clk - required; "unbound"
+}  // namespace detail
+
+/// Lane count of the batched timing engine: one structure-of-arrays panel
+/// holds kBatchLanes doubles (contiguous, one cache line), so one levelized
+/// traversal times kBatchLanes variant assignments -- Monte-Carlo dies or
+/// process corners -- simultaneously.
+inline constexpr int kBatchLanes = 8;
 
 /// Per-cell library-variant assignment (poly index, active index);
 /// default-initialized to the nominal variant for every cell.
@@ -202,6 +218,8 @@ class Timer {
       TimingState& state, const VariantAssignment& variants,
       const std::vector<netlist::NetId>& changed_nets) const;
 
+  friend class BatchedTimer;  ///< shares the static CSR structure below
+
   const netlist::Netlist* netlist_;
   const extract::Parasitics* parasitics_;
   liberty::LibraryRepository* repo_;
@@ -222,6 +240,98 @@ class Timer {
   std::vector<netlist::CellId> seq_cells_;  ///< ascending cell id
   std::vector<double> setup_ns_;            ///< per cell (seq only)
   std::vector<double> hold_ns_;             ///< per cell (seq only)
+};
+
+/// Result of one batched pass: per-lane design-level numbers plus (on
+/// request) the per-cell timing of every lane, stored lane-major
+/// (`cells[lane * cell_count + c]`).  Only the first `lanes` entries of the
+/// per-lane arrays are meaningful.
+struct BatchTimingResult {
+  int lanes = 0;
+  std::size_t cell_count = 0;
+  std::array<double, kBatchLanes> mct_ns{};
+  std::array<double, kBatchLanes> clock_ns{};
+  std::array<double, kBatchLanes> worst_slack_ns{};
+  std::array<double, kBatchLanes> worst_hold_slack_ns{};
+  /// Lane-health verdict from the post-traversal checksum validation: a lane
+  /// whose panels picked up a NaN/Inf anywhere (fault injection, corrupt
+  /// tables) reports false and its numbers must not be trusted -- callers
+  /// degrade that lane to the scalar path.
+  std::array<bool, kBatchLanes> lane_ok{};
+  std::vector<CellTiming> cells;  ///< lane-major; empty unless want_cells
+
+  bool all_ok() const {
+    for (int l = 0; l < lanes; ++l)
+      if (!lane_ok[l]) return false;
+    return true;
+  }
+
+  /// Repackage one lane as a scalar TimingResult (requires want_cells).
+  TimingResult lane_result(int lane) const;
+};
+
+/// Reusable scratch of the batched engine: the structure-of-arrays lane
+/// panels plus resolved per-library cell tables.  One workspace belongs to
+/// one worker lane (not thread-safe); it rebinds itself if handed to a
+/// different BatchedTimer.  Allocation happens once, the first analyze_batch
+/// reuses it thereafter.
+class BatchWorkspace {
+ public:
+  BatchWorkspace();
+  ~BatchWorkspace();
+  BatchWorkspace(BatchWorkspace&&) noexcept;
+  BatchWorkspace& operator=(BatchWorkspace&&) noexcept;
+  BatchWorkspace(const BatchWorkspace&) = delete;
+  BatchWorkspace& operator=(const BatchWorkspace&) = delete;
+
+ private:
+  friend class BatchedTimer;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The batched timing engine: times up to kBatchLanes variant assignments in
+/// ONE levelized traversal by widening every per-net/per-cell scalar of the
+/// Timer's kernels into a lane panel (see kBatchLanes).  Lane arithmetic
+/// reproduces the scalar kernels' expression and operand order exactly, so
+/// every lane is bitwise-identical to an independent Timer::analyze() of the
+/// same assignment -- lane 0 with no delta is bit-identical to
+/// analyze(base).  Views the bound Timer's static CSR structure; the Timer
+/// must outlive it.
+class BatchedTimer {
+ public:
+  explicit BatchedTimer(const Timer* timer);
+
+  /// Time `delta_l_nm.size()` lanes (1..kBatchLanes) in one traversal.
+  /// Lane L's assignment is `base` with every cell's poly index shifted by
+  /// liberty::shifted_poly_index(base_poly, delta_l_nm[L][cell]); a nullptr
+  /// entry means "unshifted base".  Each non-null pointer must reference
+  /// cell_count doubles.  Ragged batches (fewer than kBatchLanes lanes) pad
+  /// internally by replicating the last real lane; padding never leaks into
+  /// the result.
+  BatchTimingResult analyze_batch(
+      const VariantAssignment& base,
+      const std::vector<const double*>& delta_l_nm, BatchWorkspace& ws,
+      bool want_cells = false) const;
+
+  /// Same traversal, but lane assignments are given directly as a lane-major
+  /// poly-index panel (`poly_index[c * kBatchLanes + lane]`, values in
+  /// [0, kVariantsPerLayer)); active indices come from `base`.  This is the
+  /// entry the Monte-Carlo driver uses so the identical indices feed both
+  /// timing and the leakage table gather.  `want_slacks = false` skips the
+  /// backward required-time pass and the slack/hold reductions (the yield
+  /// loop only consumes MCT); the skipped result fields read 0.0.
+  /// `want_cells` implies slacks.
+  BatchTimingResult analyze_batch_indices(const VariantAssignment& base,
+                                          const std::uint8_t* poly_index,
+                                          int lanes, BatchWorkspace& ws,
+                                          bool want_cells = false,
+                                          bool want_slacks = true) const;
+
+  const Timer& timer() const { return *timer_; }
+
+ private:
+  const Timer* timer_;
 };
 
 /// Fraction (percent) of `paths` whose delay is within [lo_frac, 1.0] of the

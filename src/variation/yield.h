@@ -30,6 +30,10 @@ struct VariationModel {
   double random_sigma_nm = 0.8;      ///< per-cell random CD sigma
   int monte_carlo_samples = 200;
   std::uint64_t seed = 12345;
+  /// Dies timed per batched-STA traversal (1..sta::kBatchLanes).  Any width
+  /// produces bit-identical dies -- every lane is bitwise-equal to a scalar
+  /// pass -- so this is a pure throughput knob.
+  int sta_batch_width = sta::kBatchLanes;
 };
 
 /// One sampled die's analysis.
@@ -45,6 +49,10 @@ struct YieldResult {
   double std_mct_ns = 0.0;
   double p95_mct_ns = 0.0;       ///< 95th-percentile MCT
   double mean_leakage_uw = 0.0;
+  /// Dies the batched path flagged unhealthy (lane_ok == false, e.g. under
+  /// `sta.batch_nan` fault injection) and transparently re-timed through
+  /// the scalar engine.  0 in a fault-free run.
+  int scalar_fallback_dies = 0;
 
   /// Fraction of dies with MCT <= clock.
   double yield_at(double clock_ns) const;
@@ -59,17 +67,42 @@ class YieldAnalyzer {
 
   /// Sample `model.monte_carlo_samples` dies around the nominal assignment
   /// `base` (e.g. the output of DMopt) and analyze each with golden STA.
-  /// Dies fan out over `pool` (nullptr = the process pool); each die's
-  /// result depends only on its precomputed seed and each worker lane
-  /// re-times its dies incrementally off a persistent TimingState, so the
-  /// output is bit-identical for any thread count.
+  /// Dies are packed into batches of `model.sta_batch_width` and each batch
+  /// is timed in ONE structure-of-arrays traversal (sta::BatchedTimer);
+  /// batches fan out over `pool` (nullptr = the process pool).  Per-die
+  /// seeds are drawn serially and each die is a pure function of its seed,
+  /// so the output is bit-identical for any thread count and any batch
+  /// width -- and bit-identical to analyze_scalar().  A die whose lane
+  /// fails the batched engine's health validation is re-timed through the
+  /// scalar path (counted in YieldResult::scalar_fallback_dies).
   YieldResult analyze(const sta::VariantAssignment& base,
                       ThreadPool* pool = nullptr) const;
+
+  /// The scalar reference path: one incremental STA pass per die off a
+  /// persistent per-worker TimingState.  Kept as the measured baseline for
+  /// the batched engine (bench_yield reports both) and as the degradation
+  /// target when a batch lane is poisoned.
+  YieldResult analyze_scalar(const sta::VariantAssignment& base,
+                             ThreadPool* pool = nullptr) const;
 
   /// One sampled per-cell delta-L field (nm), for tests/visualization.
   std::vector<double> sample_delta_l_nm(std::uint64_t sample_seed) const;
 
  private:
+  /// Normalized die coordinates (u, v) in [-1, 1] per cell -- invariant
+  /// across dies, computed once per analyze() and shared by every sample.
+  std::vector<std::pair<double, double>> die_uv() const;
+
+  /// Sample one die's delta-L field into a caller-provided buffer (resized
+  /// to cell_count); bitwise-identical to sample_delta_l_nm() without the
+  /// per-sample allocation.
+  void sample_delta_l_into(std::uint64_t sample_seed,
+                           const std::vector<std::pair<double, double>>& uv,
+                           std::vector<double>& out) const;
+
+  std::vector<std::uint64_t> die_seeds(std::size_t samples) const;
+  void warm_repo(const sta::VariantAssignment& base, ThreadPool& p) const;
+
   const netlist::Netlist* nl_;
   const place::Placement* placement_;
   liberty::LibraryRepository* repo_;

@@ -30,8 +30,10 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "faultinject/fault.h"
+#include "flow/context.h"
 #include "flow/optimize.h"
 #include "serde/snapshot.h"
+#include "variation/yield.h"
 #include "serve/client.h"
 #include "serve/job.h"
 #include "serve/json.h"
@@ -55,7 +57,7 @@ const std::vector<std::string>& sweep_manifest() {
       "dmopt.qcp_infeasible", "qp.admm_diverge",      "qp.kkt_reject",
       "serde.snapshot_read",  "serde.snapshot_write", "serve.accept",
       "serve.frame",          "serve.job",            "serve.read",
-      "serve.write",
+      "serve.write",          "sta.batch_nan",
   };
   return names;
 }
@@ -310,6 +312,43 @@ TEST(FaultRecovery, InfeasibleQcpFallsBackToLeakageQpWithSlack) {
   EXPECT_EQ(normalized(leak.payload.get("result")).dump(),
             refs.at("leakage").full);
   server.stop();
+}
+
+TEST(FaultRecovery, PoisonedBatchLaneIsDetectedAndRetimedScalarBitIdentical) {
+  // `sta.batch_nan` poisons one lane of a batched-STA traversal with NaN.
+  // The engine's checksum validation must flag the lane (max/min reductions
+  // silently drop NaN, so the headline numbers alone would look plausible),
+  // and the Monte-Carlo driver must re-time the affected die through the
+  // scalar path -- landing dies bit-identical to the fault-free run, with
+  // the recovery recorded in scalar_fallback_dies.
+  flow::DesignContext ctx(cheap_timing_job().design_spec());
+  variation::VariationModel model;
+  model.monte_carlo_samples = 10;
+  variation::YieldAnalyzer analyzer(&ctx.netlist(), &ctx.placement(),
+                                    &ctx.repo(), &ctx.timer(), model);
+  const sta::VariantAssignment base(ctx.netlist().cell_count());
+
+  variation::YieldResult ref;
+  {
+    fi::SuspendScope fault_free;
+    ref = analyzer.analyze(base);
+  }
+  EXPECT_EQ(ref.scalar_fallback_dies, 0);
+
+  variation::YieldResult faulted;
+  {
+    fi::ArmScope fault("sta.batch_nan", "once");
+    faulted = analyzer.analyze(base);
+  }
+  EXPECT_EQ(faulted.scalar_fallback_dies, 1);
+  ASSERT_EQ(faulted.dies.size(), ref.dies.size());
+  for (std::size_t i = 0; i < ref.dies.size(); ++i) {
+    EXPECT_EQ(faulted.dies[i].mct_ns, ref.dies[i].mct_ns) << "die " << i;
+    EXPECT_EQ(faulted.dies[i].leakage_uw, ref.dies[i].leakage_uw)
+        << "die " << i;
+  }
+  EXPECT_EQ(faulted.mean_mct_ns, ref.mean_mct_ns);
+  EXPECT_EQ(faulted.p95_mct_ns, ref.p95_mct_ns);
 }
 
 TEST(FaultRecovery, CircuitBreakerShedsThenRecovers) {
