@@ -24,7 +24,7 @@ ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 # point, each armed to fire once through $DOSEOPT_FAULTS.  Every run must
 # recover to bit-identical results (the suite asserts it); the point list
 # is kept honest by FaultRegistry.RegisteredPointsMatchTheSweepManifest.
-FAULT_POINTS="serve.accept serve.read serve.write serve.frame serve.job serde.snapshot_write serde.snapshot_read qp.admm_diverge qp.kkt_reject dmopt.qcp_infeasible sta.batch_nan"
+FAULT_POINTS="serve.accept serve.read serve.write serve.frame serve.job serde.snapshot_write serde.snapshot_read qp.admm_diverge qp.kkt_reject dmopt.qcp_infeasible sta.batch_nan fleet.cache_corrupt"
 : > /tmp/doseopt_fault_failures
 {
   for p in $FAULT_POINTS; do
@@ -35,8 +35,36 @@ FAULT_POINTS="serve.accept serve.read serve.write serve.frame serve.job serde.sn
     echo "(exit: $rc)"
     [ "$rc" -eq 0 ] || echo "fault:$p" >> /tmp/doseopt_fault_failures
   done
+  # The multi-process fleet points need real router + worker processes:
+  # route_drop fires in the router's forward path, worker_crash inside a
+  # worker armed via --worker-faults.  test_fleet recovers both to
+  # bit-identical results.
+  for p in fleet.route_drop fleet.worker_crash; do
+    echo ""
+    echo "################ fault sweep: $p:once (test_fleet) ################"
+    DOSEOPT_FAULTS="$p:once" timeout 1200 ./build/tests/test_fleet 2>&1 | tail -3
+    rc=${PIPESTATUS[0]}
+    echo "(exit: $rc)"
+    [ "$rc" -eq 0 ] || echo "fault:$p" >> /tmp/doseopt_fault_failures
+  done
 } 2>&1 | tee -a /root/repo/test_output.txt
 while read -r name; do FAILED="$FAILED $name"; done < /tmp/doseopt_fault_failures
+
+# Fleet stage: replay a mixed cold/warm/memoized trace against sharded
+# fleets (1/2/4 workers), SIGKILL a worker mid-run, and require every
+# routed reply to be bit-identical to direct flow:: references.  Emits
+# BENCH_fleet.json (latency percentiles, QPS, shed rate, respawns, cache
+# hit rate per worker count).
+{
+  echo ""
+  echo "################ fleet: doseopt_loadgen ################"
+  timeout 2400 stdbuf -oL ./build/tools/doseopt_loadgen \
+    --out /root/repo/BENCH_fleet.json
+  rc=$?
+  echo "(fleet exit: $rc)"
+  echo "$rc" > /tmp/doseopt_fleet_rc
+} 2>&1 | tee -a /root/repo/test_output.txt
+[ "$(cat /tmp/doseopt_fleet_rc)" -eq 0 ] || FAILED="$FAILED fleet:loadgen"
 
 BENCHES="bench_fig3_fig4 bench_fig5_fig6 bench_table1_table7 bench_table2_table3 bench_fit_residuals bench_wafer bench_yield bench_table4 bench_table8_fig10 bench_table6 bench_table5 bench_ablation bench_qp bench_serve bench_micro"
 : > /tmp/doseopt_bench_failures

@@ -1,0 +1,69 @@
+#include "fleet/ring.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+#include "serde/stream.h"
+
+namespace doseopt::fleet {
+
+namespace {
+
+std::uint64_t point_hash(int node, int replica) {
+  char label[48];
+  const int len = std::snprintf(label, sizeof(label), "node-%d/%d", node,
+                                replica);
+  return serde::fnv1a64(label, static_cast<std::size_t>(len));
+}
+
+/// Keys are session hashes (already FNV-1a), but their low bits correlate;
+/// re-hash through the same FNV so a key lands uniformly on the ring.
+std::uint64_t key_hash(std::uint64_t key) {
+  return serde::fnv1a64(&key, sizeof(key));
+}
+
+}  // namespace
+
+HashRing::HashRing(int nodes, int replicas) : nodes_(nodes) {
+  DOSEOPT_CHECK(nodes >= 1, "fleet: hash ring needs at least one node");
+  DOSEOPT_CHECK(replicas >= 1, "fleet: hash ring needs at least one replica");
+  points_.reserve(static_cast<std::size_t>(nodes) *
+                  static_cast<std::size_t>(replicas));
+  for (int node = 0; node < nodes; ++node)
+    for (int replica = 0; replica < replicas; ++replica)
+      points_.push_back(Point{point_hash(node, replica), node});
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Tie-break by node so equal hashes (astronomically rare but
+              // possible) still order deterministically.
+              return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+            });
+}
+
+std::size_t HashRing::first_point(std::uint64_t key) const {
+  const std::uint64_t h = key_hash(key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  return it == points_.end() ? 0 : static_cast<std::size_t>(
+                                       it - points_.begin());
+}
+
+int HashRing::owner(std::uint64_t key) const {
+  return points_[first_point(key)].node;
+}
+
+int HashRing::owner(std::uint64_t key,
+                    const std::vector<bool>& alive) const {
+  DOSEOPT_CHECK(alive.size() == static_cast<std::size_t>(nodes_),
+                "fleet: alive mask size mismatch");
+  const std::size_t start = first_point(key);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[(start + i) % points_.size()];
+    if (alive[static_cast<std::size_t>(p.node)]) return p.node;
+  }
+  return -1;
+}
+
+}  // namespace doseopt::fleet

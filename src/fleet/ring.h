@@ -1,0 +1,50 @@
+// Consistent hash ring for session -> worker routing.
+//
+// Each worker contributes `replicas` virtual points to a ring keyed by
+// FNV-1a hashes; a session key is owned by the first point clockwise from
+// the key's own hash.  Virtual points smooth the load split (a single
+// point per node would give wildly uneven arcs), and consistency bounds
+// churn: removing a node re-routes only the sessions it owned, everyone
+// else keeps their worker -- which is what keeps session caches warm
+// across fleet resizes.
+//
+// The ring is immutable after construction; liveness is handled at lookup
+// time by the alive-mask overload, which walks clockwise past points of
+// dead nodes.  That keeps routing a pure function of (key, node count,
+// alive set) -- every router instance with the same view picks the same
+// worker, no coordination needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace doseopt::fleet {
+
+class HashRing {
+ public:
+  /// Ring over nodes [0, nodes); throws doseopt::Error when nodes < 1.
+  explicit HashRing(int nodes, int replicas = 64);
+
+  int nodes() const { return nodes_; }
+
+  /// Owner of `key`: the node of the first virtual point clockwise.
+  int owner(std::uint64_t key) const;
+
+  /// Owner of `key` skipping nodes whose alive flag is false.  Returns -1
+  /// when no node is alive.  `alive` must have one entry per node.
+  int owner(std::uint64_t key, const std::vector<bool>& alive) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    int node;
+  };
+
+  /// Index of the first point at or clockwise of `key`'s hash.
+  std::size_t first_point(std::uint64_t key) const;
+
+  int nodes_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+}  // namespace doseopt::fleet

@@ -1,0 +1,157 @@
+// Front-end router of the doseopt serving fleet.
+//
+// Speaks the same framed protocol as a single doseopt_server (clients need
+// no changes), but instead of solving, each job is routed by its session
+// key over a consistent hash ring to one of the supervisor's worker
+// processes and proxied there: session affinity keeps a design's expensive
+// context on one worker, while different sessions spread across the fleet.
+//
+// Forwarding discipline:
+//  - per-worker bounded link pools; when every link is busy past the
+//    acquire bound, the router itself sheds the job with kJobRejected
+//    (router-level backpressure on top of worker-level backpressure);
+//  - a worker's kJobRejected / kJobError / kJobResult frames pass through
+//    to the client UNTOUCHED, so worker backpressure (retry_after_ms,
+//    breaker_open) propagates end to end;
+//  - a transport failure (worker died mid-job, link torn, injected
+//    fleet.route_drop) replays the job: the link is discarded, the ring is
+//    re-consulted against the current alive mask, and the job is
+//    re-forwarded with deterministic backoff until the supervisor's
+//    respawned worker answers.  Replays are safe because workers memoize
+//    results by content hash in the shared store -- a job whose reply was
+//    lost returns its bit-identical document without re-solving.
+//
+// kMetricsRequest answers with one aggregated JSON document: router
+// counters plus each worker's liveness, respawn count, and live metrics.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/ring.h"
+#include "fleet/supervisor.h"
+#include "serve/client.h"
+#include "serve/histogram.h"
+#include "serve/json.h"
+
+namespace doseopt::fleet {
+
+struct RouterOptions {
+  std::string uds_path;  ///< "" = no Unix-domain listener
+  int tcp_port = -1;     ///< -1 = no TCP listener; 0 = kernel-assigned
+  int links_per_worker = 4;            ///< concurrent jobs per worker link pool
+  double link_acquire_timeout_ms = 2000.0;  ///< busy past this -> shed
+  double retry_after_ms = 100.0;       ///< hint on router-level sheds
+  int forward_max_attempts = 40;       ///< transport replays per job
+  double forward_backoff_ms = 50.0;    ///< base of the replay backoff
+  int ring_replicas = 64;
+  bool verbose = false;
+};
+
+class Router {
+ public:
+  /// The supervisor must outlive the router and be started first.
+  Router(RouterOptions options, Supervisor& supervisor);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  void start();
+  void stop();  ///< close listeners, join connection threads.  Idempotent.
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  int tcp_port() const { return tcp_port_; }
+
+  void request_shutdown() {
+    shutdown_requested_.store(true, std::memory_order_release);
+  }
+  void wait_for_shutdown() const;
+
+  /// Aggregated fleet telemetry (also served via kMetricsRequest).
+  serve::Json metrics();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+    std::thread reader;
+  };
+
+  /// Bounded pool of framed links to one worker.  Links are plain
+  /// serve::Clients created lazily; a link that saw a transport error is
+  /// discarded (never returned), and a worker generation change drops the
+  /// whole idle set, so links never outlive the process they point at.
+  struct LinkPool {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<serve::Client> idle;
+    int outstanding = 0;  ///< links handed out or alive in `idle`
+    std::uint64_t generation = 0;  ///< supervisor generation the pool tracks
+  };
+
+  void accept_loop(int listen_fd);
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void handle_job(const std::shared_ptr<Connection>& conn,
+                  const std::string& payload);
+  /// Forward one job to `worker`; throws on transport failure.
+  serve::Client::Reply forward_once(int worker, const serve::JobSpec& spec);
+  void reply(const std::shared_ptr<Connection>& conn, std::uint32_t type,
+             const serve::Json& payload);
+
+  /// Take a link to `worker` (connecting if below capacity); returns a
+  /// disengaged optional when the pool stays saturated past the bound.
+  /// Throws on connect failure (treated as a transport error upstream).
+  std::optional<serve::Client> acquire_link(int worker);
+  void release_link(int worker, serve::Client link);
+  void discard_link(int worker);
+
+  RouterOptions options_;
+  Supervisor& supervisor_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<LinkPool>> pools_;
+
+  int uds_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  std::vector<std::thread> accept_threads_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::chrono::steady_clock::time_point start_time_;
+
+  std::atomic<std::uint64_t> jobs_accepted_{0};
+  std::atomic<std::uint64_t> jobs_forwarded_{0};  ///< forward attempts
+  std::atomic<std::uint64_t> jobs_completed_{0};  ///< kJobResult relayed
+  std::atomic<std::uint64_t> jobs_replayed_{0};   ///< transport retries
+  std::atomic<std::uint64_t> jobs_shed_{0};       ///< router-level rejects
+  std::atomic<std::uint64_t> rejects_relayed_{0};  ///< worker backpressure
+  std::atomic<std::uint64_t> errors_relayed_{0};   ///< worker kJobError
+  std::atomic<std::uint64_t> route_drops_{0};      ///< injected drops
+  std::atomic<std::uint64_t> jobs_expired_{0};     ///< died during replay
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
+  serve::LatencyHistogram hist_route_;  ///< client frame in -> reply out
+};
+
+/// No-op symbol anchor: referencing it from a test binary forces the
+/// linker to keep the fleet translation units of the static libraries, so
+/// the fleet.* fault points register even when the test never routes a
+/// job.
+void ensure_fleet_fault_points_linked();
+
+}  // namespace doseopt::fleet

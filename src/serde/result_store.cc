@@ -1,0 +1,128 @@
+#include "serde/result_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "faultinject/fault.h"
+#include "serde/stream.h"
+
+namespace doseopt::serde {
+
+namespace {
+
+faultinject::FaultPoint g_fault_cache_corrupt("fleet.cache_corrupt");
+
+constexpr char kMagic[8] = {'D', 'O', 'S', 'E', 'R', 'E', 'S', '1'};
+
+void fsync_fd_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(),
+                        directory ? (O_RDONLY | O_DIRECTORY) : O_WRONLY);
+  if (fd < 0)
+    throw Error("result store: open for fsync failed: " + path + ": " +
+                std::strerror(errno));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0)
+    throw Error("result store: fsync failed: " + path + ": " +
+                std::strerror(errno));
+}
+
+}  // namespace
+
+std::string result_path(const std::string& dir, std::uint64_t key) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016" PRIx64 ".res", key);
+  return dir + "/" + name;
+}
+
+void write_result(const std::string& dir, std::uint64_t key,
+                  std::string_view payload) {
+  std::filesystem::create_directories(dir);
+  const std::string path = result_path(dir, key);
+  // Unique temp name per process *and* per call: concurrent worker lanes
+  // publishing the same key never interleave bytes into one temp file.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+
+  ByteWriter header;
+  for (const char c : kMagic) header.put_u8(static_cast<std::uint8_t>(c));
+  header.put_u32(kResultStoreVersion);
+  header.put_u64(payload.size());
+  header.put_u64(fnv1a64(payload.data(), payload.size()));
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw Error("result store: cannot open " + tmp + " for writing");
+    os.write(header.bytes().data(),
+             static_cast<std::streamsize>(header.bytes().size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!os) {
+      os.close();
+      ::unlink(tmp.c_str());
+      throw Error("result store: write to " + tmp + " failed");
+    }
+  }
+  // Durability order mirrors the snapshot layer: bytes, rename, directory
+  // entry.  A crash at any instant leaves the old record or the new one,
+  // never a torn mix.
+  fsync_fd_path(tmp, /*directory=*/false);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    throw Error("result store: rename to " + path + " failed: " + err);
+  }
+  fsync_fd_path(dir, /*directory=*/true);
+}
+
+std::optional<std::string> read_result(const std::string& dir,
+                                       std::uint64_t key) {
+  const std::string path = result_path(dir, key);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  faultinject::maybe_throw(g_fault_cache_corrupt, "result cache read");
+
+  char magic[8];
+  is.read(magic, 8);
+  if (!is || std::memcmp(magic, kMagic, 8) != 0)
+    throw Error("result store: bad magic in " + path);
+  char fixed[4 + 8 + 8];
+  is.read(fixed, sizeof(fixed));
+  if (!is) throw Error("result store: truncated header in " + path);
+  ByteReader hr(std::string_view(fixed, sizeof(fixed)));
+  const std::uint32_t version = hr.get_u32();
+  if (version != kResultStoreVersion)
+    throw Error("result store: unsupported version " +
+                std::to_string(version) + " in " + path);
+  const std::uint64_t size = hr.get_u64();
+  const std::uint64_t checksum = hr.get_u64();
+
+  std::string payload(size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(size));
+  if (static_cast<std::uint64_t>(is.gcount()) != size)
+    throw Error("result store: payload shorter than header declares in " +
+                path);
+  if (is.peek() != std::istream::traits_type::eof())
+    throw Error("result store: trailing bytes in " + path);
+  if (fnv1a64(payload.data(), payload.size()) != checksum)
+    throw Error("result store: checksum mismatch in " + path);
+  return payload;
+}
+
+void quarantine_result(const std::string& dir, std::uint64_t key) {
+  const std::string path = result_path(dir, key);
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".corrupt", ec);
+  if (ec) std::filesystem::remove(path, ec);
+}
+
+}  // namespace doseopt::serde

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "serde/result_store.h"
 #include "serde/snapshot.h"
 
 namespace doseopt::serve {
@@ -23,10 +24,14 @@ bool spec_matches(const gen::DesignSpec& a, const gen::DesignSpec& b) {
 
 }  // namespace
 
-SessionCache::SessionCache(std::string snapshot_dir)
-    : snapshot_dir_(std::move(snapshot_dir)) {
+SessionCache::SessionCache(std::string snapshot_dir,
+                           std::string result_store_dir)
+    : snapshot_dir_(std::move(snapshot_dir)),
+      result_store_dir_(std::move(result_store_dir)) {
   if (!snapshot_dir_.empty())
     std::filesystem::create_directories(snapshot_dir_);
+  if (!result_store_dir_.empty())
+    std::filesystem::create_directories(result_store_dir_);
 }
 
 std::shared_ptr<SessionCache::Session> SessionCache::acquire(
@@ -94,19 +99,44 @@ void SessionCache::count_coeff(bool hit) {
 
 std::optional<std::string> SessionCache::lookup_result(
     std::uint64_t job_key) {
-  std::lock_guard<std::mutex> lock(results_mu_);
-  const auto it = results_.find(job_key);
-  if (it == results_.end()) {
-    result_misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    const auto it = results_.find(job_key);
+    if (it != results_.end()) {
+      result_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  result_hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  if (!result_store_dir_.empty()) {
+    try {
+      if (auto payload = serde::read_result(result_store_dir_, job_key)) {
+        // Another worker (or a dead predecessor of this one) published the
+        // record; promote it into memory so repeats skip the disk.
+        result_hits_.fetch_add(1, std::memory_order_relaxed);
+        result_disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(results_mu_);
+        remember_result(job_key, *payload);
+        return payload;
+      }
+    } catch (const std::exception& e) {
+      // Corrupt shared record (torn write from a crashed host, bit rot,
+      // injected fleet.cache_corrupt): set it aside for post-mortem and
+      // treat the key as a miss.  The re-solve is deterministic, so the
+      // republished record is bit-identical to what the file should have
+      // held.
+      result_quarantined_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "[serve] result cache record corrupt (%s); quarantining\n",
+                   e.what());
+      serde::quarantine_result(result_store_dir_, job_key);
+    }
+  }
+  result_misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
-void SessionCache::store_result(std::uint64_t job_key,
-                                std::string result_json) {
-  std::lock_guard<std::mutex> lock(results_mu_);
+void SessionCache::remember_result(std::uint64_t job_key,
+                                   std::string result_json) {
   const auto [it, inserted] =
       results_.emplace(job_key, std::move(result_json));
   if (!inserted) return;  // racing identical job already stored it
@@ -114,6 +144,39 @@ void SessionCache::store_result(std::uint64_t job_key,
   while (result_order_.size() > kMaxResults) {
     results_.erase(result_order_.front());
     result_order_.pop_front();
+  }
+}
+
+void SessionCache::store_result(std::uint64_t job_key,
+                                std::string result_json) {
+  if (!result_store_dir_.empty()) {
+    try {
+      serde::write_result(result_store_dir_, job_key, result_json);
+    } catch (const std::exception& e) {
+      // A failed publish (disk full, injected fault) must not fail the job;
+      // the result still memoizes in memory.
+      result_store_failures_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "[serve] result cache publish failed: %s\n",
+                   e.what());
+    }
+  }
+  std::lock_guard<std::mutex> lock(results_mu_);
+  remember_result(job_key, std::move(result_json));
+}
+
+void SessionCache::save_session(Session& session) {
+  if (snapshot_dir_.empty() || session.ctx == nullptr) return;
+  const std::string path = snapshot_path(session.key);
+  try {
+    const std::uint64_t checksum = session.ctx->save_snapshot(path);
+    serde::journal_append(snapshot_dir_,
+                          path.substr(path.find_last_of('/') + 1), checksum);
+  } catch (const std::exception& e) {
+    // One failed write (disk full, injected fault) must not abort the
+    // drain or starve the remaining sessions of persistence.
+    save_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "[serve] snapshot save failed for %s: %s\n",
+                 path.c_str(), e.what());
   }
 }
 
@@ -127,20 +190,7 @@ void SessionCache::save_all() {
   }
   for (const auto& session : sessions) {
     std::lock_guard<std::mutex> lock(session->mu);
-    if (session->ctx == nullptr) continue;
-    const std::string path = snapshot_path(session->key);
-    try {
-      const std::uint64_t checksum = session->ctx->save_snapshot(path);
-      serde::journal_append(snapshot_dir_,
-                            path.substr(path.find_last_of('/') + 1),
-                            checksum);
-    } catch (const std::exception& e) {
-      // One failed write (disk full, injected fault) must not abort the
-      // drain or starve the remaining sessions of persistence.
-      save_failures_.fetch_add(1, std::memory_order_relaxed);
-      std::fprintf(stderr, "[serve] snapshot save failed for %s: %s\n",
-                   path.c_str(), e.what());
-    }
+    save_session(*session);
   }
 }
 
@@ -155,6 +205,10 @@ SessionCache::Stats SessionCache::stats() const {
   s.coeff_misses = coeff_misses_.load(std::memory_order_relaxed);
   s.result_hits = result_hits_.load(std::memory_order_relaxed);
   s.result_misses = result_misses_.load(std::memory_order_relaxed);
+  s.result_disk_hits = result_disk_hits_.load(std::memory_order_relaxed);
+  s.result_quarantined = result_quarantined_.load(std::memory_order_relaxed);
+  s.result_store_failures =
+      result_store_failures_.load(std::memory_order_relaxed);
   std::vector<std::shared_ptr<Session>> sessions;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -18,6 +18,14 @@
 // session from `<dir>/<key>.snap` (serde layer) instead of re-generating
 // and re-characterizing, and save_all() persists every built session so
 // caches survive server restarts.
+//
+// When a result-store directory is configured, memoized result documents
+// are additionally published to the shared content-addressed on-disk store
+// (serde/result_store.h).  The store is shared across every worker process
+// of a fleet: a result solved by one worker answers as a memoized hit on
+// any other -- and survives the death of the worker that computed it.  A
+// corrupt record is quarantined (renamed to `<file>.corrupt`) and treated
+// as a miss; the deterministic re-solve republishes identical bytes.
 #pragma once
 
 #include <atomic>
@@ -54,11 +62,15 @@ class SessionCache {
     std::uint64_t coeff_misses = 0;
     std::uint64_t result_hits = 0;
     std::uint64_t result_misses = 0;
+    std::uint64_t result_disk_hits = 0;   ///< served from the shared store
+    std::uint64_t result_quarantined = 0; ///< corrupt store records set aside
+    std::uint64_t result_store_failures = 0;  ///< publish failed (kept going)
     std::uint64_t sessions = 0;
     std::uint64_t characterize_calls = 0;  ///< summed over idle sessions
   };
 
-  explicit SessionCache(std::string snapshot_dir = "");
+  explicit SessionCache(std::string snapshot_dir = "",
+                        std::string result_store_dir = "");
 
   /// Session slot for this job's (design, scale, seed); never blocks on
   /// other sessions.  The context may not be built yet -- callers lock
@@ -80,12 +92,21 @@ class SessionCache {
 
   /// Memoized job results keyed by JobSpec::job_key().  The pipeline is
   /// deterministic, so an identical job always yields the identical result
-  /// document; a repeated request skips even the QP/QCP solve.  Bounded
-  /// FIFO (oldest entries evicted past kMaxResults).
+  /// document; a repeated request skips even the QP/QCP solve.  In-memory
+  /// map is bounded FIFO (oldest entries evicted past kMaxResults); a miss
+  /// there falls through to the shared on-disk store when configured, and a
+  /// disk hit is promoted back into memory.
   std::optional<std::string> lookup_result(std::uint64_t job_key);
   void store_result(std::uint64_t job_key, std::string result_json);
 
   static constexpr std::size_t kMaxResults = 1024;
+
+  /// Persist one built session now (caller must hold `session.mu`; no-op
+  /// without a snapshot directory or for an unbuilt session).  Fleet
+  /// workers call this eagerly after a cold build so a respawned
+  /// replacement restores the session instead of re-characterizing.
+  /// Failures are counted, never thrown.
+  void save_session(Session& session);
 
   /// Persist every built session to the snapshot directory (no-op without
   /// one).  Takes each session's mutex, so it waits for running jobs.
@@ -99,11 +120,15 @@ class SessionCache {
   Stats stats() const;
 
   const std::string& snapshot_dir() const { return snapshot_dir_; }
+  const std::string& result_store_dir() const { return result_store_dir_; }
 
  private:
   std::string snapshot_path(std::uint64_t key) const;
+  /// Insert into the in-memory memo map (caller holds results_mu_).
+  void remember_result(std::uint64_t job_key, std::string result_json);
 
   std::string snapshot_dir_;
+  std::string result_store_dir_;
   mutable std::mutex mu_;  ///< guards sessions_ map structure
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
 
@@ -120,6 +145,9 @@ class SessionCache {
   std::atomic<std::uint64_t> coeff_misses_{0};
   std::atomic<std::uint64_t> result_hits_{0};
   std::atomic<std::uint64_t> result_misses_{0};
+  std::atomic<std::uint64_t> result_disk_hits_{0};
+  std::atomic<std::uint64_t> result_quarantined_{0};
+  std::atomic<std::uint64_t> result_store_failures_{0};
 };
 
 }  // namespace doseopt::serve

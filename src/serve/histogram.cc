@@ -1,0 +1,76 @@
+#include "serve/histogram.h"
+
+#include <cmath>
+
+namespace doseopt::serve {
+
+int LatencyHistogram::bucket_of(double ms) {
+  if (!(ms > kFloorMs)) return 0;
+  const int b = 1 + static_cast<int>(std::floor(std::log2(ms / kFloorMs)));
+  return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+double LatencyHistogram::upper_bound_ms(int bucket) {
+  return kFloorMs * std::exp2(static_cast<double>(bucket));
+}
+
+void LatencyHistogram::record(double ms) {
+  if (ms < 0.0 || std::isnan(ms)) ms = 0.0;
+  buckets_[bucket_of(ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const auto ns = static_cast<std::uint64_t>(ms * 1.0e6);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::quantile_ms(double q) const {
+  const std::uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double in_bucket = static_cast<double>(
+        buckets_[b].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const double lo = b == 0 ? 0.0 : upper_bound_ms(b - 1);
+      const double hi = upper_bound_ms(b);
+      const double frac = (rank - cumulative) / in_bucket;
+      return lo + frac * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return upper_bound_ms(kBuckets - 1);
+}
+
+Json LatencyHistogram::to_json() const {
+  Json h = Json::object();
+  const std::uint64_t total = count_.load(std::memory_order_relaxed);
+  h.set("count", Json::number(static_cast<double>(total)));
+  h.set("p50_ms", Json::number(quantile_ms(0.50)));
+  h.set("p90_ms", Json::number(quantile_ms(0.90)));
+  h.set("p99_ms", Json::number(quantile_ms(0.99)));
+  h.set("max_ms",
+        Json::number(static_cast<double>(
+                         max_ns_.load(std::memory_order_relaxed)) /
+                     1.0e6));
+  int last = -1;
+  for (int b = 0; b < kBuckets; ++b)
+    if (buckets_[b].load(std::memory_order_relaxed) != 0) last = b;
+  Json bounds = Json::array();
+  Json counts = Json::array();
+  for (int b = 0; b <= last; ++b) {
+    bounds.push_back(Json::number(upper_bound_ms(b)));
+    counts.push_back(Json::number(static_cast<double>(
+        buckets_[b].load(std::memory_order_relaxed))));
+  }
+  h.set("le_ms", std::move(bounds));
+  h.set("counts", std::move(counts));
+  return h;
+}
+
+}  // namespace doseopt::serve

@@ -1,0 +1,49 @@
+// Lock-free latency histogram for the metrics endpoint.
+//
+// Fixed geometric buckets (factor 2 from 0.05 ms), recorded with relaxed
+// atomic increments so the job hot path pays one add; quantiles are
+// estimated at read time by log-linear interpolation inside the bucket
+// that crosses the requested rank.  Good to ~2x resolution at the tails,
+// which is what a p99 dashboard needs -- exact per-sample storage would
+// cost allocation on the serve path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "serve/json.h"
+
+namespace doseopt::serve {
+
+class LatencyHistogram {
+ public:
+  /// Bucket i spans [kFloorMs * 2^(i-1), kFloorMs * 2^i); bucket 0 catches
+  /// everything below kFloorMs, the last bucket everything above.
+  static constexpr int kBuckets = 28;  ///< covers 0.05 ms .. ~1.9 h
+  static constexpr double kFloorMs = 0.05;
+
+  void record(double ms);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Latency at `q` in [0,1] (0.5 = median).  0 when empty.
+  double quantile_ms(double q) const;
+
+  /// {"count", "p50_ms", "p90_ms", "p99_ms", "max_ms",
+  ///  "le_ms": [upper bounds], "counts": [...]} -- only buckets up to the
+  /// highest non-empty one are emitted.
+  Json to_json() const;
+
+ private:
+  static int bucket_of(double ms);
+  static double upper_bound_ms(int bucket);
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  /// Maximum observed, in nanoseconds (integer so compare-exchange works).
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+}  // namespace doseopt::serve

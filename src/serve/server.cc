@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -21,6 +22,12 @@ namespace doseopt::serve {
 namespace {
 
 faultinject::FaultPoint g_fault_job("serve.job");
+/// Kills the worker process with SIGKILL mid-job -- after the session is
+/// built but before the solve finishes, the hardest recovery case for the
+/// fleet supervisor.  Honored only when ServerOptions::allow_crash_faults
+/// is set (fleet workers launched with --crash-faults); an in-process test
+/// server ignores a firing instead of killing the test binary.
+faultinject::FaultPoint g_fault_worker_crash("fleet.worker_crash");
 
 double ms_since(std::chrono::steady_clock::time_point t0,
                 std::chrono::steady_clock::time_point t1) {
@@ -36,7 +43,8 @@ std::uint64_t us_since(std::chrono::steady_clock::time_point t0,
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.snapshot_dir) {}
+    : options_(std::move(options)),
+      cache_(options_.snapshot_dir, options_.result_store_dir) {}
 
 Server::~Server() { stop(); }
 
@@ -384,6 +392,9 @@ void Server::run_job(const PendingJob& job) {
       out.set("stage_ms", std::move(stages));
       out.set("result", Json::parse(*cached));
       jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+      // Record before replying: a client that reads its reply and
+      // immediately polls metrics must already see this job counted.
+      hist_job_.record(ms_since(job.enqueued, clock::now()));
       reply(job.conn, static_cast<std::uint32_t>(MsgType::kJobResult), out);
       return;
     }
@@ -404,6 +415,16 @@ void Server::run_job(const PendingJob& job) {
     flow::DesignContext& ctx = *session->ctx;
     const auto t1 = clock::now();
     stage_context_us_.fetch_add(us_since(t0, t1), std::memory_order_relaxed);
+    hist_context_.record(ms_since(t0, t1));
+    // Mid-job crash injection: the session exists but the client has no
+    // answer yet, so the supervisor must respawn the worker and the router
+    // must replay the job for the client to ever see a result.
+    if (options_.allow_crash_faults && g_fault_worker_crash.should_fire()) {
+      std::fprintf(stderr, "[serve] fleet.worker_crash fired: killing pid %d "
+                   "mid-job '%s'\n",
+                   static_cast<int>(::getpid()), job.spec.id.c_str());
+      ::kill(::getpid(), SIGKILL);
+    }
     if (expired(job)) return;
 
     const bool coeff_hit = ctx.has_coefficients(job.spec.modulate_width);
@@ -411,6 +432,7 @@ void Server::run_job(const PendingJob& job) {
     ctx.coefficients(job.spec.modulate_width);
     const auto t2 = clock::now();
     stage_coeff_us_.fetch_add(us_since(t1, t2), std::memory_order_relaxed);
+    hist_coeff_.record(ms_since(t1, t2));
     if (expired(job)) return;
 
     // dosePl mutates the context's placement and parasitics in place; save
@@ -440,6 +462,13 @@ void Server::run_job(const PendingJob& job) {
     }
     const auto t3 = clock::now();
     stage_flow_us_.fetch_add(us_since(t2, t3), std::memory_order_relaxed);
+    hist_flow_.record(ms_since(t2, t3));
+
+    // Fleet workers persist a freshly built session right away: if this
+    // process is killed later, the respawned replacement restores from the
+    // snapshot instead of paying the characterization again.
+    if (options_.eager_snapshots && !ctx_hit && !restored)
+      cache_.save_session(*session);
 
     const dmopt::CutTelemetry& ct = result.dmopt.telemetry;
     dmopt_rounds_.fetch_add(static_cast<std::uint64_t>(ct.total_rounds),
@@ -473,6 +502,9 @@ void Server::run_job(const PendingJob& job) {
     out.set("result", std::move(result_json));
 
     jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+    // As above: count into the histogram before the client can observe the
+    // reply and poll metrics.
+    hist_job_.record(ms_since(job.enqueued, clock::now()));
     reply(job.conn, static_cast<std::uint32_t>(MsgType::kJobResult), out);
   }
 }
@@ -550,6 +582,12 @@ Json Server::metrics() const {
         Json::number(static_cast<double>(s.coeff_misses)));
   c.set("result_hits", Json::number(static_cast<double>(s.result_hits)));
   c.set("result_misses", Json::number(static_cast<double>(s.result_misses)));
+  c.set("result_disk_hits",
+        Json::number(static_cast<double>(s.result_disk_hits)));
+  c.set("result_quarantined",
+        Json::number(static_cast<double>(s.result_quarantined)));
+  c.set("result_store_failures",
+        Json::number(static_cast<double>(s.result_store_failures)));
   c.set("characterize_calls",
         Json::number(static_cast<double>(s.characterize_calls)));
   m.set("cache", std::move(c));
@@ -563,6 +601,13 @@ Json Server::metrics() const {
   stages.set("coefficients_ms", us_ms(stage_coeff_us_));
   stages.set("flow_ms", us_ms(stage_flow_us_));
   m.set("stage_ms_total", std::move(stages));
+
+  Json hist = Json::object();
+  hist.set("job", hist_job_.to_json());
+  hist.set("context", hist_context_.to_json());
+  hist.set("coefficients", hist_coeff_.to_json());
+  hist.set("flow", hist_flow_.to_json());
+  m.set("latency_histograms", std::move(hist));
 
   Json dmopt = Json::object();
   dmopt.set("cut_rounds", n(dmopt_rounds_));

@@ -34,6 +34,7 @@
 
 #include "common/thread_pool.h"
 #include "serve/cache.h"
+#include "serve/histogram.h"
 #include "serve/job.h"
 #include "serve/json.h"
 
@@ -56,6 +57,17 @@ struct ServerOptions {
   double job_retry_backoff_ms = 10.0;
   int breaker_threshold = 8;      ///< 0 disables the breaker
   double breaker_cooldown_ms = 1000.0;
+  /// Fleet knobs.  result_store_dir points every worker of a fleet at one
+  /// shared content-addressed on-disk result cache (see serde/result_store);
+  /// eager_snapshots persists a session right after its cold build+solve so
+  /// a respawned replacement worker restores it instead of
+  /// re-characterizing; allow_crash_faults opts this process in to the
+  /// fleet.worker_crash injection point (SIGKILL mid-job) -- only fleet
+  /// workers launched with --crash-faults enable it, so in-process test
+  /// servers never kill the test binary.
+  std::string result_store_dir;
+  bool eager_snapshots = false;
+  bool allow_crash_faults = false;
 };
 
 class Server {
@@ -169,6 +181,12 @@ class Server {
   std::atomic<std::uint64_t> stage_context_us_{0};
   std::atomic<std::uint64_t> stage_coeff_us_{0};
   std::atomic<std::uint64_t> stage_flow_us_{0};
+  /// Per-stage and end-to-end latency distributions (the sums above give
+  /// averages; the histograms expose tails for the fleet dashboard).
+  LatencyHistogram hist_job_;      ///< enqueue -> reply, memo hits included
+  LatencyHistogram hist_context_;
+  LatencyHistogram hist_coeff_;
+  LatencyHistogram hist_flow_;
   /// DMopt cutting-plane telemetry, summed over jobs (the structured
   /// replacement for the DOSEOPT_TRACE stderr dump).
   std::atomic<std::uint64_t> dmopt_rounds_{0};

@@ -8,6 +8,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -70,6 +71,23 @@ void connect_bounded(int fd, const sockaddr* addr, socklen_t addr_len,
   if (::fcntl(fd, F_SETFL, flags) != 0) sys_fail(what + ": fcntl(F_SETFL)");
 }
 
+/// True when a server is actually accepting on the unix socket at `path`.
+/// A leftover file from a killed process refuses the connect instead --
+/// that is the stale case the caller is allowed to reclaim.
+bool unix_socket_alive(const std::string& path) {
+  try {
+    close_socket(connect_unix(path, /*timeout_ms=*/250));
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Bounded retry budget for bind(2) races: two servers reclaiming the same
+/// stale path, or a TCP port still draining its predecessor's TIME_WAIT.
+constexpr int kBindAttempts = 8;
+constexpr int kBindRetryDelayUs = 50 * 1000;
+
 }  // namespace
 
 int listen_unix(const std::string& path) {
@@ -81,10 +99,32 @@ int listen_unix(const std::string& path) {
 
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) sys_fail("socket(AF_UNIX)");
-  ::unlink(path.c_str());
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    sys_fail("bind(" + path + ")");
+
+  // bind(2) on AF_UNIX refuses an existing path outright, and a server
+  // killed without cleanup (SIGKILL, crash, container stop) always leaves
+  // its socket file behind.  Reclaim the path only after a probe connect
+  // shows nobody is accepting on it -- unconditionally unlinking would
+  // silently steal a live server's clients.
+  for (int attempt = 0;; ++attempt) {
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      break;
+    const int bind_errno = errno;
+    if (bind_errno != EADDRINUSE || attempt + 1 >= kBindAttempts) {
+      ::close(fd);
+      errno = bind_errno;
+      sys_fail("bind(" + path + ")");
+    }
+    struct stat st{};
+    if (::lstat(path.c_str(), &st) == 0 && !S_ISSOCK(st.st_mode)) {
+      ::close(fd);
+      throw Error("refusing to bind over non-socket file: " + path);
+    }
+    if (unix_socket_alive(path)) {
+      ::close(fd);
+      throw Error("unix socket already in use by a live server: " + path);
+    }
+    ::unlink(path.c_str());
+    ::usleep(kBindRetryDelayUs);
   }
   if (::listen(fd, 64) != 0) {
     ::close(fd);
@@ -103,9 +143,21 @@ int listen_tcp(int port, int* bound_port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    sys_fail("bind(tcp " + std::to_string(port) + ")");
+  // SO_REUSEADDR covers the common restart-into-TIME_WAIT case; the retry
+  // loop additionally rides out a predecessor that is still tearing down
+  // its listener.  Ephemeral binds (port 0) cannot collide, so they get a
+  // single attempt.
+  for (int attempt = 0;; ++attempt) {
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      break;
+    const int bind_errno = errno;
+    if (port == 0 || bind_errno != EADDRINUSE ||
+        attempt + 1 >= kBindAttempts) {
+      ::close(fd);
+      errno = bind_errno;
+      sys_fail("bind(tcp " + std::to_string(port) + ")");
+    }
+    ::usleep(kBindRetryDelayUs);
   }
   if (::listen(fd, 64) != 0) {
     ::close(fd);

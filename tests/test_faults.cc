@@ -30,6 +30,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "faultinject/fault.h"
+#include "fleet/router.h"
 #include "flow/context.h"
 #include "flow/optimize.h"
 #include "serde/snapshot.h"
@@ -54,7 +55,8 @@ using serve::MsgType;
 /// keeps the two in sync.
 const std::vector<std::string>& sweep_manifest() {
   static const std::vector<std::string> names = {
-      "dmopt.qcp_infeasible", "qp.admm_diverge",      "qp.kkt_reject",
+      "dmopt.qcp_infeasible", "fleet.cache_corrupt",  "fleet.route_drop",
+      "fleet.worker_crash",   "qp.admm_diverge",      "qp.kkt_reject",
       "serde.snapshot_read",  "serde.snapshot_write", "serve.accept",
       "serve.frame",          "serve.job",            "serve.read",
       "serve.write",          "sta.batch_nan",
@@ -159,12 +161,16 @@ const std::map<std::string, Reference>& references() {
 // ---------------------------------------------------------------------------
 
 TEST(FaultSweep, AnySingleInjectedFaultRecoversBitIdentical) {
-  // This flow touches every registered point: accept/read/write/frame/job
-  // on the wire, the QP and QCP ladders inside the solve, the snapshot
-  // write at drain and the snapshot read at the warm restart.  Whichever
-  // point the environment armed fires somewhere in here and must be
-  // absorbed.  With no environment (the tier-1 run) the same flow must
-  // produce the reference results with clean recovery telemetry.
+  // This flow touches every registered in-process point: accept/read/
+  // write/frame/job on the wire, the QP and QCP ladders inside the solve,
+  // the snapshot write at drain, and the result-store / snapshot reads at
+  // the warm restart (an armed fleet.cache_corrupt fires at the disk memo
+  // read and is absorbed by quarantine + re-solve).  fleet.route_drop and
+  // fleet.worker_crash belong to the multi-process fleet -- the sweep runs
+  // test_fleet for those; worker_crash is additionally gated behind
+  // --crash-faults so it cannot fire in these in-process servers.  With no
+  // environment (the tier-1 run) the same flow must produce the reference
+  // results with clean recovery telemetry.
   const auto& refs = references();
   const std::string dir =
       "/tmp/doseopt_test_faultsweep_" + std::to_string(::getpid());
@@ -189,6 +195,10 @@ TEST(FaultSweep, AnySingleInjectedFaultRecoversBitIdentical) {
   serve::ServerOptions options;
   options.lanes = 1;
   options.snapshot_dir = dir;
+  // Shared result store: the first server publishes its solved document,
+  // the second reads it back from disk -- which is where an env-armed
+  // fleet.cache_corrupt fires (quarantine + deterministic re-solve).
+  options.result_store_dir = dir + "/results";
   options.job_max_attempts = 3;
   {
     options.uds_path = uds_path("sweep1");
@@ -220,6 +230,9 @@ TEST(FaultSweep, AnySingleInjectedFaultRecoversBitIdentical) {
 }
 
 TEST(FaultRegistry, RegisteredPointsMatchTheSweepManifest) {
+  // The fleet points live in static-library members this binary never
+  // calls into; anchor them so the linker keeps their registrations.
+  fleet::ensure_fleet_fault_points_linked();
   std::vector<std::string> names;
   for (const fi::FaultPoint* p : fi::registry()) names.push_back(p->name());
   std::sort(names.begin(), names.end());

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -17,6 +18,7 @@
 #include "common/error.h"
 #include "flow/context.h"
 #include "gen/design_gen.h"
+#include "serde/result_store.h"
 #include "serde/snapshot.h"
 #include "serde/stream.h"
 
@@ -174,6 +176,85 @@ TEST(Snapshot, FileRoundTripAndCorruptionErrors) {
   {
     EXPECT_THROW(read_from(bytes + "extra"), doseopt::Error);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Shared content-addressed result store (the fleet's cross-process memo).
+// ---------------------------------------------------------------------------
+
+TEST(ResultStore, RoundTripMissesAndCorruptionErrors) {
+  const std::string dir =
+      "/tmp/doseopt_test_resultstore_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  const std::uint64_t key = 0x1234ABCD5678EF90ull;
+  const std::string payload = "{\"result\":{\"mct_ns\":1.5,\"ok\":true}}";
+
+  serde::write_result(dir, key, payload);
+  // An absent key is a miss, not an error.
+  EXPECT_FALSE(serde::read_result(dir, key + 1).has_value());
+  const auto got = serde::read_result(dir, key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+
+  // Re-publishing identical bytes (the race two workers solving the same
+  // job can run) is a clean overwrite, and no temp files linger.
+  serde::write_result(dir, key, payload);
+  EXPECT_EQ(*serde::read_result(dir, key), payload);
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << entry.path();
+
+  const std::string path = serde::result_path(dir, key);
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    bytes = ss.str();
+  }
+  // [8 magic][4 version][8 size][8 checksum][payload]
+  ASSERT_EQ(bytes.size(), 28u + payload.size());
+  const auto rewrite = [&](const std::string& b) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(b.data(), static_cast<std::streamsize>(b.size()));
+  };
+
+  // Bad magic.
+  {
+    std::string b = bytes;
+    b[0] ^= 0xFF;
+    rewrite(b);
+    EXPECT_THROW(serde::read_result(dir, key), doseopt::Error);
+  }
+  // Unsupported version.
+  {
+    std::string b = bytes;
+    b[8] = static_cast<char>(99);
+    rewrite(b);
+    EXPECT_THROW(serde::read_result(dir, key), doseopt::Error);
+  }
+  // Payload corruption -> checksum mismatch.
+  {
+    std::string b = bytes;
+    b[28] ^= 0x01;
+    rewrite(b);
+    EXPECT_THROW(serde::read_result(dir, key), doseopt::Error);
+  }
+  // Truncation mid-payload.
+  rewrite(bytes.substr(0, bytes.size() - 4));
+  EXPECT_THROW(serde::read_result(dir, key), doseopt::Error);
+  // Trailing garbage after the payload.
+  rewrite(bytes + "extra");
+  EXPECT_THROW(serde::read_result(dir, key), doseopt::Error);
+
+  // Quarantine sets the corrupt record aside; the key reads as a miss and
+  // the bad bytes survive for post-mortem.
+  serde::quarantine_result(dir, key);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_FALSE(serde::read_result(dir, key).has_value());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -19,6 +20,7 @@
 
 #include "common/error.h"
 #include "flow/optimize.h"
+#include "serde/result_store.h"
 #include "serve/client.h"
 #include "serve/job.h"
 #include "serve/json.h"
@@ -433,6 +435,148 @@ TEST(ServerE2E, SnapshotWarmStartSkipsCharacterization) {
     EXPECT_EQ(m.get("cache").get_number("snapshots_restored", -1.0), 1.0);
     server.stop();
   }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Unix-socket path hygiene at startup.
+// ---------------------------------------------------------------------------
+
+TEST(Socket, ListenUnixReclaimsStaleButRefusesLiveAndForeignFiles) {
+  const std::string path = uds_path("stale");
+  ::unlink(path.c_str());
+
+  // A crashed server leaves its socket file behind; a restart must reclaim
+  // it instead of dying with EADDRINUSE.
+  int fd = serve::listen_unix(path);
+  serve::close_socket(fd);  // no unlink: models an unclean exit
+  ASSERT_TRUE(std::filesystem::exists(path));
+  fd = serve::listen_unix(path);
+  ASSERT_GE(fd, 0);
+
+  // While a live listener holds the path, a second bind must refuse --
+  // silently stealing the socket would split clients across two servers.
+  EXPECT_THROW(serve::listen_unix(path), doseopt::Error);
+  serve::close_socket(fd);
+  ::unlink(path.c_str());
+
+  // Never unlink a path that is not a socket: that would eat user files.
+  {
+    std::ofstream os(path);
+    os << "precious";
+  }
+  EXPECT_THROW(serve::listen_unix(path), doseopt::Error);
+  {
+    std::ifstream is(path);
+    std::string content;
+    is >> content;
+    EXPECT_EQ(content, "precious");
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(ServerE2E, RestartOverStaleSocketFileServes) {
+  serve::ServerOptions options;
+  options.uds_path = uds_path("restart");
+  options.lanes = 1;
+  ::unlink(options.uds_path.c_str());
+  {
+    const int stale = serve::listen_unix(options.uds_path);
+    serve::close_socket(stale);  // leaves the stale file in place
+  }
+  serve::Server server(options);
+  server.start();  // reclaims the stale path
+  serve::Client client = serve::Client::connect_unix_path(options.uds_path);
+  client.ping();
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Shared on-disk result store + per-stage latency histograms.
+// ---------------------------------------------------------------------------
+
+TEST(ServerE2E, ResultStoreDiskHitQuarantineAndLatencyHistograms) {
+  const std::string dir =
+      "/tmp/doseopt_test_resultcache_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  const JobSpec spec = mixed_jobs()[0];
+
+  serve::ServerOptions options;
+  options.lanes = 1;
+  options.result_store_dir = dir;
+
+  std::string first_result;
+  {
+    options.uds_path = uds_path("store1");
+    serve::Server server(options);
+    server.start();
+    serve::Client client =
+        serve::Client::connect_unix_path(options.uds_path);
+    const serve::Client::Reply reply = client.submit(spec);
+    ASSERT_TRUE(reply.ok()) << reply.payload.dump();
+    first_result = normalized(reply.payload.get("result")).dump();
+    EXPECT_EQ(first_result, reference_results().at(spec.id));
+
+    // The per-stage latency histograms saw exactly this one solve.
+    const Json m = server.metrics();
+    ASSERT_TRUE(m.has("latency_histograms"));
+    const Json& h = m.get("latency_histograms");
+    for (const char* stage : {"job", "context", "coefficients", "flow"})
+      EXPECT_EQ(h.get(stage).get_number("count", -1.0), 1.0) << stage;
+    EXPECT_GT(h.get("job").get_number("max_ms", 0.0), 0.0);
+    EXPECT_LE(h.get("job").get_number("p50_ms", 1.0e99),
+              h.get("job").get_number("p99_ms", -1.0));
+    server.stop();
+  }
+
+  // A second server (fresh in-memory caches, same shared store) answers
+  // the repeat as a disk hit with the bit-identical document.
+  const std::string record = serde::result_path(dir, spec.job_key());
+  ASSERT_TRUE(std::filesystem::exists(record));
+  {
+    options.uds_path = uds_path("store2");
+    serve::Server server(options);
+    server.start();
+    serve::Client client =
+        serve::Client::connect_unix_path(options.uds_path);
+    const serve::Client::Reply reply = client.submit(spec);
+    ASSERT_TRUE(reply.ok()) << reply.payload.dump();
+    EXPECT_TRUE(reply.payload.get("cache").get_bool("result_hit", false));
+    EXPECT_EQ(normalized(reply.payload.get("result")).dump(), first_result);
+    const Json m = server.metrics();
+    EXPECT_EQ(m.get("cache").get_number("result_disk_hits", -1.0), 1.0);
+    EXPECT_EQ(m.get("cache").get_number("result_quarantined", -1.0), 0.0);
+    server.stop();
+  }
+
+  // Corrupt the shared record in place (torn write / bit rot): a third
+  // server quarantines it, re-solves bit-identically, and republishes.
+  {
+    std::fstream f(record, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<std::streamoff>(
+        std::filesystem::file_size(record) - 1));
+    f.put('\xFF');
+  }
+  {
+    options.uds_path = uds_path("store3");
+    serve::Server server(options);
+    server.start();
+    serve::Client client =
+        serve::Client::connect_unix_path(options.uds_path);
+    const serve::Client::Reply reply = client.submit(spec);
+    ASSERT_TRUE(reply.ok()) << reply.payload.dump();
+    EXPECT_FALSE(reply.payload.get("cache").get_bool("result_hit", true));
+    EXPECT_EQ(normalized(reply.payload.get("result")).dump(), first_result);
+    const Json m = server.metrics();
+    EXPECT_EQ(m.get("cache").get_number("result_quarantined", -1.0), 1.0);
+    server.stop();
+  }
+  EXPECT_TRUE(std::filesystem::exists(record + ".corrupt"));
+  // The deterministic re-solve republished a valid record.
+  const auto republished = serde::read_result(dir, spec.job_key());
+  ASSERT_TRUE(republished.has_value());
+  EXPECT_EQ(normalized(Json::parse(*republished)).dump(), first_result);
   std::filesystem::remove_all(dir);
 }
 

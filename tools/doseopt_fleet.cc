@@ -1,0 +1,139 @@
+// Fleet entry point: supervisor + router in one process.
+//
+// Spawns N doseopt_server worker processes on private Unix sockets under
+// --runtime-dir, keeps them alive (respawning crashed workers from shared
+// snapshots), and serves the standard framed protocol on --socket/--tcp,
+// routing each job to its session's worker over a consistent hash ring.
+// Clients talk to the fleet exactly as they would to a single server.
+//
+// Usage:
+//   doseopt_fleet --socket PATH [--tcp PORT] --runtime-dir DIR
+//                 [--workers N] [--lanes N] [--queue N] [--links N]
+//                 [--snapshot-dir DIR] [--result-cache DIR]
+//                 [--crash-faults] [--worker-faults SPEC]
+//                 [--metrics FILE] [--verbose]
+//
+// --snapshot-dir / --result-cache default to subdirectories of
+// --runtime-dir, so a bare invocation gets shared persistence for free.
+// SIGTERM/SIGINT (or a client kShutdown frame) drains: the router stops,
+// then workers are SIGTERMed and snapshot their sessions on the way out.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "fleet/router.h"
+#include "fleet/supervisor.h"
+
+using namespace doseopt;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& reason = "") {
+  if (!reason.empty()) std::fprintf(stderr, "error: %s\n", reason.c_str());
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--tcp PORT] --runtime-dir DIR\n"
+               "          [--workers N] [--lanes N] [--queue N] [--links N]\n"
+               "          [--snapshot-dir DIR] [--result-cache DIR]\n"
+               "          [--crash-faults] [--worker-faults SPEC]\n"
+               "          [--metrics FILE] [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+fleet::Router* g_router = nullptr;
+
+void on_signal(int) {
+  if (g_router != nullptr) g_router->request_shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fleet::SupervisorOptions sup;
+  fleet::RouterOptions route;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], arg + " requires a value");
+      return argv[++i];
+    };
+    auto integer = [&](long min) -> long {
+      const std::string text = value();
+      long v = 0;
+      if (!try_parse_int(text, &v) || v < min)
+        usage(argv[0], arg + ": '" + text + "' is not a valid integer");
+      return v;
+    };
+    if (arg == "--socket") route.uds_path = value();
+    else if (arg == "--tcp") route.tcp_port = static_cast<int>(integer(0));
+    else if (arg == "--runtime-dir") sup.runtime_dir = value();
+    else if (arg == "--workers") sup.workers = static_cast<int>(integer(1));
+    else if (arg == "--lanes") sup.lanes = static_cast<int>(integer(1));
+    else if (arg == "--queue")
+      sup.queue_capacity = static_cast<std::size_t>(integer(1));
+    else if (arg == "--links")
+      route.links_per_worker = static_cast<int>(integer(1));
+    else if (arg == "--snapshot-dir") sup.snapshot_dir = value();
+    else if (arg == "--result-cache") sup.result_store_dir = value();
+    else if (arg == "--crash-faults") sup.crash_faults = true;
+    else if (arg == "--worker-faults") sup.worker_faults = value();
+    else if (arg == "--metrics") metrics_path = value();
+    else if (arg == "--verbose") {
+      sup.verbose = true;
+      route.verbose = true;
+    } else {
+      usage(argv[0], "unknown argument: " + arg);
+    }
+  }
+  if (route.uds_path.empty() && route.tcp_port < 0)
+    usage(argv[0], "need --socket PATH and/or --tcp PORT");
+  if (sup.runtime_dir.empty()) usage(argv[0], "need --runtime-dir DIR");
+  if (sup.snapshot_dir.empty())
+    sup.snapshot_dir = sup.runtime_dir + "/snapshots";
+  if (sup.result_store_dir.empty())
+    sup.result_store_dir = sup.runtime_dir + "/results";
+
+  try {
+    fleet::Supervisor supervisor(sup);
+    supervisor.start();
+    fleet::Router router(route, supervisor);
+    g_router = &router;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    router.start();
+
+    if (!route.uds_path.empty())
+      std::printf("doseopt_fleet: unix %s\n", route.uds_path.c_str());
+    if (route.tcp_port >= 0)
+      std::printf("doseopt_fleet: tcp 127.0.0.1:%d\n", router.tcp_port());
+    std::printf("doseopt_fleet: %d workers x %d lanes (shared %s)\n",
+                sup.workers, sup.lanes, sup.result_store_dir.c_str());
+    std::fflush(stdout);
+
+    router.wait_for_shutdown();
+    std::printf("doseopt_fleet: draining...\n");
+    std::fflush(stdout);
+    const serve::Json final_metrics = router.metrics();
+    router.stop();
+    g_router = nullptr;
+    supervisor.stop();
+
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      os << final_metrics.dump() << "\n";
+      std::printf("doseopt_fleet: metrics written to %s\n",
+                  metrics_path.c_str());
+    }
+    std::printf("doseopt_fleet: bye\n");
+  } catch (const doseopt::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

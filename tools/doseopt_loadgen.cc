@@ -1,0 +1,515 @@
+// Replay load generator and correctness harness for the doseopt fleet.
+//
+// Builds a deterministic trace of mixed jobs -- per session one COLD job
+// (full characterize + solve), several WARM variants (same session,
+// different solver knobs), and MEMOIZED exact repeats -- computes the
+// direct flow:: reference result for every unique job, then replays the
+// shuffled trace against an in-process fleet (supervisor + router) at each
+// requested worker count with many concurrent client connections.
+//
+// Every reply is compared bit-exact (wall-clock fields zeroed) against the
+// direct reference, so one run proves the whole chain: router hashing,
+// proxying, worker processes, shared snapshot/result stores, and -- when a
+// worker is SIGKILLed mid-run (default at >= 2 workers) -- supervisor
+// respawn plus job replay.  Any mismatch or failed job makes the exit
+// status non-zero, which is what CI asserts.
+//
+// Emits BENCH_fleet.json: per worker count p50/p90/p99/max latency, QPS,
+// shed rate, client replay count, respawn count, and cache hit rate.
+//
+// Usage:
+//   doseopt_loadgen [--out FILE] [--workers 1,2,4] [--clients N]
+//                   [--sessions N] [--warm N] [--memo N] [--links N]
+//                   [--lanes N] [--queue N] [--runtime-dir DIR]
+//                   [--no-kill] [--verbose]
+//
+// DOSEOPT_FAST=1 shrinks the defaults for CI.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "fleet/router.h"
+#include "fleet/supervisor.h"
+#include "flow/context.h"
+#include "flow/optimize.h"
+#include "serve/client.h"
+#include "serve/job.h"
+#include "serve/json.h"
+
+using namespace doseopt;
+using serve::JobSpec;
+using serve::Json;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& reason = "") {
+  if (!reason.empty()) std::fprintf(stderr, "error: %s\n", reason.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--out FILE] [--workers 1,2,4] [--clients N]\n"
+               "          [--sessions N] [--warm N] [--memo N] [--links N]\n"
+               "          [--lanes N] [--queue N] [--runtime-dir DIR]\n"
+               "          [--no-kill] [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool fast_mode() {
+  const char* fast = std::getenv("DOSEOPT_FAST");
+  return fast != nullptr && fast[0] != '\0' && fast[0] != '0';
+}
+
+/// Zero wall-clock fields; everything else compares bit-exact (mirrors the
+/// serve/fleet test helpers).
+Json normalized(const Json& result) {
+  Json r = result;
+  Json dm = r.get("dmopt");
+  dm.set("runtime_s", Json::number(0.0));
+  dm.set("solver_ms", Json::number(0.0));
+  r.set("dmopt", std::move(dm));
+  if (r.has("dosepl")) {
+    Json dp = r.get("dosepl");
+    dp.set("runtime_s", Json::number(0.0));
+    r.set("dosepl", std::move(dp));
+  }
+  r.set("stage_s", Json::number(0.0));
+  return r;
+}
+
+struct TraceEntry {
+  JobSpec spec;
+  const char* kind;  ///< "cold" | "warm" | "memo"
+};
+
+/// sessions x (1 cold + `warm` variants + `memo` repeats), shuffled
+/// deterministically so cold/warm/memo interleave across sessions the same
+/// way every run.
+std::vector<TraceEntry> build_trace(int sessions, int warm, int memo) {
+  std::vector<TraceEntry> trace;
+  for (int s = 0; s < sessions; ++s) {
+    JobSpec cold;
+    cold.design = (s % 2 == 0) ? "aes65" : "jpeg65";
+    cold.scale = (s % 2 == 0) ? 0.025 : 0.02;
+    cold.seed = 1000 + static_cast<std::uint64_t>(s);  // distinct sessions
+    cold.grid_um = 10.0;
+    cold.id = "s" + std::to_string(s) + "-cold";
+    trace.push_back({cold, "cold"});
+    for (int w = 0; w < warm; ++w) {
+      JobSpec variant = cold;
+      variant.id = "s" + std::to_string(s) + "-warm" + std::to_string(w);
+      variant.grid_um = 12.0 + 2.0 * w;
+      if (w % 2 == 1) variant.mode = "leakage";
+      trace.push_back({variant, "warm"});
+    }
+    for (int m = 0; m < memo; ++m) {
+      JobSpec repeat = cold;  // same job_key as the cold job
+      trace.push_back({repeat, "memo"});
+    }
+  }
+  Rng rng(0xF1EE7);
+  for (std::size_t i = trace.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform() *
+                                            static_cast<double>(i));
+    std::swap(trace[i - 1], trace[std::min(j, i - 1)]);
+  }
+  return trace;
+}
+
+/// Direct flow:: references for every unique job key in the trace.
+std::map<std::uint64_t, std::string> build_references(
+    const std::vector<TraceEntry>& trace) {
+  std::map<std::uint64_t, std::string> refs;
+  std::map<std::uint64_t, std::unique_ptr<flow::DesignContext>> contexts;
+  for (const TraceEntry& entry : trace) {
+    const std::uint64_t key = entry.spec.job_key();
+    if (refs.count(key) != 0) continue;
+    auto& ctx = contexts[entry.spec.session_key()];
+    if (!ctx)
+      ctx = std::make_unique<flow::DesignContext>(entry.spec.design_spec());
+    const flow::FlowResult r = flow::run_flow(*ctx, entry.spec.flow_options());
+    refs[key] = normalized(serve::flow_result_to_json(r)).dump();
+  }
+  return refs;
+}
+
+struct RunStats {
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t sheds_observed = 0;      ///< kJobRejected replies seen
+  std::uint64_t client_reconnects = 0;   ///< transport errors ridden out
+  std::mutex mu;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/// One client thread: replay its slice of the trace, counting rejections
+/// and riding out transport errors (router restart windows) by
+/// reconnecting -- the memoized stores make every retry bit-identical.
+void client_thread(const std::string& socket,
+                   const std::vector<TraceEntry>& trace, std::size_t begin,
+                   std::size_t step,
+                   const std::map<std::uint64_t, std::string>& refs,
+                   std::atomic<std::uint64_t>& completed, RunStats& stats) {
+  std::vector<double> latencies;
+  std::uint64_t ok = 0, mismatches = 0, failures = 0, sheds = 0,
+                reconnects = 0;
+  serve::ClientOptions copts;
+  copts.connect_timeout_ms = 2000;
+  std::unique_ptr<serve::Client> client;
+  for (std::size_t i = begin; i < trace.size(); i += step) {
+    const TraceEntry& entry = trace[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    bool done = false;
+    for (int attempt = 0; attempt < 200 && !done; ++attempt) {
+      try {
+        if (!client)
+          client = std::make_unique<serve::Client>(
+              serve::Client::connect_unix_path(socket, copts));
+        const serve::Client::Reply r = client->submit(entry.spec);
+        if (r.type == serve::MsgType::kJobRejected) {
+          ++sheds;
+          const double wait =
+              r.payload.get_number("retry_after_ms", 100.0);
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              static_cast<long>(std::min(wait, 500.0) * 1000.0)));
+          continue;
+        }
+        if (!r.ok()) {
+          ++failures;
+          std::fprintf(stderr, "loadgen: job '%s' failed: %s\n",
+                       entry.spec.id.c_str(),
+                       r.payload.get_string("error", "?").c_str());
+          done = true;
+          break;
+        }
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        latencies.push_back(ms);
+        const std::string got =
+            normalized(r.payload.get("result")).dump();
+        if (got != refs.at(entry.spec.job_key())) {
+          ++mismatches;
+          std::fprintf(stderr, "loadgen: MISMATCH on job '%s' (%s)\n",
+                       entry.spec.id.c_str(), entry.kind);
+        } else {
+          ++ok;
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+        done = true;
+      } catch (const std::exception&) {
+        ++reconnects;
+        client.reset();  // torn link: reconnect on the next attempt
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    if (!done) ++failures;
+  }
+  std::lock_guard<std::mutex> lock(stats.mu);
+  stats.latencies_ms.insert(stats.latencies_ms.end(), latencies.begin(),
+                            latencies.end());
+  stats.ok += ok;
+  stats.mismatches += mismatches;
+  stats.failures += failures;
+  stats.sheds_observed += sheds;
+  stats.client_reconnects += reconnects;
+}
+
+struct Config {
+  std::string out = "BENCH_fleet.json";
+  std::string runtime_dir;
+  std::vector<int> worker_counts = {1, 2, 4};
+  int clients = 32;
+  int sessions = 3;
+  int warm = 3;
+  int memo = 3;
+  int links = 6;
+  int lanes = 2;
+  std::size_t queue = 16;
+  bool kill_mid_run = true;
+  bool verbose = false;
+};
+
+/// One fleet run at `workers` workers.  Returns the per-run JSON document;
+/// bumps `total_bad` on mismatches/failures.
+Json run_fleet(const Config& cfg, int workers,
+               const std::vector<TraceEntry>& trace,
+               const std::map<std::uint64_t, std::string>& refs,
+               std::uint64_t& total_bad) {
+  const std::string dir =
+      cfg.runtime_dir + "/w" + std::to_string(workers);
+  std::filesystem::remove_all(dir);
+
+  fleet::SupervisorOptions sup;
+  sup.runtime_dir = dir;
+  sup.snapshot_dir = dir + "/snapshots";
+  sup.result_store_dir = dir + "/results";
+  sup.workers = workers;
+  sup.lanes = cfg.lanes;
+  sup.queue_capacity = cfg.queue;
+  sup.verbose = cfg.verbose;
+  fleet::Supervisor supervisor(sup);
+  supervisor.start();
+
+  fleet::RouterOptions route;
+  route.uds_path = dir + "/router.sock";
+  route.links_per_worker = cfg.links;
+  route.verbose = cfg.verbose;
+  fleet::Router router(route, supervisor);
+  router.start();
+
+  const bool kill = cfg.kill_mid_run && workers >= 2;
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> replay_done{false};
+  std::thread killer;
+  if (kill) {
+    // SIGKILL worker 0 once roughly half the trace has completed: genuinely
+    // mid-run, with jobs in flight on the dying worker.
+    killer = std::thread([&] {
+      const std::uint64_t half = trace.size() / 2;
+      while (!replay_done.load(std::memory_order_acquire) &&
+             completed.load(std::memory_order_relaxed) < half)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      supervisor.kill_worker(0);
+    });
+  }
+
+  RunStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> clients;
+    const auto step = static_cast<std::size_t>(cfg.clients);
+    for (std::size_t c = 0; c < step; ++c)
+      clients.emplace_back(client_thread, route.uds_path, std::cref(trace),
+                           c, step, std::cref(refs), std::ref(completed),
+                           std::ref(stats));
+    for (auto& t : clients) t.join();
+  }
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  replay_done.store(true, std::memory_order_release);
+  if (killer.joinable()) killer.join();
+
+  // Aggregate cache counters across workers before tearing the fleet down.
+  std::uint64_t cache_hits = 0, cache_misses = 0, disk_hits = 0;
+  const Json fleet_metrics = router.metrics();
+  for (const Json& w : fleet_metrics.get("workers").items()) {
+    if (!w.has("metrics")) continue;
+    const Json& cache = w.get("metrics").get("cache");
+    cache_hits += static_cast<std::uint64_t>(
+        cache.get_number("result_hits", 0.0));
+    cache_misses += static_cast<std::uint64_t>(
+        cache.get_number("result_misses", 0.0));
+    disk_hits += static_cast<std::uint64_t>(
+        cache.get_number("result_disk_hits", 0.0));
+  }
+  const std::uint64_t respawns = supervisor.total_respawns();
+  router.stop();
+  supervisor.stop();
+
+  std::sort(stats.latencies_ms.begin(), stats.latencies_ms.end());
+  total_bad += stats.mismatches + stats.failures;
+
+  Json run = Json::object();
+  run.set("workers", Json::number(workers));
+  run.set("jobs", Json::number(static_cast<double>(trace.size())));
+  run.set("ok", Json::number(static_cast<double>(stats.ok)));
+  run.set("mismatches",
+          Json::number(static_cast<double>(stats.mismatches)));
+  run.set("failures", Json::number(static_cast<double>(stats.failures)));
+  run.set("wall_s", Json::number(wall_s));
+  run.set("qps", Json::number(
+                     wall_s > 0.0
+                         ? static_cast<double>(stats.ok) / wall_s
+                         : 0.0));
+  run.set("p50_ms", Json::number(percentile(stats.latencies_ms, 0.50)));
+  run.set("p90_ms", Json::number(percentile(stats.latencies_ms, 0.90)));
+  run.set("p99_ms", Json::number(percentile(stats.latencies_ms, 0.99)));
+  run.set("max_ms", Json::number(stats.latencies_ms.empty()
+                                     ? 0.0
+                                     : stats.latencies_ms.back()));
+  run.set("sheds", Json::number(static_cast<double>(stats.sheds_observed)));
+  run.set("shed_rate",
+          Json::number(static_cast<double>(stats.sheds_observed) /
+                       static_cast<double>(stats.sheds_observed + stats.ok +
+                                           1)));
+  run.set("client_reconnects",
+          Json::number(static_cast<double>(stats.client_reconnects)));
+  run.set("worker_killed_mid_run", Json::boolean(kill));
+  run.set("respawns", Json::number(static_cast<double>(respawns)));
+  Json cache = Json::object();
+  cache.set("result_hits", Json::number(static_cast<double>(cache_hits)));
+  cache.set("result_misses",
+            Json::number(static_cast<double>(cache_misses)));
+  cache.set("result_disk_hits",
+            Json::number(static_cast<double>(disk_hits)));
+  cache.set("hit_rate",
+            Json::number(cache_hits + cache_misses > 0
+                             ? static_cast<double>(cache_hits) /
+                                   static_cast<double>(cache_hits +
+                                                       cache_misses)
+                             : 0.0));
+  run.set("cache", std::move(cache));
+
+  std::printf(
+      "loadgen: workers=%d ok=%llu mism=%llu fail=%llu p50=%.2fms "
+      "p99=%.2fms qps=%.1f sheds=%llu respawns=%llu hit_rate=%.2f\n",
+      workers, static_cast<unsigned long long>(stats.ok),
+      static_cast<unsigned long long>(stats.mismatches),
+      static_cast<unsigned long long>(stats.failures),
+      percentile(stats.latencies_ms, 0.50),
+      percentile(stats.latencies_ms, 0.99),
+      wall_s > 0.0 ? static_cast<double>(stats.ok) / wall_s : 0.0,
+      static_cast<unsigned long long>(stats.sheds_observed),
+      static_cast<unsigned long long>(respawns),
+      cache_hits + cache_misses > 0
+          ? static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses)
+          : 0.0);
+  std::fflush(stdout);
+  return run;
+}
+
+std::vector<int> parse_worker_list(const std::string& text) {
+  std::vector<int> out;
+  std::string token;
+  for (const char ch : text + ",") {
+    if (ch == ',') {
+      if (!token.empty()) {
+        long v = 0;
+        if (!try_parse_int(token, &v) || v < 1) return {};
+        out.push_back(static_cast<int>(v));
+        token.clear();
+      }
+    } else {
+      token.push_back(ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  if (fast_mode()) {
+    cfg.worker_counts = {1, 2};
+    cfg.clients = 8;
+    cfg.sessions = 2;
+    cfg.warm = 2;
+    cfg.memo = 2;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], arg + " requires a value");
+      return argv[++i];
+    };
+    auto integer = [&](long min) -> long {
+      const std::string text = value();
+      long v = 0;
+      if (!try_parse_int(text, &v) || v < min)
+        usage(argv[0], arg + ": '" + text + "' is not a valid integer");
+      return v;
+    };
+    if (arg == "--out") cfg.out = value();
+    else if (arg == "--runtime-dir") cfg.runtime_dir = value();
+    else if (arg == "--workers") {
+      cfg.worker_counts = parse_worker_list(value());
+      if (cfg.worker_counts.empty())
+        usage(argv[0], "--workers needs a comma list of positive integers");
+    }
+    else if (arg == "--clients") cfg.clients = static_cast<int>(integer(1));
+    else if (arg == "--sessions") cfg.sessions = static_cast<int>(integer(1));
+    else if (arg == "--warm") cfg.warm = static_cast<int>(integer(0));
+    else if (arg == "--memo") cfg.memo = static_cast<int>(integer(0));
+    else if (arg == "--links") cfg.links = static_cast<int>(integer(1));
+    else if (arg == "--lanes") cfg.lanes = static_cast<int>(integer(1));
+    else if (arg == "--queue")
+      cfg.queue = static_cast<std::size_t>(integer(1));
+    else if (arg == "--no-kill") cfg.kill_mid_run = false;
+    else if (arg == "--verbose") cfg.verbose = true;
+    else usage(argv[0], "unknown argument: " + arg);
+  }
+  if (cfg.runtime_dir.empty())
+    cfg.runtime_dir =
+        "/tmp/doseopt_loadgen_" + std::to_string(::getpid());
+
+  try {
+    const std::vector<TraceEntry> trace =
+        build_trace(cfg.sessions, cfg.warm, cfg.memo);
+    std::printf("loadgen: trace of %zu jobs (%d sessions), %d clients\n",
+                trace.size(), cfg.sessions, cfg.clients);
+    std::fflush(stdout);
+
+    const auto ref_t0 = std::chrono::steady_clock::now();
+    const std::map<std::uint64_t, std::string> refs =
+        build_references(trace);
+    const double ref_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - ref_t0)
+                             .count();
+    std::printf("loadgen: %zu direct references in %.1fs\n", refs.size(),
+                ref_s);
+    std::fflush(stdout);
+
+    std::uint64_t total_bad = 0;
+    Json runs = Json::array();
+    for (const int workers : cfg.worker_counts)
+      runs.push_back(run_fleet(cfg, workers, trace, refs, total_bad));
+
+    Json bench = Json::object();
+    bench.set("bench", Json::string("fleet"));
+    bench.set("fast_mode", Json::boolean(fast_mode()));
+    Json tr = Json::object();
+    tr.set("jobs", Json::number(static_cast<double>(trace.size())));
+    tr.set("sessions", Json::number(cfg.sessions));
+    tr.set("warm_per_session", Json::number(cfg.warm));
+    tr.set("memo_per_session", Json::number(cfg.memo));
+    tr.set("clients", Json::number(cfg.clients));
+    tr.set("unique_jobs", Json::number(static_cast<double>(refs.size())));
+    tr.set("reference_s", Json::number(ref_s));
+    bench.set("trace", std::move(tr));
+    bench.set("runs", std::move(runs));
+    bench.set("total_bad", Json::number(static_cast<double>(total_bad)));
+
+    std::ofstream os(cfg.out);
+    os << bench.dump() << "\n";
+    std::printf("loadgen: wrote %s\n", cfg.out.c_str());
+
+    std::filesystem::remove_all(cfg.runtime_dir);
+    if (total_bad != 0) {
+      std::fprintf(stderr, "loadgen: FAILED (%llu bad jobs)\n",
+                   static_cast<unsigned long long>(total_bad));
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -8,7 +8,9 @@
 //
 // Usage:
 //   doseopt_server --socket PATH [--tcp PORT] [--lanes N] [--queue N]
-//                  [--snapshot-dir DIR] [--metrics FILE] [--threads N]
+//                  [--snapshot-dir DIR] [--result-cache DIR]
+//                  [--eager-snapshots] [--crash-faults]
+//                  [--metrics FILE] [--threads N]
 //                  [--job-attempts N] [--breaker-threshold N]
 //                  [--breaker-cooldown MS] [--list-fault-points]
 //                  [--verbose]
@@ -38,7 +40,9 @@ namespace {
   if (!reason.empty()) std::fprintf(stderr, "error: %s\n", reason.c_str());
   std::fprintf(stderr,
                "usage: %s --socket PATH [--tcp PORT] [--lanes N] [--queue N]\n"
-               "          [--snapshot-dir DIR] [--metrics FILE] [--threads N]\n"
+               "          [--snapshot-dir DIR] [--result-cache DIR]\n"
+               "          [--eager-snapshots] [--crash-faults]\n"
+               "          [--metrics FILE] [--threads N]\n"
                "          [--job-attempts N] [--breaker-threshold N]\n"
                "          [--breaker-cooldown MS] [--list-fault-points]\n"
                "          [--verbose]\n",
@@ -77,6 +81,9 @@ int main(int argc, char** argv) {
     else if (arg == "--queue")
       options.queue_capacity = static_cast<std::size_t>(integer(1));
     else if (arg == "--snapshot-dir") options.snapshot_dir = value();
+    else if (arg == "--result-cache") options.result_store_dir = value();
+    else if (arg == "--eager-snapshots") options.eager_snapshots = true;
+    else if (arg == "--crash-faults") options.allow_crash_faults = true;
     else if (arg == "--metrics") metrics_path = value();
     else if (arg == "--job-attempts")
       options.job_max_attempts = static_cast<int>(integer(1));
