@@ -24,7 +24,7 @@ ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 # point, each armed to fire once through $DOSEOPT_FAULTS.  Every run must
 # recover to bit-identical results (the suite asserts it); the point list
 # is kept honest by FaultRegistry.RegisteredPointsMatchTheSweepManifest.
-FAULT_POINTS="serve.accept serve.read serve.write serve.frame serve.job serde.snapshot_write serde.snapshot_read qp.admm_diverge qp.kkt_reject dmopt.qcp_infeasible sta.batch_nan fleet.cache_corrupt"
+FAULT_POINTS="serve.accept serve.read serve.write serve.frame serve.job serde.snapshot_write serde.snapshot_read qp.admm_diverge qp.kkt_reject dmopt.qcp_infeasible ssta.nan sta.batch_nan fleet.cache_corrupt"
 : > /tmp/doseopt_fault_failures
 {
   for p in $FAULT_POINTS; do
@@ -66,7 +66,7 @@ while read -r name; do FAILED="$FAILED $name"; done < /tmp/doseopt_fault_failure
 } 2>&1 | tee -a /root/repo/test_output.txt
 [ "$(cat /tmp/doseopt_fleet_rc)" -eq 0 ] || FAILED="$FAILED fleet:loadgen"
 
-BENCHES="bench_fig3_fig4 bench_fig5_fig6 bench_table1_table7 bench_table2_table3 bench_fit_residuals bench_wafer bench_yield bench_table4 bench_table8_fig10 bench_table6 bench_table5 bench_ablation bench_qp bench_serve bench_micro"
+BENCHES="bench_fig3_fig4 bench_fig5_fig6 bench_table1_table7 bench_table2_table3 bench_fit_residuals bench_wafer bench_yield bench_ssta bench_table4 bench_table8_fig10 bench_table6 bench_table5 bench_ablation bench_qp bench_serve bench_micro"
 : > /tmp/doseopt_bench_failures
 {
   for name in $BENCHES; do

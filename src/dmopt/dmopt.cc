@@ -8,6 +8,8 @@
 #include "common/error.h"
 #include "faultinject/fault.h"
 #include "power/leakage.h"
+#include "ssta/ssta.h"
+#include "variation/yield.h"
 
 namespace doseopt::dmopt {
 
@@ -513,6 +515,8 @@ DmoptResult DoseMapOptimizer::finalize(const SolveOutcome& outcome,
 }
 
 DmoptResult DoseMapOptimizer::minimize_leakage(double timing_bound_ns) {
+  if (options_.yield_target > 0.0)
+    return minimize_leakage_yield(timing_bound_ns);
   const auto t0 = std::chrono::steady_clock::now();
   const double tau_target = timing_bound_ns > 0.0
                                 ? timing_bound_ns
@@ -549,6 +553,108 @@ DmoptResult DoseMapOptimizer::minimize_leakage(double timing_bound_ns) {
   }
 
   DmoptResult result = finalize(outcome, probes);
+  result.telemetry = telemetry_;
+  result.runtime_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  return result;
+}
+
+DmoptResult DoseMapOptimizer::minimize_leakage_yield(double timing_bound_ns) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const double tau_target = timing_bound_ns > 0.0
+                                ? timing_bound_ns
+                                : nominal_timing_->mct_ns;
+  const double p = options_.yield_target;
+  DOSEOPT_CHECK(p > 0.0 && p < 1.0,
+                "minimize_leakage_yield: yield_target must be in (0, 1)");
+  WorkingSet working_set;
+  telemetry_ = CutTelemetry();
+
+  // The analytic yield engine and the golden MC verifier share one
+  // variation model (same systematic sources, same per-cell sigma), which
+  // is the whole point: SSTA steers the loop, MC has the final word.
+  ssta::SstaTimer ssta_timer(timer_, placement_, coeffs_,
+                             options_.yield_variation);
+
+  // Cutting-plane loop as in the mean-targeted path, but the golden-
+  // correction gap is the ANALYTIC p-quantile of the MCT distribution vs
+  // tau_target, so the dose recipe tightens until the distribution -- not
+  // just its mean -- fits under the bound.
+  double tau_model = std::min(tau_target, model_mct_uniform(0.0, 0.0));
+  const double tau_floor =
+      model_mct_uniform(options_.dose_upper_pct,
+                        options_.modulate_width ? options_.dose_lower_pct
+                                                : 0.0);
+  SolveOutcome outcome;
+  int probes = 0;
+  const double tol_ns = std::max(5e-4, 0.001 * tau_target);
+  for (int it = 0; it < 8; ++it) {
+    outcome = solve_leakage_qp(tau_model, working_set);
+    ++probes;
+    const ssta::SstaResult sr = ssta_timer.analyze(snap_variants(outcome));
+    double gap;
+    if (sr.healthy) {
+      gap = sr.tau_at_yield(p) - tau_target;
+    } else {
+      // Poisoned forms (fault injection): steer on the golden mean this
+      // round; the MC verification below still enforces the target.
+      double golden_mct = 0.0, golden_leak = 0.0;
+      golden_eval(outcome, &golden_mct, &golden_leak);
+      gap = golden_mct - tau_target;
+    }
+    if (gap > tol_ns && tau_model > tau_floor) {
+      tau_model = std::max(tau_floor, tau_model - gap);
+    } else if (gap < -2.0 * tol_ns && tau_model < tau_target) {
+      tau_model = std::min(tau_target, tau_model - 0.6 * gap);
+    } else {
+      break;
+    }
+  }
+
+  // Golden MC verification with tightening rollbacks: when the sampled
+  // yield misses the target, retighten the model bound by the empirical
+  // p-quantile overshoot and re-solve (bounded; every re-solve reuses the
+  // warm working set).
+  variation::YieldAnalyzer verifier(nl_, placement_, repo_, timer_,
+                                    options_.yield_variation);
+  DmoptResult result;
+  int rollbacks = 0;
+  for (;;) {
+    result = finalize(outcome, probes);
+    ssta::SstaResult sr = ssta_timer.analyze(result.variants);
+    if (!sr.healthy) sr = ssta_timer.analyze(result.variants);  // once-faults
+    const variation::YieldResult mc = verifier.analyze(result.variants);
+    result.yield_target = p;
+    result.yield_tau_ns = tau_target;
+    result.mc_yield = mc.yield_at(tau_target);
+    result.ssta_yield =
+        sr.healthy ? sr.yield_at(tau_target) : result.mc_yield;
+    result.yield_rollbacks = rollbacks;
+    if (result.mc_yield >= p || rollbacks >= 3 || tau_model <= tau_floor)
+      break;
+
+    std::vector<double> mcts;
+    mcts.reserve(mc.dies.size());
+    for (const variation::DieSample& d : mc.dies) mcts.push_back(d.mct_ns);
+    std::sort(mcts.begin(), mcts.end());
+    const std::size_t n = mcts.size();
+    const std::size_t k = std::min(
+        n, std::max<std::size_t>(
+               1, static_cast<std::size_t>(
+                      std::ceil(p * static_cast<double>(n)))));
+    double gap = mcts[k - 1] - tau_target;  // empirical p-quantile overshoot
+    if (!(gap > tol_ns)) gap = tol_ns;      // sampling noise: still tighten
+    tau_model = std::max(tau_floor, tau_model - gap);
+    outcome = solve_leakage_qp(tau_model, working_set);
+    ++probes;
+    ++rollbacks;
+  }
+  if (result.mc_yield < p) {
+    result.degraded = true;
+    result.fallback = "yield_target_missed";
+  }
+
   result.telemetry = telemetry_;
   result.runtime_s = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)

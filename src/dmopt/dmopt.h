@@ -38,6 +38,7 @@
 #include "liberty/coeff_fit.h"
 #include "qp/qp_solver.h"
 #include "sta/timer.h"
+#include "variation/yield.h"
 
 namespace doseopt::dmopt {
 
@@ -58,6 +59,16 @@ struct DmoptOptions {
   /// way (doses agree to solver tolerance and are snapped to characterized
   /// variants before signoff).
   bool incremental = true;
+  /// Yield-percentile constraint mode (0 = off).  When set in (0, 1),
+  /// minimize_leakage constrains the SSTA tau_at_yield(yield_target) --
+  /// not the nominal golden MCT -- at the timing bound: the cutting-plane
+  /// loop retargets the model tau by the analytic yield gap, and the
+  /// accepted recipe is verified against golden Monte-Carlo re-timing with
+  /// up to three tightening rollbacks when the sampled yield misses the
+  /// target (then flagged degraded, fallback = "yield_target_missed").
+  double yield_target = 0.0;
+  /// Variation model shared by the SSTA forms and the MC verifier.
+  variation::VariationModel yield_variation;
 };
 
 /// Per-round counters of the cutting-plane loop (the structured
@@ -128,6 +139,13 @@ struct DmoptResult {
   bool degraded = false;
   std::string fallback;
   double leakage_slack_uw = 0.0;
+
+  // Yield-percentile mode bookkeeping (meaningful when yield_target > 0).
+  double yield_target = 0.0;   ///< requested percentile p
+  double yield_tau_ns = 0.0;   ///< tau the yields below are evaluated at
+  double ssta_yield = 0.0;     ///< analytic P(MCT <= tau) of the recipe
+  double mc_yield = 0.0;       ///< golden Monte-Carlo yield of the recipe
+  int yield_rollbacks = 0;     ///< MC-triggered tightening re-solves
 };
 
 /// One timing-graph edge with its dose-independent delay contribution
@@ -211,6 +229,9 @@ class DoseMapOptimizer {
   void golden_eval(const SolveOutcome& outcome, double* mct_ns,
                    double* leakage_uw) const;
   DmoptResult finalize(const SolveOutcome& outcome, int probes) const;
+  /// minimize_leakage with options_.yield_target > 0: SSTA-retargeted
+  /// cutting-plane loop + golden MC verification/rollback.
+  DmoptResult minimize_leakage_yield(double timing_bound_ns);
 
   const netlist::Netlist* nl_;
   const place::Placement* placement_;

@@ -1,0 +1,91 @@
+#include "flow/ssta_yield.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace doseopt::flow {
+
+namespace {
+
+/// Smallest tau such that at least ceil(p * n) dies meet it (the empirical
+/// p-quantile used when the analytic quantiles are unavailable).
+double empirical_quantile(std::vector<double>& sorted_mcts, double p) {
+  if (sorted_mcts.empty()) return 0.0;
+  const std::size_t n = sorted_mcts.size();
+  const std::size_t k = std::min(
+      n, std::max<std::size_t>(
+             1, static_cast<std::size_t>(
+                    std::ceil(p * static_cast<double>(n)))));
+  return sorted_mcts[k - 1];
+}
+
+}  // namespace
+
+SstaYieldResult run_ssta_yield(DesignContext& ctx,
+                               const SstaYieldOptions& options) {
+  SstaYieldResult res;
+  const liberty::CoefficientSet& coeffs = ctx.coefficients(false);
+  const sta::VariantAssignment base(ctx.netlist().cell_count());
+  res.tau_ns = options.tau_ns > 0.0 ? options.tau_ns : ctx.nominal_mct_ns();
+
+  const ssta::SstaTimer engine(&ctx.timer(), &ctx.placement(), &coeffs,
+                               options.model, options.ssta);
+  const ssta::SstaResult sr = engine.analyze(base);
+  res.endpoints = engine.endpoint_count();
+
+  const int width =
+      std::clamp(options.model.sta_batch_width, 1, sta::kBatchLanes);
+  const auto run_mc = [&](int samples) {
+    variation::VariationModel m = options.model;
+    m.monte_carlo_samples = samples;
+    const variation::YieldAnalyzer analyzer(&ctx.netlist(), &ctx.placement(),
+                                            &ctx.repo(), &ctx.timer(), m);
+    res.mc_samples = samples;
+    res.mc_traversals += (samples + width - 1) / width;
+    return analyzer.analyze(base);
+  };
+
+  if (!sr.healthy) {
+    // Poisoned forms: the golden Monte-Carlo is the answer of record.
+    res.degraded = true;
+    res.fallback = "ssta_to_mc";
+    const int samples = options.mc_samples > 0
+                            ? options.mc_samples
+                            : options.model.monte_carlo_samples;
+    const variation::YieldResult mc = run_mc(samples);
+    res.mc_yield = mc.yield_at(res.tau_ns);
+    res.mc_mean_mct_ns = mc.mean_mct_ns;
+    res.mc_std_mct_ns = mc.std_mct_ns;
+    res.ssta_yield = res.mc_yield;
+    res.ssta_mean_mct_ns = mc.mean_mct_ns;
+    res.ssta_sigma_mct_ns = mc.std_mct_ns;
+    std::vector<double> mcts;
+    mcts.reserve(mc.dies.size());
+    for (const variation::DieSample& d : mc.dies) mcts.push_back(d.mct_ns);
+    std::sort(mcts.begin(), mcts.end());
+    res.tau_p50_ns = empirical_quantile(mcts, 0.50);
+    res.tau_p95_ns = empirical_quantile(mcts, 0.95);
+    res.tau_p99_ns = empirical_quantile(mcts, 0.99);
+    return res;
+  }
+
+  res.ssta_traversals = 2;  // scalar base pass + canonical-form pass
+  res.ssta_mean_mct_ns = sr.mean_mct_ns;
+  res.ssta_sigma_mct_ns = sr.sigma_mct_ns;
+  res.ssta_yield = sr.yield_at(res.tau_ns);
+  res.tau_p50_ns = sr.tau_at_yield(0.50);
+  res.tau_p95_ns = sr.tau_at_yield(0.95);
+  res.tau_p99_ns = sr.tau_at_yield(0.99);
+
+  if (options.mc_samples > 0) {
+    const variation::YieldResult mc = run_mc(options.mc_samples);
+    res.mc_yield = mc.yield_at(res.tau_ns);
+    res.mc_mean_mct_ns = mc.mean_mct_ns;
+    res.mc_std_mct_ns = mc.std_mct_ns;
+    res.yield_abs_error = std::fabs(res.ssta_yield - res.mc_yield);
+  }
+  return res;
+}
+
+}  // namespace doseopt::flow

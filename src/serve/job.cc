@@ -20,14 +20,25 @@ JobSpec JobSpec::from_json(const Json& j) {
   spec.run_dosepl = j.get_bool("dosepl", spec.run_dosepl);
   spec.incremental = j.get_bool("incremental", spec.incremental);
   spec.deadline_ms = j.get_number("deadline_ms", spec.deadline_ms);
+  spec.tau_ns = j.get_number("tau", spec.tau_ns);
+  spec.mc_samples =
+      static_cast<int>(j.get_number("mc_samples", spec.mc_samples));
+  spec.yield_target = j.get_number("yield_target", spec.yield_target);
 
   DOSEOPT_CHECK(spec.scale > 0.0 && spec.scale <= 1.0,
                 "job: scale must be in (0, 1]");
-  DOSEOPT_CHECK(spec.mode == "timing" || spec.mode == "leakage",
-                "job: mode must be 'timing' or 'leakage'");
+  DOSEOPT_CHECK(spec.mode == "timing" || spec.mode == "leakage" ||
+                    spec.mode == "ssta_yield",
+                "job: mode must be 'timing', 'leakage', or 'ssta_yield'");
   DOSEOPT_CHECK(spec.grid_um > 0.0, "job: grid must be positive");
   DOSEOPT_CHECK(spec.dose_range_pct > 0.0, "job: range must be positive");
   DOSEOPT_CHECK(spec.deadline_ms >= 0.0, "job: deadline_ms must be >= 0");
+  DOSEOPT_CHECK(spec.tau_ns >= 0.0, "job: tau must be >= 0");
+  DOSEOPT_CHECK(spec.mc_samples >= 0, "job: mc_samples must be >= 0");
+  DOSEOPT_CHECK(spec.yield_target >= 0.0 && spec.yield_target < 1.0,
+                "job: yield_target must be in [0, 1)");
+  DOSEOPT_CHECK(spec.yield_target == 0.0 || spec.mode == "leakage",
+                "job: yield_target requires mode 'leakage'");
   return spec;
 }
 
@@ -45,6 +56,10 @@ Json JobSpec::to_json() const {
   j.set("dosepl", Json::boolean(run_dosepl));
   j.set("incremental", Json::boolean(incremental));
   if (deadline_ms > 0.0) j.set("deadline_ms", Json::number(deadline_ms));
+  if (tau_ns > 0.0) j.set("tau", Json::number(tau_ns));
+  if (mc_samples > 0)
+    j.set("mc_samples", Json::number(static_cast<double>(mc_samples)));
+  if (yield_target > 0.0) j.set("yield_target", Json::number(yield_target));
   return j;
 }
 
@@ -66,6 +81,18 @@ flow::FlowOptions JobSpec::flow_options() const {
   options.dmopt.modulate_width = modulate_width;
   options.dmopt.incremental = incremental;
   options.run_dose_placement = run_dosepl;
+  if (yield_target > 0.0) {
+    options.dmopt.yield_target = yield_target;
+    if (mc_samples > 0)
+      options.dmopt.yield_variation.monte_carlo_samples = mc_samples;
+  }
+  return options;
+}
+
+flow::SstaYieldOptions JobSpec::ssta_options() const {
+  flow::SstaYieldOptions options;
+  options.tau_ns = tau_ns;
+  options.mc_samples = mc_samples;
   return options;
 }
 
@@ -105,6 +132,9 @@ std::uint64_t JobSpec::job_key() const {
   h = hash_field(h, static_cast<std::uint64_t>(modulate_width ? 1 : 0));
   h = hash_field(h, static_cast<std::uint64_t>(run_dosepl ? 1 : 0));
   h = hash_field(h, static_cast<std::uint64_t>(incremental ? 1 : 0));
+  h = hash_field(h, tau_ns);
+  h = hash_field(h, static_cast<std::uint64_t>(mc_samples));
+  h = hash_field(h, yield_target);
   return h;
 }
 
@@ -164,6 +194,17 @@ Json flow_result_to_json(const flow::FlowResult& result) {
   }
   recovery.set("qp_cold_fallbacks", Json::number(ct.qp_cold_fallbacks));
   dm.set("recovery", std::move(recovery));
+  if (result.dmopt.yield_target > 0.0) {
+    // Yield-percentile mode: the constraint the loop actually optimized
+    // and its SSTA/MC verdicts.  All deterministic.
+    Json yld = Json::object();
+    yld.set("target", Json::number(result.dmopt.yield_target));
+    yld.set("tau_ns", Json::number(result.dmopt.yield_tau_ns));
+    yld.set("ssta_yield", Json::number(result.dmopt.ssta_yield));
+    yld.set("mc_yield", Json::number(result.dmopt.mc_yield));
+    yld.set("rollbacks", Json::number(result.dmopt.yield_rollbacks));
+    dm.set("yield", std::move(yld));
+  }
   dm.set("poly_map", dose_map_to_json(result.dmopt.poly_map));
   if (result.dmopt.active_map.has_value())
     dm.set("active_map", dose_map_to_json(*result.dmopt.active_map));
@@ -187,6 +228,38 @@ Json flow_result_to_json(const flow::FlowResult& result) {
   stage_s.set("dosepl", Json::number(result.dosepl_s));
   stage_s.set("total", Json::number(result.total_s));
   j.set("stage_s", std::move(stage_s));
+  return j;
+}
+
+Json ssta_yield_result_to_json(const flow::SstaYieldResult& result) {
+  Json j = Json::object();
+  j.set("tau_ns", Json::number(result.tau_ns));
+  j.set("endpoints", Json::number(static_cast<double>(result.endpoints)));
+
+  Json ssta = Json::object();
+  ssta.set("mean_mct_ns", Json::number(result.ssta_mean_mct_ns));
+  ssta.set("sigma_mct_ns", Json::number(result.ssta_sigma_mct_ns));
+  ssta.set("yield", Json::number(result.ssta_yield));
+  ssta.set("tau_p50_ns", Json::number(result.tau_p50_ns));
+  ssta.set("tau_p95_ns", Json::number(result.tau_p95_ns));
+  ssta.set("tau_p99_ns", Json::number(result.tau_p99_ns));
+  ssta.set("traversals", Json::number(result.ssta_traversals));
+  j.set("ssta", std::move(ssta));
+
+  Json mc = Json::object();
+  mc.set("samples", Json::number(result.mc_samples));
+  mc.set("yield", Json::number(result.mc_yield));
+  mc.set("mean_mct_ns", Json::number(result.mc_mean_mct_ns));
+  mc.set("std_mct_ns", Json::number(result.mc_std_mct_ns));
+  mc.set("traversals", Json::number(result.mc_traversals));
+  j.set("mc", std::move(mc));
+
+  j.set("yield_abs_error", Json::number(result.yield_abs_error));
+
+  Json recovery = Json::object();
+  recovery.set("degraded", Json::boolean(result.degraded));
+  if (result.degraded) recovery.set("fallback", Json::string(result.fallback));
+  j.set("recovery", std::move(recovery));
   return j;
 }
 

@@ -6,9 +6,14 @@
 // Request schema (all fields optional except "design"):
 //
 //   { "id": "job-1", "design": "aes65", "scale": 0.05, "seed": 0,
-//     "mode": "timing" | "leakage", "grid": 10.0, "delta": 2.0,
-//     "range": 5.0, "width": false, "dosepl": false, "incremental": true,
-//     "deadline_ms": 0 }
+//     "mode": "timing" | "leakage" | "ssta_yield", "grid": 10.0,
+//     "delta": 2.0, "range": 5.0, "width": false, "dosepl": false,
+//     "incremental": true, "deadline_ms": 0,
+//     "tau": 0.0, "mc_samples": 0, "yield_target": 0.0 }
+//
+// Mode "ssta_yield" runs the analytic yield analysis (flow/ssta_yield.h)
+// instead of a dose optimization; "yield_target" > 0 turns a "leakage" job
+// into the yield-percentile constraint mode of DMopt.
 //
 // Results carry the golden per-stage metrics plus the optimized dose maps;
 // every double is emitted with %.17g so comparisons against a direct
@@ -19,6 +24,7 @@
 #include <string>
 
 #include "flow/optimize.h"
+#include "flow/ssta_yield.h"
 #include "gen/design_gen.h"
 #include "serve/json.h"
 
@@ -40,6 +46,10 @@ struct JobSpec {
   /// the cold A/B reference.  Golden results are identical either way.
   bool incremental = true;
   double deadline_ms = 0.0;  ///< 0 = no deadline
+  // SSTA / yield knobs (mode "ssta_yield" and the yield-percentile DMopt).
+  double tau_ns = 0.0;        ///< yield evaluation clock; 0 = nominal MCT
+  int mc_samples = 0;         ///< MC cross-check samples; 0 = model default
+  double yield_target = 0.0;  ///< DMopt yield percentile; 0 = off
 
   /// Parse from the kJobRequest JSON payload; throws doseopt::Error on
   /// malformed or out-of-range fields.
@@ -51,6 +61,9 @@ struct JobSpec {
 
   /// Flow controls equivalent to the CLI flags.
   flow::FlowOptions flow_options() const;
+
+  /// Controls of the ssta_yield job kind (mode == "ssta_yield").
+  flow::SstaYieldOptions ssta_options() const;
 
   /// Content hash of the fields that decide the *session* (design
   /// identity): design, scale, seed.  Jobs with equal session keys share a
@@ -64,5 +77,9 @@ struct JobSpec {
 /// Serialize the deterministic portion of a flow result (plus wall-clock
 /// runtime fields, which callers must exclude from bit-exact comparisons).
 Json flow_result_to_json(const flow::FlowResult& result);
+
+/// Serialize an ssta_yield result.  Every field is deterministic, so the
+/// whole document participates in bit-exact served-vs-direct comparisons.
+Json ssta_yield_result_to_json(const flow::SstaYieldResult& result);
 
 }  // namespace doseopt::serve

@@ -435,30 +435,55 @@ void Server::run_job(const PendingJob& job) {
     hist_coeff_.record(ms_since(t1, t2));
     if (expired(job)) return;
 
-    // dosePl mutates the context's placement and parasitics in place; save
-    // and restore them so the cached session stays pristine for later jobs.
-    std::optional<place::Placement> saved_placement;
-    std::optional<extract::Parasitics> saved_parasitics;
-    if (job.spec.run_dosepl) {
-      saved_placement = ctx.placement();
-      saved_parasitics = ctx.parasitics();
-    }
-    flow::FlowResult result;
-    try {
-      result = flow::run_flow(ctx, job.spec.flow_options());
-    } catch (...) {
-      // The flow may have died mid-dosePl with the placement half-moved;
-      // restore before rethrowing so the session stays usable for the
-      // retry (and for unrelated jobs sharing it).
+    Json result_json;
+    if (job.spec.mode == "ssta_yield") {
+      // Analytic yield job: no dose optimization, nothing mutated -- one
+      // canonical-form pass (plus the optional MC cross-check) over the
+      // session's nominal recipe.
+      result_json = ssta_yield_result_to_json(
+          flow::run_ssta_yield(ctx, job.spec.ssta_options()));
+    } else {
+      // dosePl mutates the context's placement and parasitics in place;
+      // save and restore them so the cached session stays pristine for
+      // later jobs.
+      std::optional<place::Placement> saved_placement;
+      std::optional<extract::Parasitics> saved_parasitics;
+      if (job.spec.run_dosepl) {
+        saved_placement = ctx.placement();
+        saved_parasitics = ctx.parasitics();
+      }
+      flow::FlowResult result;
+      try {
+        result = flow::run_flow(ctx, job.spec.flow_options());
+      } catch (...) {
+        // The flow may have died mid-dosePl with the placement half-moved;
+        // restore before rethrowing so the session stays usable for the
+        // retry (and for unrelated jobs sharing it).
+        if (saved_placement.has_value()) {
+          ctx.placement() = std::move(*saved_placement);
+          ctx.parasitics() = std::move(*saved_parasitics);
+        }
+        throw;
+      }
       if (saved_placement.has_value()) {
         ctx.placement() = std::move(*saved_placement);
         ctx.parasitics() = std::move(*saved_parasitics);
       }
-      throw;
-    }
-    if (saved_placement.has_value()) {
-      ctx.placement() = std::move(*saved_placement);
-      ctx.parasitics() = std::move(*saved_parasitics);
+
+      const dmopt::CutTelemetry& ct = result.dmopt.telemetry;
+      dmopt_rounds_.fetch_add(static_cast<std::uint64_t>(ct.total_rounds),
+                              std::memory_order_relaxed);
+      dmopt_admm_iterations_.fetch_add(
+          static_cast<std::uint64_t>(ct.total_admm_iterations),
+          std::memory_order_relaxed);
+      dmopt_cuts_.fetch_add(ct.total_cuts, std::memory_order_relaxed);
+      dmopt_assembly_us_.fetch_add(ct.assembly_ns / 1000,
+                                   std::memory_order_relaxed);
+      dmopt_solve_us_.fetch_add(ct.solve_ns / 1000,
+                                std::memory_order_relaxed);
+      dmopt_extract_us_.fetch_add(ct.extract_ns / 1000,
+                                  std::memory_order_relaxed);
+      result_json = flow_result_to_json(result);
     }
     const auto t3 = clock::now();
     stage_flow_us_.fetch_add(us_since(t2, t3), std::memory_order_relaxed);
@@ -469,19 +494,6 @@ void Server::run_job(const PendingJob& job) {
     // snapshot instead of paying the characterization again.
     if (options_.eager_snapshots && !ctx_hit && !restored)
       cache_.save_session(*session);
-
-    const dmopt::CutTelemetry& ct = result.dmopt.telemetry;
-    dmopt_rounds_.fetch_add(static_cast<std::uint64_t>(ct.total_rounds),
-                            std::memory_order_relaxed);
-    dmopt_admm_iterations_.fetch_add(
-        static_cast<std::uint64_t>(ct.total_admm_iterations),
-        std::memory_order_relaxed);
-    dmopt_cuts_.fetch_add(ct.total_cuts, std::memory_order_relaxed);
-    dmopt_assembly_us_.fetch_add(ct.assembly_ns / 1000,
-                                 std::memory_order_relaxed);
-    dmopt_solve_us_.fetch_add(ct.solve_ns / 1000, std::memory_order_relaxed);
-    dmopt_extract_us_.fetch_add(ct.extract_ns / 1000,
-                                std::memory_order_relaxed);
 
     Json out = Json::object();
     if (!job.spec.id.empty()) out.set("id", Json::string(job.spec.id));
@@ -497,7 +509,6 @@ void Server::run_job(const PendingJob& job) {
     stages.set("coefficients_ms", Json::number(ms_since(t1, t2)));
     stages.set("flow_ms", Json::number(ms_since(t2, t3)));
     out.set("stage_ms", std::move(stages));
-    Json result_json = flow_result_to_json(result);
     cache_.store_result(job_key, result_json.dump());
     out.set("result", std::move(result_json));
 

@@ -42,6 +42,10 @@
 #include "liberty/repository.h"
 #include "netlist/netlist.h"
 
+namespace doseopt::ssta {
+class SstaTimer;  // statistical engine; shares the Timer's CSR structure
+}
+
 namespace doseopt::sta {
 
 class Timer;
@@ -131,6 +135,7 @@ class TimingState {
 
  private:
   friend class Timer;
+  friend class doseopt::ssta::SstaTimer;  ///< reads the propagated panels
 
   bool valid_ = false;
   const Timer* owner_ = nullptr;
@@ -219,6 +224,7 @@ class Timer {
       const std::vector<netlist::NetId>& changed_nets) const;
 
   friend class BatchedTimer;  ///< shares the static CSR structure below
+  friend class doseopt::ssta::SstaTimer;  ///< same CSR + cached base state
 
   const netlist::Netlist* netlist_;
   const extract::Parasitics* parasitics_;

@@ -57,15 +57,20 @@ YieldAnalyzer::YieldAnalyzer(const netlist::Netlist* nl,
                 "YieldAnalyzer: sta_batch_width out of range");
 }
 
-std::vector<std::pair<double, double>> YieldAnalyzer::die_uv() const {
-  const place::Die& die = placement_->die();
-  std::vector<std::pair<double, double>> uv(nl_->cell_count());
-  for (std::size_t ci = 0; ci < nl_->cell_count(); ++ci) {
+std::vector<std::pair<double, double>> normalized_die_uv(
+    const netlist::Netlist& nl, const place::Placement& placement) {
+  const place::Die& die = placement.die();
+  std::vector<std::pair<double, double>> uv(nl.cell_count());
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
     const auto id = static_cast<CellId>(ci);
-    uv[ci] = {2.0 * placement_->x_um(id) / die.width_um - 1.0,
-              2.0 * placement_->y_um(id) / die.height_um - 1.0};
+    uv[ci] = {2.0 * placement.x_um(id) / die.width_um - 1.0,
+              2.0 * placement.y_um(id) / die.height_um - 1.0};
   }
   return uv;
+}
+
+std::vector<std::pair<double, double>> YieldAnalyzer::die_uv() const {
+  return normalized_die_uv(*nl_, *placement_);
 }
 
 void YieldAnalyzer::sample_delta_l_into(
@@ -75,16 +80,13 @@ void YieldAnalyzer::sample_delta_l_into(
   Rng rng(sample_seed);
 
   // Spatially correlated ACLV residual: a random low-order polynomial field
-  // over normalized die coordinates u, v in [-1, 1]:
-  //   f(u, v) = a u + b v + c u^2 + d v^2 + e u v, normalized so that the
-  // field's RMS over the die is systematic_sigma_nm.
-  const double a = rng.normal(), b = rng.normal(), c = rng.normal(),
-               d = rng.normal(), e = rng.normal();
-  // RMS of the basis over the unit square with N(0,1) coefficients:
-  // E[f^2] = Var(a u) + ... = 1/3 + 1/3 + Var(u^2)... use the numeric value
-  // sqrt(1/3 + 1/3 + 4/45 + 4/45 + 1/9) ~ 0.977 for independent coeffs.
-  const double basis_rms = 0.977;
-  const double scale = model_.systematic_sigma_nm / basis_rms;
+  // over normalized die coordinates u, v in [-1, 1] (see systematic_basis;
+  // the field's RMS over the die is systematic_sigma_nm).  One N(0,1) draw
+  // per source, in basis order -- the same kSystematicSources the SSTA
+  // engine carries sensitivities for.
+  std::array<double, kSystematicSources> coef;
+  for (double& c : coef) c = rng.normal();
+  const double scale = systematic_scale(model_);
 
   // The per-cell random component draws one standard normal per cell, which
   // makes the draw the hot path of the whole Monte-Carlo loop (cell_count
@@ -114,10 +116,13 @@ void YieldAnalyzer::sample_delta_l_into(
   out.resize(nl_->cell_count());
   for (std::size_t ci = 0; ci < nl_->cell_count(); ++ci) {
     const auto [u, v] = uv[ci];
-    const double systematic =
-        scale * (a * u + b * v + c * (u * u - 1.0 / 3.0) +
-                 d * (v * v - 1.0 / 3.0) + e * u * v);
-    out[ci] = systematic + sigma * polar_normal();
+    // Left-associated accumulation in source order -- bitwise-identical to
+    // the historical single-expression sum.
+    const std::array<double, kSystematicSources> basis =
+        systematic_basis(u, v);
+    double field = coef[0] * basis[0];
+    for (int k = 1; k < kSystematicSources; ++k) field += coef[k] * basis[k];
+    out[ci] = scale * field + sigma * polar_normal();
   }
 }
 

@@ -15,7 +15,9 @@
 // i.i.d. per cell.  Both are snapped to the characterized 1 nm CD steps.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -23,6 +25,29 @@
 #include "sta/timer.h"
 
 namespace doseopt::variation {
+
+/// Number of shared systematic variation sources: the random coefficients
+/// of the low-order ACLV polynomial field.  The Monte-Carlo sampler draws
+/// one standard normal per source per die; the SSTA engine carries one
+/// first-order sensitivity per source per delay form.  Both views of a
+/// die's variation are parameterized by exactly these sources (plus the
+/// i.i.d. per-cell random residual), which is what makes the analytic
+/// distribution directly comparable to the sampled one.
+inline constexpr int kSystematicSources = 5;
+
+/// RMS of the systematic polynomial basis over the unit die with N(0,1)
+/// coefficients: sqrt(1/3 + 1/3 + 4/45 + 4/45 + 1/9) ~ 0.977.  The field
+/// is scaled by systematic_sigma_nm / kSystematicBasisRms so its die-RMS
+/// equals systematic_sigma_nm.
+inline constexpr double kSystematicBasisRms = 0.977;
+
+/// The systematic basis functions at normalized die coordinates (u, v) in
+/// [-1, 1], in the order the sampler draws their coefficients:
+///   f(u, v) = a u + b v + c (u^2 - 1/3) + d (v^2 - 1/3) + e u v.
+inline std::array<double, kSystematicSources> systematic_basis(double u,
+                                                               double v) {
+  return {u, v, u * u - 1.0 / 3.0, v * v - 1.0 / 3.0, u * v};
+}
 
 /// Residual CD-variation model parameters.
 struct VariationModel {
@@ -35,6 +60,17 @@ struct VariationModel {
   /// pass -- so this is a pure throughput knob.
   int sta_batch_width = sta::kBatchLanes;
 };
+
+/// Per-source field amplitude implied by the model (nm per unit of basis).
+inline double systematic_scale(const VariationModel& model) {
+  return model.systematic_sigma_nm / kSystematicBasisRms;
+}
+
+/// Normalized die coordinates (u, v) in [-1, 1] per cell -- the argument of
+/// systematic_basis().  Invariant across dies; shared by the Monte-Carlo
+/// sampler and the SSTA sensitivity builder.
+std::vector<std::pair<double, double>> normalized_die_uv(
+    const netlist::Netlist& nl, const place::Placement& placement);
 
 /// One sampled die's analysis.
 struct DieSample {

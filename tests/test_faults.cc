@@ -59,7 +59,7 @@ const std::vector<std::string>& sweep_manifest() {
       "fleet.worker_crash",   "qp.admm_diverge",      "qp.kkt_reject",
       "serde.snapshot_read",  "serde.snapshot_write", "serve.accept",
       "serve.frame",          "serve.job",            "serve.read",
-      "serve.write",          "sta.batch_nan",
+      "serve.write",          "ssta.nan",             "sta.batch_nan",
   };
   return names;
 }
@@ -122,6 +122,16 @@ JobSpec cheap_leakage_job() {
   return j;
 }
 
+JobSpec cheap_ssta_job() {
+  JobSpec j = cheap_timing_job();
+  j.id = "ssta";
+  j.mode = "ssta_yield";
+  // A nonzero MC leg pins the sample count, so the clean run and the
+  // ssta.nan-degraded run share one deterministic Monte-Carlo view.
+  j.mc_samples = 200;
+  return j;
+}
+
 /// A schedule that rides out every injected single fault quickly: job
 /// errors (server-side injections) are retried too.
 serve::RetryPolicy robust_policy() {
@@ -151,6 +161,12 @@ const std::map<std::string, Reference>& references() {
       const Json j = serve::flow_result_to_json(r);
       out[spec.id] = Reference{normalized(j).dump(), core(j).dump()};
     }
+    // ssta_yield reference: `full` is the entire deterministic document;
+    // `core` is the Monte-Carlo view, which an ssta.nan-degraded run must
+    // still reproduce bit-exactly (same samples, untouched by the fault).
+    const Json sj = serve::ssta_yield_result_to_json(
+        flow::run_ssta_yield(ctx, cheap_ssta_job().ssta_options()));
+    out["ssta"] = Reference{sj.dump(), sj.get("mc").dump()};
     return out;
   }();
   return refs;
@@ -210,6 +226,22 @@ TEST(FaultSweep, AnySingleInjectedFaultRecoversBitIdentical) {
         client.submit_with_retry(cheap_timing_job(), robust_policy());
     ASSERT_TRUE(reply.ok()) << reply.payload.dump();
     check(reply.payload.get("result"));
+
+    // An ssta_yield job on the same session: an env-armed ssta.nan fires
+    // inside the canonical-form propagation and must degrade to the
+    // golden Monte-Carlo answer; any other (or no) armed point leaves the
+    // document bit-identical to the fault-free reference.
+    const serve::Client::Reply sreply =
+        client.submit_with_retry(cheap_ssta_job(), robust_policy());
+    ASSERT_TRUE(sreply.ok()) << sreply.payload.dump();
+    const Json sres = sreply.payload.get("result");
+    if (sres.get("recovery").get_bool("degraded", false)) {
+      EXPECT_EQ(sres.get("recovery").get("fallback").as_string(),
+                "ssta_to_mc");
+      EXPECT_EQ(sres.get("mc").dump(), refs.at("ssta").core);
+    } else {
+      EXPECT_EQ(sres.dump(), refs.at("ssta").full);
+    }
     server.stop();  // persists the session snapshot (serde.snapshot_write)
   }
   {
@@ -362,6 +394,39 @@ TEST(FaultRecovery, PoisonedBatchLaneIsDetectedAndRetimedScalarBitIdentical) {
   }
   EXPECT_EQ(faulted.mean_mct_ns, ref.mean_mct_ns);
   EXPECT_EQ(faulted.p95_mct_ns, ref.p95_mct_ns);
+}
+
+TEST(FaultRecovery, PoisonedSstaFormsFallBackToMonteCarloYield) {
+  // `ssta.nan` poisons the propagated MCT form with NaN after the endpoint
+  // scan.  run_ssta_yield must notice the unhealthy result and answer with
+  // the golden Monte-Carlo yield instead, recording the fallback -- and
+  // the MC view must be bit-identical to the fault-free run's, because the
+  // sampler never touches the poisoned forms.
+  flow::DesignContext ctx(cheap_timing_job().design_spec());
+  const flow::SstaYieldOptions options = cheap_ssta_job().ssta_options();
+
+  flow::SstaYieldResult ref;
+  {
+    fi::SuspendScope fault_free;
+    ref = flow::run_ssta_yield(ctx, options);
+  }
+  EXPECT_FALSE(ref.degraded);
+  EXPECT_EQ(ref.ssta_traversals, 2);
+
+  flow::SstaYieldResult faulted;
+  {
+    fi::ArmScope fault("ssta.nan", "once");
+    faulted = flow::run_ssta_yield(ctx, options);
+  }
+  EXPECT_TRUE(faulted.degraded);
+  EXPECT_EQ(faulted.fallback, "ssta_to_mc");
+  EXPECT_EQ(faulted.ssta_traversals, 0);
+  EXPECT_EQ(faulted.tau_ns, ref.tau_ns);
+  EXPECT_EQ(faulted.mc_yield, ref.mc_yield);
+  EXPECT_EQ(faulted.mc_mean_mct_ns, ref.mc_mean_mct_ns);
+  EXPECT_EQ(faulted.mc_std_mct_ns, ref.mc_std_mct_ns);
+  // The degraded analytic view is the MC view verbatim.
+  EXPECT_EQ(faulted.ssta_yield, faulted.mc_yield);
 }
 
 TEST(FaultRecovery, CircuitBreakerShedsThenRecovers) {

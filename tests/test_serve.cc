@@ -269,6 +269,42 @@ TEST(ServerE2E, ConcurrentMixedJobsBitIdenticalAcrossLaneCounts) {
   }
 }
 
+TEST(ServerE2E, SstaYieldJobBitIdenticalAndMemoized) {
+  JobSpec spec;
+  spec.id = "ssta";
+  spec.design = "aes65";
+  spec.scale = 0.025;
+  spec.mode = "ssta_yield";
+  spec.mc_samples = 400;
+
+  // Direct flow:: reference.  ssta_yield results carry no wall-clock
+  // fields, so the comparison is bit-exact with no normalization.
+  flow::DesignContext ctx(spec.design_spec());
+  const std::string direct =
+      serve::ssta_yield_result_to_json(
+          flow::run_ssta_yield(ctx, spec.ssta_options()))
+          .dump();
+
+  serve::ServerOptions options;
+  options.uds_path = uds_path("ssta");
+  options.lanes = 2;
+  serve::Server server(options);
+  server.start();
+  serve::Client client = serve::Client::connect_unix_path(options.uds_path);
+
+  const serve::Client::Reply cold = client.submit(spec);
+  ASSERT_TRUE(cold.ok()) << cold.payload.dump();
+  EXPECT_FALSE(cold.payload.get("cache").get_bool("result_hit", true));
+  EXPECT_EQ(cold.payload.get("result").dump(), direct);
+
+  // The repeat is memoized: result-cache hit, same bits.
+  const serve::Client::Reply warm = client.submit(spec);
+  ASSERT_TRUE(warm.ok()) << warm.payload.dump();
+  EXPECT_TRUE(warm.payload.get("cache").get_bool("result_hit", false));
+  EXPECT_EQ(warm.payload.get("result").dump(), direct);
+  server.stop();
+}
+
 TEST(ServerE2E, TcpListenerServesJobs) {
   serve::ServerOptions options;
   options.tcp_port = 0;  // kernel-assigned

@@ -8,7 +8,11 @@
 //   doseopt_cli [--design aes65|jpeg65|aes90|jpeg90] [--scale F]
 //               [--mode timing|leakage] [--grid UM] [--delta PCT]
 //               [--range PCT] [--width] [--dosepl] [--threads N]
-//               [--verilog FILE]
+//               [--yield-target P] [--verilog FILE]
+//
+// --yield-target P (0 < P < 1) switches DMopt to the yield-percentile
+// constraint mode: minimize leakage subject to SSTA P(MCT <= nominal) >= P,
+// verified by golden Monte-Carlo re-timing (implies --mode leakage).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -29,7 +33,7 @@ namespace {
                "usage: %s [--design aes65|jpeg65|aes90|jpeg90] [--scale F]\n"
                "          [--mode timing|leakage] [--grid UM] [--delta PCT]\n"
                "          [--range PCT] [--width] [--dosepl] [--threads N]\n"
-               "          [--verilog FILE]\n",
+               "          [--yield-target P] [--verilog FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -75,6 +79,8 @@ int main(int argc, char** argv) {
       options.dmopt.modulate_width = true;
     } else if (arg == "--dosepl") {
       options.run_dose_placement = true;
+    } else if (arg == "--yield-target") {
+      options.dmopt.yield_target = number();
     } else if (arg == "--threads") {
       const std::string text = value();
       long n = 0;
@@ -93,6 +99,13 @@ int main(int argc, char** argv) {
   if (options.dmopt.grid_um <= 0.0) usage(argv[0], "--grid must be positive");
   if (options.dmopt.dose_upper_pct <= 0.0)
     usage(argv[0], "--range must be positive");
+  if (options.dmopt.yield_target < 0.0 || options.dmopt.yield_target >= 1.0)
+    usage(argv[0], "--yield-target must be in (0, 1)");
+  if (options.dmopt.yield_target > 0.0 &&
+      options.mode != flow::DmoptMode::kMinimizeLeakage) {
+    std::printf("note: --yield-target implies --mode leakage\n");
+    options.mode = flow::DmoptMode::kMinimizeLeakage;
+  }
 
   try {
     gen::DesignSpec spec = gen::spec_by_name(design);
@@ -122,6 +135,12 @@ int main(int argc, char** argv) {
     std::printf("%-10s %12.4f %14.1f   (%.1f s, %s)\n", "dmopt",
                 r.dmopt.golden_mct_ns, r.dmopt.golden_leakage_uw,
                 r.dmopt.runtime_s, qp::to_string(r.dmopt.solver_status));
+    if (r.dmopt.yield_target > 0.0)
+      std::printf("yield @ tau=%.4f ns: ssta %.4f, monte-carlo %.4f "
+                  "(target %.3f, %d rollbacks%s)\n",
+                  r.dmopt.yield_tau_ns, r.dmopt.ssta_yield, r.dmopt.mc_yield,
+                  r.dmopt.yield_target, r.dmopt.yield_rollbacks,
+                  r.dmopt.degraded ? "; target missed" : "");
     if (r.dosepl_run)
       std::printf("%-10s %12.4f %14.1f   (%d swaps, %.1f s)\n", "dosepl",
                   r.dosepl.final_mct_ns, r.dosepl.final_leakage_uw,
