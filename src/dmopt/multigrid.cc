@@ -1,0 +1,202 @@
+#include "dmopt/multigrid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "faultinject/fault.h"
+
+namespace doseopt::dmopt {
+
+namespace {
+
+faultinject::FaultPoint g_fault_mg_diverge("qp.mg_diverge");
+
+/// Neighbor pairs in the dose::DoseMap generator order (diagonal,
+/// horizontal, vertical per grid) for an arbitrary rows x cols grid.
+std::vector<std::pair<std::size_t, std::size_t>> grid_pairs(
+    std::size_t rows, std::size_t cols) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(3 * rows * cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const std::size_t f = i * cols + j;
+      if (i + 1 < rows && j + 1 < cols)
+        pairs.emplace_back(f, (i + 1) * cols + j + 1);
+      if (j + 1 < cols) pairs.emplace_back(f, f + 1);
+      if (i + 1 < rows) pairs.emplace_back(f, (i + 1) * cols + j);
+    }
+  }
+  return pairs;
+}
+
+bool all_finite(const la::Vec& v) {
+  for (const double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace
+
+MultigridHierarchy::MultigridHierarchy(
+    std::size_t fine_rows, std::size_t fine_cols, bool width,
+    double dose_lower_pct, double dose_upper_pct, double smoothness_delta,
+    const la::Vec& fine_p_diag, const la::Vec& fine_q,
+    const std::vector<std::size_t>& fine_cell_grid, std::size_t factor) {
+  DOSEOPT_CHECK(factor >= 2, "MultigridHierarchy: factor must be >= 2");
+  const std::size_t coarse_rows = (fine_rows + factor - 1) / factor;
+  const std::size_t coarse_cols = (fine_cols + factor - 1) / factor;
+  n_fine_ = fine_rows * fine_cols;
+  n_coarse_ = coarse_rows * coarse_cols;
+  width_ = width;
+  const std::size_t layers = width ? 2 : 1;
+  DOSEOPT_CHECK(fine_p_diag.size() == layers * n_fine_ &&
+                    fine_q.size() == layers * n_fine_,
+                "MultigridHierarchy: objective size mismatch");
+
+  grid_map_.resize(n_fine_);
+  block_count_.assign(n_coarse_, 0.0);
+  for (std::size_t i = 0; i < fine_rows; ++i)
+    for (std::size_t j = 0; j < fine_cols; ++j) {
+      const std::size_t gc = (i / factor) * coarse_cols + (j / factor);
+      grid_map_[i * fine_cols + j] = gc;
+      block_count_[gc] += 1.0;
+    }
+
+  cell_grid_c_.resize(fine_cell_grid.size());
+  for (std::size_t c = 0; c < fine_cell_grid.size(); ++c)
+    cell_grid_c_[c] = grid_map_[fine_cell_grid[c]];
+
+  // Coarse objective: the piecewise-constant prolongation makes the coarse
+  // separable objective the exact Galerkin restriction -- sum the fine
+  // diagonal and linear coefficients over each block.
+  la::Vec p_c(layers * n_coarse_, 0.0), q_c(layers * n_coarse_, 0.0);
+  for (std::size_t layer = 0; layer < layers; ++layer)
+    for (std::size_t g = 0; g < n_fine_; ++g) {
+      p_c[layer * n_coarse_ + grid_map_[g]] += fine_p_diag[layer * n_fine_ + g];
+      q_c[layer * n_coarse_ + grid_map_[g]] += fine_q[layer * n_fine_ + g];
+    }
+
+  // Restriction map for the smoothness duals: a fine neighbor pair either
+  // collapses inside one block (no coarse counterpart) or lands on a
+  // coarse neighbor pair (block indices differ by at most one per
+  // dimension, so the coarse pair always exists in the generator's
+  // pattern).
+  const auto fine_pairs = grid_pairs(fine_rows, fine_cols);
+  const auto coarse_pairs = grid_pairs(coarse_rows, coarse_cols);
+  pairs_fine_ = fine_pairs.size();
+  pairs_coarse_ = coarse_pairs.size();
+  std::unordered_map<std::uint64_t, std::size_t> coarse_index;
+  coarse_index.reserve(coarse_pairs.size());
+  auto key = [this](std::size_t a, std::size_t b) {
+    return static_cast<std::uint64_t>(std::min(a, b)) * n_coarse_ +
+           std::max(a, b);
+  };
+  for (std::size_t k = 0; k < coarse_pairs.size(); ++k)
+    coarse_index.emplace(key(coarse_pairs[k].first, coarse_pairs[k].second),
+                         k);
+  pair_map_.assign(pairs_fine_, -1);
+  pair_sign_.assign(pairs_fine_, 0.0);
+  pair_mult_.assign(pairs_coarse_, 0.0);
+  for (std::size_t k = 0; k < pairs_fine_; ++k) {
+    const std::size_t ca = grid_map_[fine_pairs[k].first];
+    const std::size_t cb = grid_map_[fine_pairs[k].second];
+    if (ca == cb) continue;
+    const auto it = coarse_index.find(key(ca, cb));
+    DOSEOPT_CHECK(it != coarse_index.end(),
+                  "MultigridHierarchy: fine pair with no coarse neighbor");
+    pair_map_[k] = static_cast<std::ptrdiff_t>(it->second);
+    pair_sign_[k] = coarse_pairs[it->second].first == ca ? 1.0 : -1.0;
+    pair_mult_[it->second] += 1.0;
+  }
+
+  problem_ = std::make_unique<IncrementalProblem>(
+      n_coarse_, width, coarse_pairs, dose_lower_pct, dose_upper_pct,
+      smoothness_delta, std::move(p_c), std::move(q_c));
+}
+
+bool MultigridHierarchy::seed(const std::vector<PathConstraint>& paths,
+                              const std::vector<double>& a_coeff,
+                              const std::vector<double>& b_coeff, double ds,
+                              double tau,
+                              const qp::QpSettings& fine_settings,
+                              la::Vec* x_fine, la::Vec* y_fine,
+                              int* admm_iterations) {
+  *admm_iterations = 0;
+  problem_->set_tau(tau);
+  problem_->append_paths(paths, paths_assembled_, cell_grid_c_, a_coeff,
+                         b_coeff, ds);
+  paths_assembled_ = paths.size();
+
+  // A seed does not need answer-grade accuracy: loosen the tolerances an
+  // order of magnitude and bound the stall window, keeping the warm/polish
+  // machinery of the fine settings (the coarse state warm-starts across
+  // probes exactly like the fine one).
+  qp::QpSettings cs = fine_settings;
+  cs.eps_abs *= 10.0;
+  cs.eps_rel *= 10.0;
+  cs.early_polish = true;
+  cs.stall_window = 150;
+  // Bound the coarse-side spend: a coarse solve that has not converged by
+  // here is almost always a coarse-infeasible boundary probe, and the
+  // reject path costs only what was already burned.
+  cs.max_iterations = std::min(cs.max_iterations, 500);
+  const qp::QpSolution sol =
+      qp::QpSolver(cs).solve_incremental(problem_->problem(), state_);
+  *admm_iterations = sol.iterations;
+
+  la::Vec x_c = sol.x;
+  la::Vec y_c = sol.y;
+  if (g_fault_mg_diverge.should_fire())
+    for (double& v : x_c) v = std::numeric_limits<double>::quiet_NaN();
+  // The coarse feasible set restricts the fine one, so a boundary tau can
+  // be coarse-infeasible (or stall short of tolerance) while perfectly
+  // solvable on the fine grid: reject the seed and let the fine solve run
+  // from its own iterate.
+  if (sol.status != qp::QpStatus::kSolved || !all_finite(x_c) ||
+      !all_finite(y_c))
+    return false;
+
+  const std::size_t layers = width_ ? 2 : 1;
+  const std::size_t m_fine =
+      layers * (n_fine_ + pairs_fine_) + paths.size();
+  if (x_c.size() != layers * n_coarse_ ||
+      y_c.size() != layers * (n_coarse_ + pairs_coarse_) + paths.size())
+    return false;
+
+  // Prolongation: piecewise-constant primal; duals split block-wise (range
+  // rows over the block population, smoothness rows over the fine pairs
+  // sharing the coarse pair, oriented by the stored sign), path rows 1:1.
+  x_fine->assign(layers * n_fine_, 0.0);
+  for (std::size_t layer = 0; layer < layers; ++layer)
+    for (std::size_t g = 0; g < n_fine_; ++g)
+      (*x_fine)[layer * n_fine_ + g] =
+          x_c[layer * n_coarse_ + grid_map_[g]];
+
+  y_fine->assign(m_fine, 0.0);
+  for (std::size_t layer = 0; layer < layers; ++layer)
+    for (std::size_t g = 0; g < n_fine_; ++g) {
+      const std::size_t gc = grid_map_[g];
+      (*y_fine)[layer * n_fine_ + g] =
+          y_c[layer * n_coarse_ + gc] / block_count_[gc];
+    }
+  const std::size_t smooth_f = layers * n_fine_;
+  const std::size_t smooth_c = layers * n_coarse_;
+  for (std::size_t layer = 0; layer < layers; ++layer)
+    for (std::size_t k = 0; k < pairs_fine_; ++k) {
+      if (pair_map_[k] < 0) continue;
+      const auto kc = static_cast<std::size_t>(pair_map_[k]);
+      (*y_fine)[smooth_f + layer * pairs_fine_ + k] =
+          pair_sign_[k] * y_c[smooth_c + layer * pairs_coarse_ + kc] /
+          pair_mult_[kc];
+    }
+  const std::size_t path_f = layers * (n_fine_ + pairs_fine_);
+  const std::size_t path_c = layers * (n_coarse_ + pairs_coarse_);
+  for (std::size_t p = 0; p < paths.size(); ++p)
+    (*y_fine)[path_f + p] = y_c[path_c + p];
+  return true;
+}
+
+}  // namespace doseopt::dmopt

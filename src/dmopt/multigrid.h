@@ -1,0 +1,94 @@
+// Multigrid warm start for the dose-map QP (the coarse-grid companion of
+// the incremental cutting-plane problem).
+//
+// The dose field is smooth by construction (eq. (4) bounds every neighbor
+// difference), so its low-frequency content carries almost all of the
+// solution.  A 2x-coarsened grid -- fine grid (i, j) binned into coarse
+// grid (i/2, j/2) -- restricts the whole program exactly: range rows map
+// block-wise, smoothness rows collapse onto the surviving coarse neighbor
+// pairs, and every accumulated path cut re-bins through the coarse
+// cell->grid map with the same canonical row assembly the fine problem
+// uses.  Solving that coarse QP (at ~1/4 the variables and a fraction of
+// the nonzeros) and prolonging its primal and dual onto the fine layout
+// gives the fine ADMM iteration a seed near the new optimum -- worth
+// hundreds of iterations on a cold-ish solve or a large tau retarget,
+// where the cached iterate from the previous bound is far from useful.
+//
+// The seed is advisory only: when the coarse solve fails (the coarse
+// feasible set is a strict subset of the fine one, so near-boundary tau
+// probes can be coarse-infeasible while fine-feasible) the fine solve
+// proceeds from whatever iterate it already had -- bit-identical to
+// running with multigrid disabled.  The qp.mg_diverge fault point poisons
+// the coarse solution to exercise exactly that reject path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dmopt/incremental_problem.h"
+#include "qp/qp_solver.h"
+
+namespace doseopt::dmopt {
+
+/// Coarse-grid companion of one fine cutting-plane problem.  Owns the
+/// coarse IncrementalProblem and its QP warm state, so successive seeds
+/// across bisection probes reuse every coarse row and the coarse scaling
+/// exactly like the fine loop reuses its own.
+class MultigridHierarchy {
+ public:
+  /// Builds the coarse geometry, the restriction maps, and the coarse
+  /// static rows.  `fine_p_diag`/`fine_q` are the fine leakage objective
+  /// (re-binned into coarse blocks); `fine_cell_grid` the fine cell->grid
+  /// binning.  `factor` is the per-dimension coarsening (coarse dims are
+  /// ceil(M/factor) x ceil(N/factor)).
+  MultigridHierarchy(std::size_t fine_rows, std::size_t fine_cols, bool width,
+                     double dose_lower_pct, double dose_upper_pct,
+                     double smoothness_delta, const la::Vec& fine_p_diag,
+                     const la::Vec& fine_q,
+                     const std::vector<std::size_t>& fine_cell_grid,
+                     std::size_t factor = 2);
+
+  /// False when coarsening bought nothing (1x1 fine grid): seeding would
+  /// just re-solve the fine problem.
+  bool useful() const { return n_coarse_ < n_fine_; }
+
+  std::size_t coarse_grid_count() const { return n_coarse_; }
+
+  /// Sync the coarse problem to `paths`/`tau`, solve it warm-started from
+  /// the persistent coarse state (loosened tolerances -- it is a seed, not
+  /// an answer), and prolong the coarse primal/dual onto the fine layout
+  /// into `x_fine`/`y_fine` (resized; y covers static rows plus one row
+  /// per path).  Returns false -- leaving `x_fine`/`y_fine` untouched --
+  /// when the coarse solution is unusable (infeasible, unconverged, or
+  /// poisoned by qp.mg_diverge); `admm_iterations` reports the coarse
+  /// iteration count either way.
+  bool seed(const std::vector<PathConstraint>& paths,
+            const std::vector<double>& a_coeff,
+            const std::vector<double>& b_coeff, double ds, double tau,
+            const qp::QpSettings& fine_settings, la::Vec* x_fine,
+            la::Vec* y_fine, int* admm_iterations);
+
+ private:
+  std::size_t n_fine_ = 0, n_coarse_ = 0;
+  std::size_t pairs_fine_ = 0, pairs_coarse_ = 0;
+  bool width_ = false;
+
+  std::vector<std::size_t> grid_map_;     ///< fine grid -> coarse grid
+  std::vector<double> block_count_;       ///< fine grids per coarse grid
+  std::vector<std::size_t> cell_grid_c_;  ///< cell -> coarse grid
+  /// Per fine neighbor pair: index of the coarse pair it collapses onto
+  /// (-1 for intra-block pairs, which have no coarse counterpart), the
+  /// orientation sign relative to the stored coarse pair, and -- per
+  /// coarse pair -- how many fine pairs share it (the dual is split
+  /// evenly across them on prolongation).
+  std::vector<std::ptrdiff_t> pair_map_;
+  std::vector<double> pair_sign_;
+  std::vector<double> pair_mult_;
+
+  std::unique_ptr<IncrementalProblem> problem_;
+  qp::QpWarmState state_;
+  std::size_t paths_assembled_ = 0;
+};
+
+}  // namespace doseopt::dmopt

@@ -20,6 +20,19 @@ struct CgResult {
   bool converged = false;
 };
 
+/// Reusable scratch for conjugate_gradient: the four inner-loop vectors,
+/// resized (never shrunk) per solve.  Callers that solve repeatedly -- the
+/// ADMM x-update runs one CG per iteration -- keep one of these alive to
+/// eliminate the per-solve allocations.
+struct CgWorkspace {
+  Vec r, z, p, ap;
+};
+
+/// Float scratch for conjugate_gradient_f.
+struct CgWorkspaceF {
+  VecF r, z, p, ap;
+};
+
 /// Options for a CG solve.
 struct CgOptions {
   int max_iterations = 500;
@@ -29,9 +42,22 @@ struct CgOptions {
 
 /// Solve op(x) = b where op is SPD.  `x` holds the initial guess on entry and
 /// the solution on exit.  `precond_diag` is the diagonal of a Jacobi
-/// preconditioner (pass all-ones for unpreconditioned CG).
+/// preconditioner (pass all-ones for unpreconditioned CG).  `workspace`
+/// (optional) supplies the inner-loop vectors; pass nullptr to allocate
+/// per call.
 CgResult conjugate_gradient(
     const std::function<void(const Vec&, Vec&)>& op, const Vec& b,
-    const Vec& precond_diag, Vec& x, const CgOptions& options = {});
+    const Vec& precond_diag, Vec& x, const CgOptions& options = {},
+    CgWorkspace* workspace = nullptr);
+
+/// Float32 CG for the mixed-precision fast path.  Identical loop structure
+/// to the double solve; vector sweeps run in float32 while every reduction
+/// accumulates (and every scalar -- alpha, beta, residual norms -- is kept)
+/// in float64, so the convergence test matches the double solve's contract:
+/// stop when ||r|| <= tolerance * ||b||, both norms in double.
+CgResult conjugate_gradient_f(
+    const std::function<void(const VecF&, VecF&)>& op, const VecF& b,
+    const VecF& precond_diag, VecF& x, const CgOptions& options = {},
+    CgWorkspaceF* workspace = nullptr);
 
 }  // namespace doseopt::la
