@@ -1,0 +1,193 @@
+// Durable wafer-scale optimization campaigns.
+//
+// A campaign is the paper's flow run at production scale: dose-map jobs
+// for every exposure-field dose class of a wafer under across-wafer
+// systematic variation (src/wafer), swept across the 65/90 nm nodes
+// (src/tech designs), iterated DMopt <-> dosePl over fixed-point rounds.
+// The spec expands deterministically into content-keyed serve::JobSpecs,
+// and the driver executes them *durably*:
+//
+//   * every orchestration step is recorded in a checksummed write-ahead
+//     journal (serde/journal.h) -- Begin (spec hash + job count), Intent
+//     ("about to run job i"), Commit ("job i finished; its normalized
+//     result hashes to H"), End (artifact hash);
+//   * job result documents live in the shared content-addressed result
+//     store, published by the worker (served mode) or by the driver
+//     (local mode) -- the journal holds hashes, never documents;
+//   * a driver SIGKILLed at ANY instant resumes exactly-once: replaying
+//     the journal recovers which jobs committed (skipped through the
+//     store, hash-verified), which were in flight (re-intent + re-run;
+//     deterministic, so bit-identical), and whether the final artifact
+//     was already sealed.  The final campaign artifact is bit-identical
+//     to an uninterrupted run.
+//
+// Execution is either in-process (kLocal: a serve::SessionCache and the
+// flow run on the driver's threads) or through a serving fleet (kServed:
+// framed protocol to a router/worker socket), with identical results --
+// both paths produce the same deterministic documents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serde/journal.h"
+#include "serve/job.h"
+#include "wafer/wafer.h"
+
+namespace doseopt::campaign {
+
+/// What to optimize, over which wafer, at which nodes.
+struct CampaignSpec {
+  std::string name = "wafer";
+  /// Designs to sweep (gen::design_spec_by_name names); the node sweep of
+  /// the paper is aes65 + aes90.
+  std::vector<std::string> designs = {"aes65", "aes90"};
+  double scale = 0.05;     ///< design size scale (Table I fraction)
+  std::uint64_t seed = 0;  ///< 0 = per-design default seed
+  wafer::WaferModel wafer; ///< exposure-field layout + AWLV model
+  /// DMopt<->dosePl fixed-point rounds per (design, dose class): round 0
+  /// is the pure DMopt solve; each later round re-runs with dosePl on.
+  int rounds = 2;
+  double grid_um = 10.0;
+  double smoothness_delta = 2.0;
+  /// Intra-field dose swing budget before the per-field AWLV correction
+  /// eats into it (the correction and the design map share the dose knob).
+  double dose_range_pct = 5.0;
+  /// Cap on distinct dose classes; wafers quantize to more classes than a
+  /// campaign needs, so low-population classes merge into neighbors.
+  int max_classes = 4;
+  double deadline_ms = 0.0;  ///< per-job deadline in served mode; 0 = none
+
+  /// Content hash of every field above EXCEPT deadline_ms (a deadline does
+  /// not change any result document).  Stored in the journal's Begin
+  /// record so a resume against a different spec fails loudly.
+  std::uint64_t spec_hash() const;
+};
+
+/// One dose class: wafer fields whose post-correction dose budget
+/// quantizes to the same effective range.
+struct DoseClass {
+  double range_pct = 0.0;  ///< effective intra-field dose range
+  int fields = 0;          ///< wafer fields in this class (artifact weight)
+};
+
+/// One expanded job.
+struct CampaignJob {
+  std::string id;        ///< "<name>-<design>-r<round>-c<class>"
+  serve::JobSpec spec;
+  int round = 0;
+  int dose_class = 0;
+  int fields = 0;        ///< weight of this class in the artifact aggregate
+};
+
+/// The wafer's dose classes after AWLV correction: per-field effective
+/// range = max(1, dose_range_pct - |field dose correction|), quantized to
+/// 0.25 % steps, merged down to at most max_classes (lowest-population
+/// class folds into its nearest-range neighbor).  Deterministic.
+std::vector<DoseClass> dose_classes(const CampaignSpec& spec);
+
+/// Deterministic expansion: designs x rounds x dose classes, in that
+/// nesting order.  Job index in this vector IS the index recorded in the
+/// journal.
+std::vector<CampaignJob> expand_campaign(const CampaignSpec& spec);
+
+/// Journal record types of a campaign journal.
+enum class Rec : std::uint32_t {
+  kBegin = 1,   ///< u64 spec_hash, u32 total jobs, string name
+  kIntent = 2,  ///< u32 index, u64 job_key
+  kCommit = 3,  ///< u32 index, u64 job_key, u64 fnv of normalized result
+  kEnd = 4,     ///< u64 fnv of the final artifact bytes
+};
+
+// Payload codecs (exposed so tests and the chaos harness can craft and
+// inspect journals without a driver).
+std::string encode_begin(std::uint64_t spec_hash, std::uint32_t total,
+                         const std::string& name);
+std::string encode_intent(std::uint32_t index, std::uint64_t job_key);
+std::string encode_commit(std::uint32_t index, std::uint64_t job_key,
+                          std::uint64_t norm_fnv);
+std::string encode_end(std::uint64_t artifact_fnv);
+
+struct BeginRec {
+  std::uint64_t spec_hash = 0;
+  std::uint32_t total = 0;
+  std::string name;
+};
+struct CommitRec {
+  std::uint32_t index = 0;
+  std::uint64_t job_key = 0;
+  std::uint64_t norm_fnv = 0;
+};
+BeginRec decode_begin(const std::string& payload);
+std::pair<std::uint32_t, std::uint64_t> decode_intent(
+    const std::string& payload);
+CommitRec decode_commit(const std::string& payload);
+std::uint64_t decode_end(const std::string& payload);
+
+/// Campaign-level digest of a replayed journal.
+struct JournalState {
+  bool has_begin = false;
+  BeginRec begin;
+  std::map<std::uint32_t, CommitRec> committed;  ///< index -> commit
+  std::set<std::uint32_t> intents;               ///< every intent seen
+  bool ended = false;
+  std::uint64_t artifact_fnv = 0;
+  /// Intents with no matching commit: jobs in flight at the crash.
+  int in_flight() const;
+};
+JournalState scan_journal(const serde::JournalReplay& replay);
+
+enum class ExecMode {
+  kLocal,   ///< solve in-process via a serve::SessionCache
+  kServed,  ///< submit to a router/worker socket (framed protocol)
+};
+
+struct CampaignOptions {
+  std::string journal_dir;       ///< required
+  std::string artifact_path;     ///< final artifact JSON ("" = don't write)
+  std::string result_store_dir;  ///< required (shared with workers if served)
+  std::string snapshot_dir;      ///< local mode session snapshots ("" = off)
+  ExecMode exec = ExecMode::kLocal;
+  std::string socket;  ///< served mode: UDS path of the router
+  int tcp_port = -1;   ///< served mode: TCP port (used when socket empty)
+  int clients = 2;     ///< served mode: concurrent submitter threads
+  /// Required when the journal already holds records; refusing to
+  /// silently continue an interrupted campaign keeps accidental spec
+  /// drift from corrupting it.
+  bool resume = false;
+  /// Crash drill: SIGKILL our own process right after the Nth Intent
+  /// append of THIS run is durably on disk (0 = off).
+  int kill_after_intents = 0;
+  /// Stop (completed=false, no artifact) after N commits in this run;
+  /// tests use it to produce a partial journal without killing anything.
+  int stop_after_commits = 0;
+  bool verbose = false;
+};
+
+struct CampaignReport {
+  int jobs_total = 0;
+  int committed_prior = 0;       ///< commits found in the journal on entry
+  int executed = 0;              ///< jobs actually run this run
+  int store_hits = 0;            ///< committed jobs answered by the store
+  int store_misses = 0;          ///< committed jobs that had to re-run
+  int resubmitted_inflight = 0;  ///< crash-interrupted jobs re-run
+  int journal_recoveries = 0;    ///< torn-append writer reconstructions
+  bool completed = false;
+  std::uint64_t artifact_fnv = 0;
+  double wall_s = 0.0;
+  double resume_replay_ms = 0.0;  ///< journal replay + scan time
+
+  serve::Json to_json() const;
+};
+
+/// Expand and execute `spec` durably.  Throws doseopt::Error on a spec
+/// mismatch against an existing journal, a non-empty journal without
+/// opts.resume, a failed job, or a determinism violation (a committed
+/// hash that no longer matches its recomputed document).
+CampaignReport run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& opts);
+
+}  // namespace doseopt::campaign

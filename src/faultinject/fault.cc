@@ -67,13 +67,17 @@ FaultSpec FaultSpec::parse(const std::string& text) {
   } else if (starts_with(t, "prob=")) {
     std::string_view body = t.substr(5);
     const auto at = body.find('@');
-    if (at != std::string_view::npos) {
-      long seed = 0;
-      if (!try_parse_int(param(body.substr(at + 1)), &seed) || seed < 0)
-        throw Error("faultinject: bad seed in spec '" + std::string(t) + "'");
-      spec.seed = static_cast<std::uint64_t>(seed);
-      body = body.substr(0, at);
-    }
+    // The seed is mandatory: a defaulted seed silently couples independent
+    // sweep legs to the same firing pattern, which reads as determinism but
+    // is really an unconfigured experiment.
+    if (at == std::string_view::npos)
+      throw Error("faultinject: prob spec '" + std::string(t) +
+                  "' is missing its @SEED (want prob=P@SEED)");
+    long seed = 0;
+    if (!try_parse_int(param(body.substr(at + 1)), &seed) || seed < 0)
+      throw Error("faultinject: bad seed in spec '" + std::string(t) + "'");
+    spec.seed = static_cast<std::uint64_t>(seed);
+    body = body.substr(0, at);
     double p = 0.0;
     if (!try_parse_double(param(body), &p) || p < 0.0 || p > 1.0)
       throw Error("faultinject: bad probability in spec '" + std::string(t) +
@@ -82,7 +86,7 @@ FaultSpec FaultSpec::parse(const std::string& text) {
     spec.mode = Mode::kProb;
   } else {
     throw Error("faultinject: unknown spec '" + std::string(t) +
-                "' (want always|once|nth=K|first=K|every=K|prob=P[@SEED])");
+                "' (want always|once|nth=K|first=K|every=K|prob=P@SEED)");
   }
   return spec;
 }
@@ -249,6 +253,30 @@ FaultPoint* find(const std::string& name) {
   for (FaultPoint* p : r.points)
     if (name == p->name()) return p;
   return nullptr;
+}
+
+std::vector<std::string> unresolved() {
+  Registry& r = registry_state();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.pending.size());
+  for (const auto& [name, spec] : r.pending) {
+    (void)spec;
+    names.push_back(name);
+  }
+  return names;
+}
+
+void require_resolved() {
+  const std::vector<std::string> names = unresolved();
+  if (names.empty()) return;
+  std::string joined;
+  for (const std::string& n : names) {
+    if (!joined.empty()) joined += ", ";
+    joined += n;
+  }
+  throw Error("faultinject: configured fault points never registered in "
+              "this binary (misspelled name or missing library?): " + joined);
 }
 
 bool active() {

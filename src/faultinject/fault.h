@@ -17,9 +17,11 @@
 //   nth=K          fire on hit K exactly
 //   first=K        fire on hits 1..K
 //   every=K        fire on every K-th hit
-//   prob=P[@SEED]  fire with probability P per hit; the decision for hit N
+//   prob=P@SEED    fire with probability P per hit; the decision for hit N
 //                  is a pure function of (SEED, N), so concurrent hit
-//                  interleavings do not change which hits fire
+//                  interleavings do not change which hits fire.  The seed
+//                  is mandatory -- a silently defaulted seed masks an
+//                  unconfigured experiment.
 //
 // Disabled cost: when no point is armed, should_fire() is one relaxed
 // atomic load of a process-global flag -- no counter update, no lock.  The
@@ -113,6 +115,17 @@ FaultPoint* find(const std::string& name);
 /// True when any point is armed (or a pending env spec exists) and
 /// injection is not suspended -- the should_fire() fast-path gate.
 bool active();
+
+/// Names configured (via configure()/$DOSEOPT_FAULTS) whose fault point
+/// never registered in this binary, sorted.  Pending specs are a feature
+/// for multi-binary sweeps -- a router-only point stays pending inside a
+/// worker -- but in a single-binary tool an unresolved name is a typo.
+std::vector<std::string> unresolved();
+
+/// Throw doseopt::Error listing unresolved() names, if any.  Tools that
+/// link every subsystem call this after startup so a misspelled
+/// DOSEOPT_FAULTS entry fails loudly instead of silently never firing.
+void require_resolved();
 
 /// Suspend/resume injection process-wide without touching hit counters.
 /// Used to compute fault-free reference results inside a faulted process

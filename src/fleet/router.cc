@@ -12,6 +12,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "faultinject/fault.h"
+#include "serde/journal.h"
 #include "serde/result_store.h"
 #include "serve/job.h"
 #include "serve/protocol.h"
@@ -31,10 +32,20 @@ namespace {
 /// link, back off, replay.
 faultinject::FaultPoint g_fault_route_drop("fleet.route_drop");
 
-/// Thrown by forward_once when the target pool stays saturated past the
+/// Fires in the forward path after a link is acquired: sleeps
+/// stall_inject_ms while holding the link, modeling a worker that is alive
+/// but wedged -- the scenario hedged requests exist to cut the tail of.
+faultinject::FaultPoint g_fault_worker_stall("fleet.worker_stall");
+
+/// Thrown by forward_leg when the target pool stays saturated past the
 /// acquire bound; not a std::exception on purpose, so the replay catch
 /// cannot swallow it (a shed answers the client immediately).
 struct RouterShed {};
+
+/// Thrown by forward_leg when the job's deadline budget is exhausted at
+/// submit time; like RouterShed, deliberately not a std::exception so it
+/// cannot be mistaken for a transport failure and replayed.
+struct RouterExpired {};
 
 double ms_since(std::chrono::steady_clock::time_point t0,
                 std::chrono::steady_clock::time_point t1) {
@@ -47,8 +58,9 @@ void ensure_fleet_fault_points_linked() {
   // Touch one symbol per translation unit that hosts a fleet.* fault
   // point; a static-library member with no referenced symbol is dropped by
   // the linker, and its points would never register.
-  (void)g_fault_route_drop.name();                 // this TU: fleet.route_drop
-  (void)serde::result_path(".", 0);                // serde: fleet.cache_corrupt
+  (void)g_fault_route_drop.name();    // this TU: fleet.route_drop + worker_stall
+  (void)serde::result_path(".", 0);               // serde: fleet.cache_corrupt
+  (void)serde::journal_segment_path(".", 0);      // serde: campaign.journal_torn
 }
 
 Router::Router(RouterOptions options, Supervisor& supervisor)
@@ -58,8 +70,11 @@ Router::Router(RouterOptions options, Supervisor& supervisor)
   DOSEOPT_CHECK(options_.links_per_worker >= 1,
                 "fleet: links_per_worker must be >= 1");
   pools_.reserve(static_cast<std::size_t>(supervisor_.workers()));
-  for (int i = 0; i < supervisor_.workers(); ++i)
+  hist_forward_.reserve(static_cast<std::size_t>(supervisor_.workers()));
+  for (int i = 0; i < supervisor_.workers(); ++i) {
     pools_.push_back(std::make_unique<LinkPool>());
+    hist_forward_.push_back(std::make_unique<serve::LatencyHistogram>());
+  }
 }
 
 Router::~Router() { stop(); }
@@ -106,6 +121,11 @@ void Router::stop() {
       ::shutdown(conn->fd, SHUT_RDWR);
   for (const auto& conn : conns)
     if (conn->reader.joinable()) conn->reader.join();
+
+  // Detached hedge legs may still hold links (their job already answered);
+  // wait them out before invalidating the pools they release into.
+  while (inflight_legs_.load(std::memory_order_acquire) > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
 
   for (auto& pool : pools_) {
     std::lock_guard<std::mutex> lock(pool->mu);
@@ -252,19 +272,160 @@ void Router::discard_link(int worker) {
   pool.cv.notify_one();
 }
 
-serve::Client::Reply Router::forward_once(int worker,
-                                          const serve::JobSpec& spec) {
+serve::Client::Reply Router::forward_leg(
+    int worker, const serve::JobSpec& spec,
+    std::chrono::steady_clock::time_point t0) {
   auto link = acquire_link(worker);
   if (!link.has_value()) throw RouterShed{};
   try {
+    if (g_fault_worker_stall.should_fire()) {
+      // A wedged-but-alive worker: hold the link and go quiet.  Sleeping
+      // *before* the timed submit keeps the stall out of hist_forward_, so
+      // the adaptive hedge delay keeps tracking healthy latency.
+      stalls_injected_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<long>(options_.stall_inject_ms * 1000.0)));
+    }
     faultinject::maybe_throw(g_fault_route_drop, "route");
-    serve::Client::Reply r = link->submit(spec);
+    // Each leg -- first attempt, replay, or hedge -- gets the budget that
+    // is actually left, so a replayed job cannot spend 2x its deadline.
+    serve::JobSpec fwd = spec;
+    if (spec.deadline_ms > 0.0) {
+      const double remaining =
+          spec.deadline_ms - ms_since(t0, std::chrono::steady_clock::now());
+      if (remaining <= 0.0) throw RouterExpired{};
+      fwd.deadline_ms = remaining;
+    }
+    const auto t_submit = std::chrono::steady_clock::now();
+    serve::Client::Reply r = link->submit(fwd);
+    hist_forward_[static_cast<std::size_t>(worker)]->record(
+        ms_since(t_submit, std::chrono::steady_clock::now()));
     release_link(worker, std::move(*link));
     return r;
   } catch (...) {
     discard_link(worker);
     throw;
   }
+}
+
+double Router::hedge_delay_ms(int worker) const {
+  const serve::LatencyHistogram& hist =
+      *hist_forward_[static_cast<std::size_t>(worker)];
+  if (hist.count() < static_cast<std::uint64_t>(options_.hedge_min_samples))
+    return options_.hedge_max_ms;
+  return std::clamp(options_.hedge_factor * hist.quantile_ms(0.99),
+                    options_.hedge_min_ms, options_.hedge_max_ms);
+}
+
+serve::Client::Reply Router::forward_hedged(
+    int worker, const serve::JobSpec& spec,
+    std::chrono::steady_clock::time_point t0) {
+  if (!options_.hedge_enabled) return forward_leg(worker, spec, t0);
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    int legs_done = 0;
+    bool have_result = false;    ///< some leg produced a kJobResult
+    int result_leg = -1;
+    std::string winner_norm;     ///< normalized dump of the winning result
+    serve::Client::Reply reply[2];
+    bool have_reply[2] = {false, false};
+    std::exception_ptr err[2];
+  };
+  auto st = std::make_shared<State>();
+
+  // Legs run detached: the winner's reply must go out while the loser is
+  // still in flight.  inflight_legs_ keeps stop() from tearing down the
+  // link pools under a straggler; the shared_ptr keeps the state alive.
+  auto launch_leg = [this, st, spec, t0](int leg, int target) {
+    inflight_legs_.fetch_add(1, std::memory_order_acq_rel);
+    std::thread([this, st, spec, t0, leg, target] {
+      serve::Client::Reply r;
+      std::exception_ptr err;
+      try {
+        r = forward_leg(target, spec, t0);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(st->mu);
+        if (err != nullptr) {
+          st->err[leg] = err;
+        } else {
+          st->reply[leg] = std::move(r);
+          st->have_reply[leg] = true;
+          if (st->reply[leg].type == MsgType::kJobResult) {
+            const std::string norm =
+                serve::normalized_result(st->reply[leg].payload.get("result"))
+                    .dump();
+            if (!st->have_result) {
+              st->have_result = true;
+              st->result_leg = leg;
+              st->winner_norm = norm;
+              if (leg == 1)
+                hedges_won_.fetch_add(1, std::memory_order_relaxed);
+            } else if (norm != st->winner_norm) {
+              // Deterministic, content-addressed jobs make this impossible
+              // short of a real bug; the chaos soak asserts it stays zero.
+              hedge_mismatches_.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        ++st->legs_done;
+      }
+      st->cv.notify_all();
+      inflight_legs_.fetch_sub(1, std::memory_order_acq_rel);
+    }).detach();
+  };
+
+  launch_leg(0, worker);
+  int legs = 1;
+  const double delay_ms = hedge_delay_ms(worker);
+  std::unique_lock<std::mutex> lock(st->mu);
+  const auto primary_settled = [&] {
+    return st->have_result || st->have_reply[0] || st->err[0] != nullptr;
+  };
+  if (!st->cv.wait_for(lock,
+                       std::chrono::microseconds(
+                           static_cast<long>(delay_ms * 1000.0)),
+                       primary_settled)) {
+    // Primary is stalling.  Duplicate to the ring's alternate owner (the
+    // primary masked out of the alive set); safe because results are
+    // content-addressed and deterministic -- both workers publish
+    // bit-identical documents to the shared store.
+    std::vector<bool> mask = supervisor_.alive_mask();
+    mask[static_cast<std::size_t>(worker)] = false;
+    const int alternate = ring_.owner(spec.session_key(), mask);
+    if (alternate >= 0 && alternate != worker) {
+      hedges_launched_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      launch_leg(1, alternate);
+      lock.lock();
+      legs = 2;
+      if (options_.verbose)
+        std::fprintf(stderr, "[fleet] hedging '%s' %d -> %d after %.0f ms\n",
+                     spec.id.c_str(), worker, alternate, delay_ms);
+    } else {
+      hedges_skipped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // First result wins immediately.  With no result, defer to the primary
+  // leg's verdict (kJobRejected/kJobError relay untouched; transport
+  // errors replay) exactly as the unhedged path would -- unless only the
+  // hedge leg is still running and the primary already failed, in which
+  // case a late hedge result can still save the job.
+  st->cv.wait(lock, [&] {
+    return st->have_result ||
+           (st->have_reply[0] || st->err[0] != nullptr) ||
+           st->legs_done == legs;
+  });
+  if (st->have_result) return st->reply[st->result_leg];
+  if (st->have_reply[0]) return st->reply[0];
+  if (st->err[0] != nullptr) std::rethrow_exception(st->err[0]);
+  // Both legs done, no result, primary never reported: hedge leg only.
+  if (st->have_reply[1]) return st->reply[1];
+  std::rethrow_exception(st->err[1]);
 }
 
 void Router::handle_job(const std::shared_ptr<Connection>& conn,
@@ -297,23 +458,26 @@ void Router::handle_job(const std::shared_ptr<Connection>& conn,
   const std::uint64_t session_key = spec.session_key();
   std::string last_error = "no worker alive";
   const int max_attempts = std::max(1, options_.forward_max_attempts);
+  const auto expire = [&] {
+    jobs_expired_.fetch_add(1, std::memory_order_relaxed);
+    Json err = Json::object();
+    if (!spec.id.empty()) err.set("id", Json::string(spec.id));
+    err.set("error", Json::string("deadline exceeded during routing"));
+    err.set("expired", Json::boolean(true));
+    reply(conn, static_cast<std::uint32_t>(MsgType::kJobError), err);
+  };
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (!conn->open.load(std::memory_order_acquire)) return;
     if (spec.deadline_ms > 0.0 &&
         ms_since(t0, std::chrono::steady_clock::now()) > spec.deadline_ms) {
-      jobs_expired_.fetch_add(1, std::memory_order_relaxed);
-      Json err = Json::object();
-      if (!spec.id.empty()) err.set("id", Json::string(spec.id));
-      err.set("error", Json::string("deadline exceeded during routing"));
-      err.set("expired", Json::boolean(true));
-      reply(conn, static_cast<std::uint32_t>(MsgType::kJobError), err);
+      expire();
       return;
     }
     const int worker = ring_.owner(session_key, supervisor_.alive_mask());
     if (worker >= 0) {
       try {
         jobs_forwarded_.fetch_add(1, std::memory_order_relaxed);
-        const serve::Client::Reply r = forward_once(worker, spec);
+        const serve::Client::Reply r = forward_hedged(worker, spec, t0);
         // Worker verdicts relay untouched: backpressure (retry_after_ms,
         // breaker_open) and errors must reach the client as-is.
         switch (r.type) {
@@ -334,6 +498,9 @@ void Router::handle_job(const std::shared_ptr<Connection>& conn,
         return;
       } catch (const RouterShed&) {
         shed(options_.retry_after_ms);
+        return;
+      } catch (const RouterExpired&) {
+        expire();
         return;
       } catch (const std::exception& e) {
         // Transport failure: the worker died mid-job, the link tore, or
@@ -400,6 +567,12 @@ Json Router::metrics() {
   router.set("expired", n(jobs_expired_));
   router.set("protocol_errors", n(protocol_errors_));
   router.set("accept_errors", n(accept_errors_));
+  router.set("hedge_enabled", Json::boolean(options_.hedge_enabled));
+  router.set("hedges_launched", n(hedges_launched_));
+  router.set("hedges_won", n(hedges_won_));
+  router.set("hedges_skipped", n(hedges_skipped_));
+  router.set("hedge_mismatches", n(hedge_mismatches_));
+  router.set("stalls_injected", n(stalls_injected_));
   router.set("respawns",
              Json::number(static_cast<double>(supervisor_.total_respawns())));
   router.set("route_latency", hist_route_.to_json());
@@ -418,6 +591,8 @@ Json Router::metrics() {
     w.set("alive", Json::boolean(supervisor_.alive(i)));
     w.set("respawns",
           Json::number(static_cast<double>(supervisor_.respawns(i))));
+    w.set("forward_latency",
+          hist_forward_[static_cast<std::size_t>(i)]->to_json());
     if (supervisor_.alive(i)) {
       try {
         serve::ClientOptions copts;

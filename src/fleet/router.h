@@ -19,7 +19,18 @@
 //    re-forwarded with deterministic backoff until the supervisor's
 //    respawned worker answers.  Replays are safe because workers memoize
 //    results by content hash in the shared store -- a job whose reply was
-//    lost returns its bit-identical document without re-solving.
+//    lost returns its bit-identical document without re-solving;
+//  - hedged requests (opt-in): when the session owner has not answered
+//    after an adaptive delay derived from its forward-latency histogram
+//    (hedge_factor x p99, clamped to [hedge_min_ms, hedge_max_ms]), the
+//    job is duplicated to another alive worker.  The first kJobResult wins
+//    and is relayed immediately; the late loser's document is normalized
+//    and bit-compared against the winner's before being discarded
+//    (hedge_mismatches counts disagreements -- always zero, because job
+//    results are content-addressed and deterministic).  Non-result replies
+//    defer to the primary leg's outcome so backpressure semantics are
+//    unchanged.  Every forward -- first attempt, replay, or hedge leg --
+//    carries the *remaining* deadline budget, not the original deadline.
 //
 // kMetricsRequest answers with one aggregated JSON document: router
 // counters plus each worker's liveness, respawn count, and live metrics.
@@ -54,6 +65,16 @@ struct RouterOptions {
   int forward_max_attempts = 40;       ///< transport replays per job
   double forward_backoff_ms = 50.0;    ///< base of the replay backoff
   int ring_replicas = 64;
+  // Hedged requests (off by default: a second in-flight copy of every slow
+  // job doubles worst-case fleet load, so the caller opts in).
+  bool hedge_enabled = false;
+  double hedge_min_ms = 20.0;    ///< floor of the adaptive hedge delay
+  double hedge_max_ms = 1000.0;  ///< ceiling (also used below min samples)
+  double hedge_factor = 2.0;     ///< delay = factor x per-worker p99
+  int hedge_min_samples = 16;    ///< histogram depth before adapting
+  /// Duration of an injected fleet.worker_stall firing (the fault point
+  /// sleeps this long in the forward path, modeling a wedged worker).
+  double stall_inject_ms = 1500.0;
   bool verbose = false;
 };
 
@@ -104,8 +125,16 @@ class Router {
   void reader_loop(const std::shared_ptr<Connection>& conn);
   void handle_job(const std::shared_ptr<Connection>& conn,
                   const std::string& payload);
-  /// Forward one job to `worker`; throws on transport failure.
-  serve::Client::Reply forward_once(int worker, const serve::JobSpec& spec);
+  /// Forward one job to `worker` with the remaining deadline budget
+  /// (elapsed since `t0` already subtracted); throws on transport failure.
+  serve::Client::Reply forward_leg(int worker, const serve::JobSpec& spec,
+                                   std::chrono::steady_clock::time_point t0);
+  /// forward_leg wrapped in the hedging protocol (a plain synchronous leg
+  /// when hedging is disabled).
+  serve::Client::Reply forward_hedged(int worker, const serve::JobSpec& spec,
+                                      std::chrono::steady_clock::time_point t0);
+  /// The adaptive hedge delay for `worker` (factor x p99, clamped).
+  double hedge_delay_ms(int worker) const;
   void reply(const std::shared_ptr<Connection>& conn, std::uint32_t type,
              const serve::Json& payload);
 
@@ -145,7 +174,18 @@ class Router {
   std::atomic<std::uint64_t> jobs_expired_{0};     ///< died during replay
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> accept_errors_{0};
+  std::atomic<std::uint64_t> hedges_launched_{0};  ///< second legs started
+  std::atomic<std::uint64_t> hedges_won_{0};       ///< hedge leg answered 1st
+  std::atomic<std::uint64_t> hedges_skipped_{0};   ///< no alternate worker
+  std::atomic<std::uint64_t> hedge_mismatches_{0}; ///< loser != winner bytes
+  std::atomic<std::uint64_t> stalls_injected_{0};  ///< fleet.worker_stall
+  /// Hedge legs still running after their job's reply went out; stop()
+  /// waits for zero before tearing down the link pools they borrow from.
+  std::atomic<int> inflight_legs_{0};
   serve::LatencyHistogram hist_route_;  ///< client frame in -> reply out
+  /// Per-worker submit round-trip latency; feeds the adaptive hedge delay.
+  /// Injected stalls are excluded so the delay tracks *healthy* latency.
+  std::vector<std::unique_ptr<serve::LatencyHistogram>> hist_forward_;
 };
 
 /// No-op symbol anchor: referencing it from a test binary forces the

@@ -1,6 +1,7 @@
 #include "fleet/supervisor.h"
 
 #include <signal.h>
+#include <sys/prctl.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -14,6 +15,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "serde/result_store.h"
 #include "serve/client.h"
 
 extern char** environ;
@@ -77,6 +79,13 @@ void Supervisor::start() {
   if (options_.server_bin.empty())
     options_.server_bin = discover_server_bin();
   std::filesystem::create_directories(options_.runtime_dir);
+  // A previous fleet that died between write and rename leaks temp files
+  // into the shared snapshot/result dirs; reclaim provably-dead writers'
+  // leftovers before any worker starts publishing.
+  if (!options_.snapshot_dir.empty())
+    serde::reclaim_stale_tmp_files(options_.snapshot_dir);
+  if (!options_.result_store_dir.empty())
+    serde::reclaim_stale_tmp_files(options_.result_store_dir);
 
   workers_.clear();
   for (int i = 0; i < options_.workers; ++i) {
@@ -236,6 +245,10 @@ void Supervisor::spawn(Worker& worker) {
   if (pid < 0)
     throw Error(std::string("fleet: fork failed: ") + std::strerror(errno));
   if (pid == 0) {
+    // Die with the supervisor: an embedded fleet whose driver is SIGKILLed
+    // (the campaign crash drills do exactly that) must not leak workers.
+    // prctl is async-signal-safe; a failure just loses the tether.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
     ::execve(argv[0], argv.data(), envp.data());
     _exit(127);  // exec failed; async-signal-safe exit only
   }

@@ -1,12 +1,14 @@
 #include "serde/result_store.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -123,6 +125,40 @@ void quarantine_result(const std::string& dir, std::uint64_t key) {
   std::error_code ec;
   std::filesystem::rename(path, path + ".corrupt", ec);
   if (ec) std::filesystem::remove(path, ec);
+}
+
+int reclaim_stale_tmp_files(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return 0;
+  int reclaimed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    // Match "<base>.tmp.<pid>" and "<base>.tmp.<pid>.<seq>".
+    const std::size_t at = name.rfind(".tmp.");
+    if (at == std::string::npos) continue;
+    const std::string suffix = name.substr(at + 5);
+    const std::size_t dot = suffix.find('.');
+    const std::string pid_str = suffix.substr(0, dot);
+    if (pid_str.empty() ||
+        pid_str.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    if (dot != std::string::npos) {
+      const std::string seq_str = suffix.substr(dot + 1);
+      if (seq_str.empty() ||
+          seq_str.find_first_not_of("0123456789") != std::string::npos)
+        continue;
+    }
+    const long pid = std::strtol(pid_str.c_str(), nullptr, 10);
+    if (pid <= 0 || pid == static_cast<long>(::getpid())) continue;
+    // kill(pid, 0) probes liveness: ESRCH means the writer is gone and its
+    // temp file can never be renamed into place.  EPERM means alive (owned
+    // by someone else) -- leave it.
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) continue;
+    std::error_code rm_ec;
+    if (std::filesystem::remove(entry.path(), rm_ec)) ++reclaimed;
+  }
+  return reclaimed;
 }
 
 }  // namespace doseopt::serde

@@ -47,4 +47,11 @@ std::optional<std::string> read_result(const std::string& dir,
 /// falls back to deletion when the rename fails.  Never throws.
 void quarantine_result(const std::string& dir, std::uint64_t key);
 
+/// Delete orphaned "<name>.tmp.<pid>[.<seq>]" files left in `dir` by a
+/// process that crashed between write and rename.  Only files whose
+/// embedded pid is provably dead (and not our own) are removed -- a live
+/// writer's in-flight temp file is never touched.  Returns the number of
+/// files reclaimed; never throws, no-op on a missing directory.
+int reclaim_stale_tmp_files(const std::string& dir);
+
 }  // namespace doseopt::serde

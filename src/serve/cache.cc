@@ -28,10 +28,14 @@ SessionCache::SessionCache(std::string snapshot_dir,
                            std::string result_store_dir)
     : snapshot_dir_(std::move(snapshot_dir)),
       result_store_dir_(std::move(result_store_dir)) {
-  if (!snapshot_dir_.empty())
+  if (!snapshot_dir_.empty()) {
     std::filesystem::create_directories(snapshot_dir_);
-  if (!result_store_dir_.empty())
+    serde::reclaim_stale_tmp_files(snapshot_dir_);
+  }
+  if (!result_store_dir_.empty()) {
     std::filesystem::create_directories(result_store_dir_);
+    serde::reclaim_stale_tmp_files(result_store_dir_);
+  }
 }
 
 std::shared_ptr<SessionCache::Session> SessionCache::acquire(

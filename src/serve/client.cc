@@ -123,10 +123,28 @@ Client::Reply Client::submit_with_retry(const JobSpec& spec,
   std::string last_error;
   bool have_reply = false;
   const int attempts = std::max(1, policy.max_attempts);
+  const auto t0 = std::chrono::steady_clock::now();
   for (int attempt = 0; attempt < attempts; ++attempt) {
+    // A job with a deadline gets the *remaining* budget on each attempt:
+    // retries must not let the job spend a multiple of its deadline.
+    JobSpec attempt_spec = spec;
+    if (spec.deadline_ms > 0.0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      const double remaining = spec.deadline_ms - elapsed_ms;
+      if (remaining <= 0.0)
+        throw Error("client: job '" + spec.id + "' deadline (" +
+                    std::to_string(spec.deadline_ms) +
+                    " ms) exhausted before attempt " +
+                    std::to_string(attempt + 1) +
+                    (last_error.empty() ? "" : ": " + last_error));
+      attempt_spec.deadline_ms = remaining;
+    }
     try {
       if (fd_ < 0) reconnect();
-      reply = submit(spec);
+      reply = submit(attempt_spec);
       have_reply = true;
     } catch (const std::exception& e) {
       // Transport died mid-round-trip; the connection's framing state is

@@ -273,4 +273,21 @@ Json ssta_yield_result_to_json(const flow::SstaYieldResult& result) {
   return j;
 }
 
+Json normalized_result(const Json& result) {
+  Json r = result;
+  if (r.has("dmopt")) {
+    Json dm = r.get("dmopt");
+    dm.set("runtime_s", Json::number(0.0));
+    dm.set("solver_ms", Json::number(0.0));
+    r.set("dmopt", std::move(dm));
+  }
+  if (r.has("dosepl")) {
+    Json dp = r.get("dosepl");
+    dp.set("runtime_s", Json::number(0.0));
+    r.set("dosepl", std::move(dp));
+  }
+  if (r.has("stage_s")) r.set("stage_s", Json::number(0.0));
+  return r;
+}
+
 }  // namespace doseopt::serve

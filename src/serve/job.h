@@ -87,4 +87,12 @@ Json flow_result_to_json(const flow::FlowResult& result);
 /// whole document participates in bit-exact served-vs-direct comparisons.
 Json ssta_yield_result_to_json(const flow::SstaYieldResult& result);
 
+/// Zero the wall-clock fields of a result document (dmopt.runtime_s,
+/// dmopt.solver_ms, dosepl.runtime_s, stage_s) so that two executions of
+/// the same deterministic job compare bit-exact through Json::dump().
+/// Documents without those fields (ssta_yield) pass through unchanged.
+/// Shared by the loadgen verifier, the router's hedge cross-check, and the
+/// campaign driver's commit hashing.
+Json normalized_result(const Json& result);
+
 }  // namespace doseopt::serve

@@ -41,19 +41,26 @@ TEST(FaultSpec, ParsesAndRoundTrips) {
   }
   // Whitespace is trimmed; the canonical form is bare.
   EXPECT_EQ(fi::FaultSpec::parse("  once ").to_string(), "once");
-  // prob without an explicit seed defaults to seed 0.
-  const fi::FaultSpec p = fi::FaultSpec::parse("prob=0.5");
-  EXPECT_EQ(p.mode, fi::FaultSpec::Mode::kProb);
-  EXPECT_EQ(p.seed, 0u);
 
   EXPECT_THROW(fi::FaultSpec::parse(""), Error);
   EXPECT_THROW(fi::FaultSpec::parse("bogus"), Error);
   EXPECT_THROW(fi::FaultSpec::parse("nth=0"), Error);
   EXPECT_THROW(fi::FaultSpec::parse("nth=x"), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("nth=-4"), Error);
   EXPECT_THROW(fi::FaultSpec::parse("first=-1"), Error);
   EXPECT_THROW(fi::FaultSpec::parse("every="), Error);
-  EXPECT_THROW(fi::FaultSpec::parse("prob=1.5"), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("prob=1.5@1"), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("prob=-0.1@1"), Error);
   EXPECT_THROW(fi::FaultSpec::parse("prob=0.5@-2"), Error);
+  EXPECT_THROW(fi::FaultSpec::parse("prob=0.5@"), Error);
+  // The seed is mandatory: a silently defaulted seed masks an
+  // unconfigured experiment.
+  try {
+    fi::FaultSpec::parse("prob=0.5");
+    FAIL() << "expected prob without @SEED to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("@SEED"), std::string::npos);
+  }
 }
 
 TEST(FaultPoint, CountedModesFireDeterministically) {
@@ -197,6 +204,37 @@ TEST(FaultMaybeThrow, ThrowsTaggedErrorOnlyWhenFiring) {
     EXPECT_EQ(std::string(e.what()), "[fault:test.throw] socket read");
   }
   EXPECT_NO_THROW(fi::maybe_throw(*p, "socket read"));  // `once` spent
+  p->disarm();
+}
+
+TEST(FaultResolve, UnresolvedNamesAreListedAndRejectedOnDemand) {
+  fi::reset();
+  EXPECT_TRUE(fi::unresolved().empty());
+  EXPECT_NO_THROW(fi::require_resolved());
+
+  // A pending spec for a never-registered point is a feature for
+  // multi-binary sweeps, but single-binary tools must reject it loudly.
+  auto* p = new fi::FaultPoint("test.resolve");
+  fi::configure("test.resolve:once,test.typo_b:always,test.typo_a:once");
+  const std::vector<std::string> pending = fi::unresolved();
+  ASSERT_EQ(pending.size(), 2u);  // sorted, registered name excluded
+  EXPECT_EQ(pending[0], "test.typo_a");
+  EXPECT_EQ(pending[1], "test.typo_b");
+  try {
+    fi::require_resolved();
+    FAIL() << "expected require_resolved to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test.typo_a"), std::string::npos);
+    EXPECT_NE(what.find("test.typo_b"), std::string::npos);
+  }
+  // Late registration resolves one name; the other still trips.
+  auto* late = new fi::FaultPoint("test.typo_a");
+  EXPECT_TRUE(late->armed());
+  EXPECT_EQ(fi::unresolved(), std::vector<std::string>{"test.typo_b"});
+  EXPECT_THROW(fi::require_resolved(), Error);
+  fi::reset();
+  EXPECT_NO_THROW(fi::require_resolved());
   p->disarm();
 }
 

@@ -55,10 +55,12 @@ using serve::MsgType;
 /// keeps the two in sync.
 const std::vector<std::string>& sweep_manifest() {
   static const std::vector<std::string> names = {
+      "campaign.journal_torn",
       "dmopt.qcp_infeasible",
       "fleet.cache_corrupt",
       "fleet.route_drop",
       "fleet.worker_crash",
+      "fleet.worker_stall",
       "qp.admm_diverge",
       "qp.kkt_reject",
       "qp.mg_diverge",
@@ -203,10 +205,12 @@ TEST(FaultSweep, AnySingleInjectedFaultRecoversBitIdentical) {
   // write/frame/job on the wire, the QP and QCP ladders inside the solve,
   // the snapshot write at drain, and the result-store / snapshot reads at
   // the warm restart (an armed fleet.cache_corrupt fires at the disk memo
-  // read and is absorbed by quarantine + re-solve).  fleet.route_drop and
-  // fleet.worker_crash belong to the multi-process fleet -- the sweep runs
-  // test_fleet for those; worker_crash is additionally gated behind
-  // --crash-faults so it cannot fire in these in-process servers.  With no
+  // read and is absorbed by quarantine + re-solve).  fleet.route_drop,
+  // fleet.worker_crash, and fleet.worker_stall belong to the multi-process
+  // fleet -- the sweep runs test_fleet for those; worker_crash is
+  // additionally gated behind --crash-faults so it cannot fire in these
+  // in-process servers.  campaign.journal_torn fires inside the campaign
+  // journal writer (the sweep runs test_campaign for it).  With no
   // environment (the tier-1 run) the same flow must produce the reference
   // results with clean recovery telemetry.
   const auto& refs = references();

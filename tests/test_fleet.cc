@@ -459,5 +459,120 @@ TEST(FleetE2E, WorkerBackpressureRelaysThroughRouterUntouched) {
   std::filesystem::remove_all(dir);
 }
 
+// ---------------------------------------------------------------------------
+// Hedged requests: a stalled worker is raced by a duplicate leg.
+// ---------------------------------------------------------------------------
+
+TEST(FleetE2E, HedgeRescuesStalledWorkerBitIdentical) {
+  const auto& refs = reference_results();
+  const std::string dir = fleet_dir("hedge");
+
+  fleet::SupervisorOptions sup;
+  sup.runtime_dir = dir;
+  sup.snapshot_dir = dir + "/snapshots";
+  sup.result_store_dir = dir + "/results";
+  sup.workers = 2;
+  sup.lanes = 1;
+  fleet::Supervisor supervisor(sup);
+  supervisor.start();
+
+  fleet::RouterOptions route;
+  route.uds_path = dir + "/router.sock";
+  route.hedge_enabled = true;
+  route.hedge_max_ms = 200.0;  // below min_samples the delay IS the ceiling
+  route.stall_inject_ms = 1500.0;
+  fleet::Router router(route, supervisor);
+  router.start();
+
+  serve::Client client = serve::Client::connect_unix_path(route.uds_path);
+  const JobSpec spec = mixed_jobs()[0];
+  // Cold solve first: publishes the result to the shared store, so BOTH
+  // workers can answer the repeat (the hedge target reads it from disk).
+  ASSERT_TRUE(client.submit(spec).ok());
+
+  serve::Client::Reply reply;
+  double elapsed_ms = 0.0;
+  {
+    // The stall fires on the repeat's primary leg and wedges it for
+    // 1500 ms; the hedge launches after <= 200 ms and must win long
+    // before the primary recovers.
+    fi::ArmScope stall("fleet.worker_stall", "once");
+    const auto t0 = std::chrono::steady_clock::now();
+    reply = client.submit(spec);
+    elapsed_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  }
+  ASSERT_TRUE(reply.ok()) << reply.payload.dump();
+  EXPECT_EQ(normalized(reply.payload.get("result")).dump(),
+            refs.at("timing"));
+  EXPECT_LT(elapsed_ms, 1200.0);  // the stalled leg never gated the reply
+
+  // Let the stalled loser land so its result is bit-compared against the
+  // winner's (the mismatch counter must stay zero).
+  std::this_thread::sleep_for(std::chrono::milliseconds(1700));
+  const Json r = router.metrics().get("router");
+  EXPECT_TRUE(r.get_bool("hedge_enabled", false));
+  EXPECT_EQ(r.get_number("stalls_injected", -1.0), 1.0);
+  EXPECT_GE(r.get_number("hedges_launched", 0.0), 1.0);
+  EXPECT_GE(r.get_number("hedges_won", 0.0), 1.0);
+  EXPECT_EQ(r.get_number("hedge_mismatches", -1.0), 0.0);
+
+  router.stop();
+  supervisor.stop();
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline budget: each forward leg gets the REMAINING budget, so a stall
+// that eats the whole deadline expires the job instead of re-spending it.
+// ---------------------------------------------------------------------------
+
+TEST(FleetE2E, StallPastDeadlineExpiresInsteadOfRespending) {
+  const std::string dir = fleet_dir("deadline");
+
+  fleet::SupervisorOptions sup;
+  sup.runtime_dir = dir;
+  sup.snapshot_dir = dir + "/snapshots";
+  sup.result_store_dir = dir + "/results";
+  sup.workers = 1;
+  sup.lanes = 1;
+  fleet::Supervisor supervisor(sup);
+  supervisor.start();
+
+  fleet::RouterOptions route;
+  route.uds_path = dir + "/router.sock";
+  route.stall_inject_ms = 1000.0;
+  fleet::Router router(route, supervisor);
+  router.start();
+
+  serve::Client client = serve::Client::connect_unix_path(route.uds_path);
+  JobSpec spec = mixed_jobs()[0];
+  // Memoize first so the healthy round trip is far under the deadline.
+  ASSERT_TRUE(client.submit(spec).ok());
+
+  spec.deadline_ms = 800.0;
+  {
+    // The 1000 ms stall exhausts the 800 ms budget before the forward: the
+    // leg must see remaining <= 0 and expire the job rather than submit
+    // with the original (already-spent) deadline.
+    fi::ArmScope stall("fleet.worker_stall", "once");
+    const serve::Client::Reply reply = client.submit(spec);
+    EXPECT_EQ(reply.type, MsgType::kJobError) << reply.payload.dump();
+    EXPECT_TRUE(reply.payload.get_bool("expired", false))
+        << reply.payload.dump();
+  }
+  EXPECT_EQ(router.metrics().get("router").get_number("expired", -1.0), 1.0);
+
+  // With the stall disarmed the same deadline is generous: the memoized
+  // job lands instantly.
+  const serve::Client::Reply ok_reply = client.submit(spec);
+  ASSERT_TRUE(ok_reply.ok()) << ok_reply.payload.dump();
+
+  router.stop();
+  supervisor.stop();
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace doseopt

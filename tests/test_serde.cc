@@ -4,6 +4,7 @@
 // error, never undefined behavior).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -254,6 +255,45 @@ TEST(ResultStore, RoundTripMissesAndCorruptionErrors) {
   EXPECT_FALSE(std::filesystem::exists(path));
   EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
   EXPECT_FALSE(serde::read_result(dir, key).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, ReclaimsOnlyTmpFilesOfDeadProcesses) {
+  const std::string dir =
+      "/tmp/doseopt_test_tmpgc_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // A reaped child's pid is guaranteed dead (kill(pid, 0) -> ESRCH).
+  const pid_t dead = ::fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) ::_exit(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(dead, &status, 0), dead);
+
+  const auto plant = [&](const std::string& name) {
+    std::ofstream os(dir + "/" + name, std::ios::binary);
+    os << "partial";
+  };
+  plant("0123.res.tmp." + std::to_string(dead));          // dead, no seq
+  plant("0123.res.tmp." + std::to_string(dead) + ".3");   // dead, with seq
+  plant("4567.res.tmp." + std::to_string(::getpid()));    // our own: keep
+  plant("89ab.res.tmp.notapid");                          // malformed: keep
+  plant("cdef.res");                                      // real record: keep
+
+  EXPECT_EQ(serde::reclaim_stale_tmp_files(dir), 2);
+  EXPECT_FALSE(std::filesystem::exists(
+      dir + "/0123.res.tmp." + std::to_string(dead)));
+  EXPECT_FALSE(std::filesystem::exists(
+      dir + "/0123.res.tmp." + std::to_string(dead) + ".3"));
+  EXPECT_TRUE(std::filesystem::exists(
+      dir + "/4567.res.tmp." + std::to_string(::getpid())));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/89ab.res.tmp.notapid"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/cdef.res"));
+
+  // Idempotent, and a missing directory is a no-op, not an error.
+  EXPECT_EQ(serde::reclaim_stale_tmp_files(dir), 0);
+  EXPECT_EQ(serde::reclaim_stale_tmp_files(dir + "/missing"), 0);
   std::filesystem::remove_all(dir);
 }
 

@@ -1,0 +1,239 @@
+// Durable campaign driver: expand a wafer campaign spec into dose-map
+// jobs and execute them exactly-once through the write-ahead journal
+// (src/campaign).  A driver SIGKILLed at any instant is resumed with
+// --resume: committed jobs are answered from the shared result store
+// (hash-verified against the journal), in-flight jobs re-run, and the
+// final artifact comes out bit-identical to an uninterrupted run.
+//
+// Execution is local (in-process flow runs; default) or against a
+// serving fleet: --fleet N spawns an in-process supervisor + router,
+// --socket/--tcp connects to an external one.
+//
+// Usage:
+//   doseopt_campaign --runtime-dir DIR [--journal DIR] [--out FILE]
+//                    [--result-cache DIR] [--report FILE] [--resume]
+//                    [--fleet N | --socket PATH | --tcp PORT]
+//                    [--clients N] [--hedge]
+//                    [--designs aes65,aes90] [--scale F] [--seed N]
+//                    [--rounds N] [--grid UM] [--range PCT] [--classes N]
+//                    [--field-size MM] [--wafer-radius MM] [--deadline MS]
+//                    [--kill-after-intent N] [--stop-after-commits N]
+//                    [--kill-worker-at SEC] [--verbose]
+//
+// Crash drills: --kill-after-intent N SIGKILLs the driver itself right
+// after the Nth Intent record of this run is durable (the process dies
+// with exit code 137; rerun with --resume).  --kill-worker-at SEC
+// SIGKILLs a fleet worker mid-campaign to exercise respawn + replay.
+//
+// DOSEOPT_FAST=1 shrinks the default spec for CI.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "faultinject/fault.h"
+#include "fleet/router.h"
+#include "fleet/supervisor.h"
+#include "serve/json.h"
+
+using namespace doseopt;
+using serve::Json;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& reason = "") {
+  if (!reason.empty()) std::fprintf(stderr, "error: %s\n", reason.c_str());
+  std::fprintf(
+      stderr,
+      "usage: %s --runtime-dir DIR [--journal DIR] [--out FILE]\n"
+      "          [--result-cache DIR] [--report FILE] [--resume]\n"
+      "          [--fleet N | --socket PATH | --tcp PORT]\n"
+      "          [--clients N] [--hedge]\n"
+      "          [--designs aes65,aes90] [--scale F] [--seed N]\n"
+      "          [--rounds N] [--grid UM] [--range PCT] [--classes N]\n"
+      "          [--field-size MM] [--wafer-radius MM] [--deadline MS]\n"
+      "          [--kill-after-intent N] [--stop-after-commits N]\n"
+      "          [--kill-worker-at SEC] [--verbose]\n",
+      argv0);
+  std::exit(2);
+}
+
+bool fast_mode() {
+  const char* fast = std::getenv("DOSEOPT_FAST");
+  return fast != nullptr && fast[0] != '\0' && fast[0] != '0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  campaign::CampaignSpec spec;
+  campaign::CampaignOptions opts;
+  std::string runtime_dir;
+  std::string report_path;
+  int fleet_workers = 0;
+  bool hedge = false;
+  double kill_worker_at_s = 0.0;
+
+  if (fast_mode()) {
+    spec.designs = {"aes65"};
+    spec.scale = 0.02;
+    spec.rounds = 2;
+    spec.max_classes = 2;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], arg + " requires a value");
+      return argv[++i];
+    };
+    auto integer = [&](long min) -> long {
+      const std::string text = value();
+      long v = 0;
+      if (!try_parse_int(text, &v) || v < min)
+        usage(argv[0], arg + ": '" + text + "' is not a valid integer");
+      return v;
+    };
+    auto real = [&](double min) -> double {
+      const std::string text = value();
+      double v = 0.0;
+      if (!try_parse_double(text, &v) || v < min)
+        usage(argv[0], arg + ": '" + text + "' is not a valid number");
+      return v;
+    };
+    if (arg == "--runtime-dir") runtime_dir = value();
+    else if (arg == "--journal") opts.journal_dir = value();
+    else if (arg == "--out") opts.artifact_path = value();
+    else if (arg == "--result-cache") opts.result_store_dir = value();
+    else if (arg == "--report") report_path = value();
+    else if (arg == "--resume") opts.resume = true;
+    else if (arg == "--fleet") fleet_workers = static_cast<int>(integer(1));
+    else if (arg == "--socket") opts.socket = value();
+    else if (arg == "--tcp") opts.tcp_port = static_cast<int>(integer(0));
+    else if (arg == "--clients") opts.clients = static_cast<int>(integer(1));
+    else if (arg == "--hedge") hedge = true;
+    else if (arg == "--designs") {
+      spec.designs = split(value(), ",");
+      if (spec.designs.empty()) usage(argv[0], "--designs needs a list");
+    }
+    else if (arg == "--scale") spec.scale = real(0.001);
+    else if (arg == "--seed")
+      spec.seed = static_cast<std::uint64_t>(integer(0));
+    else if (arg == "--rounds") spec.rounds = static_cast<int>(integer(1));
+    else if (arg == "--grid") spec.grid_um = real(1.0);
+    else if (arg == "--range") spec.dose_range_pct = real(0.5);
+    else if (arg == "--classes")
+      spec.max_classes = static_cast<int>(integer(1));
+    else if (arg == "--field-size") spec.wafer.field_size_mm = real(5.0);
+    else if (arg == "--wafer-radius")
+      spec.wafer.wafer_radius_mm = real(20.0);
+    else if (arg == "--deadline") spec.deadline_ms = real(0.0);
+    else if (arg == "--kill-after-intent")
+      opts.kill_after_intents = static_cast<int>(integer(1));
+    else if (arg == "--stop-after-commits")
+      opts.stop_after_commits = static_cast<int>(integer(1));
+    else if (arg == "--kill-worker-at") kill_worker_at_s = real(0.0);
+    else if (arg == "--verbose") opts.verbose = true;
+    else usage(argv[0], "unknown argument: " + arg);
+  }
+
+  const bool external = !opts.socket.empty() || opts.tcp_port >= 0;
+  if (runtime_dir.empty() && (opts.journal_dir.empty() ||
+                              opts.result_store_dir.empty()))
+    usage(argv[0], "need --runtime-dir DIR (or explicit --journal and "
+                   "--result-cache)");
+  if (fleet_workers > 0 && external)
+    usage(argv[0], "--fleet is exclusive with --socket/--tcp");
+  if (kill_worker_at_s > 0.0 && fleet_workers == 0)
+    usage(argv[0], "--kill-worker-at needs --fleet N");
+  if (!runtime_dir.empty()) {
+    if (opts.journal_dir.empty()) opts.journal_dir = runtime_dir + "/journal";
+    if (opts.result_store_dir.empty())
+      opts.result_store_dir = runtime_dir + "/results";
+    if (opts.artifact_path.empty())
+      opts.artifact_path = runtime_dir + "/artifact.json";
+    if (opts.snapshot_dir.empty() && fleet_workers == 0 && !external)
+      opts.snapshot_dir = runtime_dir + "/snapshots";
+  }
+
+  try {
+    // Every subsystem is linked into this binary, so a configured fault
+    // name that never registered is a typo -- fail loudly up front.
+    faultinject::require_resolved();
+
+    std::unique_ptr<fleet::Supervisor> supervisor;
+    std::unique_ptr<fleet::Router> router;
+    std::atomic<bool> done{false};
+    std::thread killer;
+    if (fleet_workers > 0) {
+      fleet::SupervisorOptions sup;
+      sup.runtime_dir =
+          runtime_dir.empty() ? opts.journal_dir + "/../fleet" : runtime_dir;
+      sup.snapshot_dir = sup.runtime_dir + "/snapshots";
+      sup.result_store_dir = opts.result_store_dir;
+      sup.workers = fleet_workers;
+      sup.verbose = opts.verbose;
+      supervisor = std::make_unique<fleet::Supervisor>(sup);
+      supervisor->start();
+      fleet::RouterOptions route;
+      route.uds_path = sup.runtime_dir + "/router.sock";
+      route.hedge_enabled = hedge;
+      route.verbose = opts.verbose;
+      router = std::make_unique<fleet::Router>(route, *supervisor);
+      router->start();
+      opts.exec = campaign::ExecMode::kServed;
+      opts.socket = route.uds_path;
+      if (kill_worker_at_s > 0.0) {
+        killer = std::thread([&] {
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration<double>(kill_worker_at_s);
+          while (!done.load(std::memory_order_acquire) &&
+                 std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          if (!done.load(std::memory_order_acquire)) {
+            std::fprintf(stderr,
+                         "doseopt_campaign: killing worker 0 (drill)\n");
+            supervisor->kill_worker(0);
+          }
+        });
+      }
+    } else if (external) {
+      opts.exec = campaign::ExecMode::kServed;
+    }
+
+    const campaign::CampaignReport report = campaign::run_campaign(spec, opts);
+
+    done.store(true, std::memory_order_release);
+    if (killer.joinable()) killer.join();
+    if (router) router->stop();
+    if (supervisor) supervisor->stop();
+
+    const Json doc = report.to_json();
+    std::printf("%s\n", doc.dump().c_str());
+    if (!report_path.empty()) {
+      std::ofstream os(report_path);
+      os << doc.dump() << "\n";
+    }
+    if (!report.completed) {
+      std::fprintf(stderr, "doseopt_campaign: stopped early (partial run); "
+                           "rerun with --resume\n");
+      return 3;
+    }
+  } catch (const doseopt::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

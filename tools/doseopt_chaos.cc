@@ -1,0 +1,441 @@
+// Chaos-soak harness for durable campaign execution.
+//
+// Runs a time-boxed sequence of seeded chaos epochs against the campaign
+// driver and asserts, after every epoch, the invariants that make the
+// journal + result-store design trustworthy:
+//
+//   * no lost or duplicated jobs: the replayed journal commits every job
+//     index exactly once and carries an End record;
+//   * the journal is always replayable (checksummed frames, torn tails
+//     confined to the final segment);
+//   * the final artifact is BIT-IDENTICAL to a fault-free reference run,
+//     no matter which faults fired (torn journal appends, dropped router
+//     legs, stalled or SIGKILLed workers, driver stop + --resume).
+//
+// Epoch kinds rotate under a seeded RNG:
+//   0: local run with a torn journal append injected mid-campaign
+//      (campaign.journal_torn) -- the writer recovery ladder must absorb it;
+//   1: local partial run (stop after N commits) followed by a resume --
+//      measures resume latency, proves exactly-once handoff;
+//   2: served run through a hedged router with route drops + worker stalls
+//      armed, sometimes SIGKILLing a worker mid-campaign.
+//
+// Also benchmarks hedging: the same memoized job is replayed through a
+// plain and a hedged router while fleet.worker_stall injects 150 ms
+// stalls; the report compares p99 latency and counts hedge wins.  Every
+// hedge loser is bit-compared against the winner (hedge_mismatches must
+// stay zero).
+//
+// Emits BENCH_campaign.json and exits non-zero on any violation.
+//
+// Usage:
+//   doseopt_chaos [--seconds N] [--seed N] [--out FILE]
+//                 [--runtime-dir DIR] [--verbose]
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "faultinject/fault.h"
+#include "fleet/router.h"
+#include "fleet/supervisor.h"
+#include "serde/journal.h"
+#include "serve/client.h"
+#include "serve/json.h"
+
+using namespace doseopt;
+using serve::Json;
+namespace fi = faultinject;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& reason = "") {
+  if (!reason.empty()) std::fprintf(stderr, "error: %s\n", reason.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--seconds N] [--seed N] [--out FILE]\n"
+               "          [--runtime-dir DIR] [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool fast_mode() {
+  const char* fast = std::getenv("DOSEOPT_FAST");
+  return fast != nullptr && fast[0] != '\0' && fast[0] != '0';
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("chaos: cannot read " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  return v[lo] + (rank - static_cast<double>(lo)) * (v[hi] - v[lo]);
+}
+
+struct Violations {
+  int count = 0;
+  void check(bool ok, const std::string& what) {
+    if (ok) return;
+    ++count;
+    std::fprintf(stderr, "chaos: VIOLATION: %s\n", what.c_str());
+  }
+};
+
+/// Journal-level exactly-once audit: replayable, every index committed
+/// exactly once, sealed with End.
+void audit_journal(const std::string& journal_dir, int expect_total,
+                   Violations& v, const std::string& tag) {
+  try {
+    const serde::JournalReplay replay = serde::replay_journal(journal_dir);
+    const campaign::JournalState state = campaign::scan_journal(replay);
+    v.check(state.has_begin, tag + ": journal has no Begin");
+    v.check(static_cast<int>(state.begin.total) == expect_total,
+            tag + ": Begin total != expanded job count");
+    v.check(static_cast<int>(state.committed.size()) == expect_total,
+            tag + ": committed " + std::to_string(state.committed.size()) +
+                "/" + std::to_string(expect_total) + " jobs");
+    v.check(state.in_flight() == 0, tag + ": dangling in-flight intents");
+    v.check(state.ended, tag + ": journal not sealed with End");
+  } catch (const std::exception& e) {
+    v.check(false, tag + ": journal replay failed: " + e.what());
+  }
+}
+
+struct Config {
+  double seconds = 60.0;
+  std::uint64_t seed = 1;
+  std::string out = "BENCH_campaign.json";
+  std::string runtime_dir;
+  bool verbose = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], arg + " requires a value");
+      return argv[++i];
+    };
+    if (arg == "--seconds") {
+      double v = 0.0;
+      if (!try_parse_double(value(), &v) || v <= 0.0)
+        usage(argv[0], "--seconds needs a positive number");
+      cfg.seconds = v;
+    } else if (arg == "--seed") {
+      long v = 0;
+      if (!try_parse_int(value(), &v) || v < 0)
+        usage(argv[0], "--seed needs a non-negative integer");
+      cfg.seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--out") {
+      cfg.out = value();
+    } else if (arg == "--runtime-dir") {
+      cfg.runtime_dir = value();
+    } else if (arg == "--verbose") {
+      cfg.verbose = true;
+    } else {
+      usage(argv[0], "unknown argument: " + arg);
+    }
+  }
+  if (cfg.runtime_dir.empty())
+    cfg.runtime_dir = "/tmp/doseopt_chaos_" + std::to_string(::getpid());
+
+  try {
+    fi::require_resolved();
+    const auto t_start = std::chrono::steady_clock::now();
+    const auto t_end =
+        t_start + std::chrono::duration<double>(cfg.seconds);
+    auto now_s = [&] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t_start)
+          .count();
+    };
+
+    campaign::CampaignSpec spec;
+    spec.name = "chaos";
+    spec.designs = fast_mode() ? std::vector<std::string>{"aes65"}
+                               : std::vector<std::string>{"aes65", "aes90"};
+    spec.scale = 0.02;
+    spec.rounds = 2;
+    spec.max_classes = 2;
+    const int jobs_total =
+        static_cast<int>(campaign::expand_campaign(spec).size());
+    const std::string store_dir = cfg.runtime_dir + "/results";
+
+    // ---- Fault-free reference: artifact bytes every epoch must hit.
+    campaign::CampaignOptions ref;
+    ref.journal_dir = cfg.runtime_dir + "/reference/journal";
+    ref.artifact_path = cfg.runtime_dir + "/reference/artifact.json";
+    ref.result_store_dir = store_dir;
+    ref.verbose = cfg.verbose;
+    std::printf("chaos: reference run (%d jobs)...\n", jobs_total);
+    std::fflush(stdout);
+    const campaign::CampaignReport ref_report =
+        campaign::run_campaign(spec, ref);
+    const std::string ref_artifact = read_file(ref.artifact_path);
+    std::printf("chaos: reference in %.1fs (artifact fnv %016llx)\n",
+                ref_report.wall_s,
+                static_cast<unsigned long long>(ref_report.artifact_fnv));
+    std::fflush(stdout);
+
+    Violations violations;
+
+    // ---- Persistent chaos fleet: 2 workers behind a hedged router.  The
+    // shared result store makes epoch replays memo-fast; hedging is armed
+    // so injected stalls get rescued (and every rescue bit-compared).
+    fleet::SupervisorOptions sup;
+    sup.runtime_dir = cfg.runtime_dir + "/fleet";
+    sup.snapshot_dir = sup.runtime_dir + "/snapshots";
+    sup.result_store_dir = store_dir;
+    sup.workers = 2;
+    sup.verbose = cfg.verbose;
+    fleet::Supervisor supervisor(sup);
+    supervisor.start();
+
+    // ---- Hedging A/B on a memoized job under injected stalls.
+    const serve::JobSpec memo_job = campaign::expand_campaign(spec)[0].spec;
+    const int ab_requests = 60;
+    const std::string stall_spec =
+        "prob=0.15@" + std::to_string(cfg.seed + 7);
+    std::vector<double> lat_plain, lat_hedged;
+    std::uint64_t hedges_launched = 0, hedges_won = 0, hedge_mismatches = 0,
+                  stalls_injected = 0;
+    for (const bool hedged : {false, true}) {
+      fleet::RouterOptions route;
+      route.uds_path = sup.runtime_dir +
+                       (hedged ? "/ab_hedged.sock" : "/ab_plain.sock");
+      route.hedge_enabled = hedged;
+      route.hedge_min_samples = 8;
+      route.stall_inject_ms = 150.0;
+      route.verbose = cfg.verbose;
+      fleet::Router router(route, supervisor);
+      router.start();
+      serve::ClientOptions copts;
+      copts.connect_timeout_ms = 2000;
+      serve::Client client =
+          serve::Client::connect_unix_path(route.uds_path, copts);
+      // Warm both workers' histograms and the store before arming faults.
+      for (int r = 0; r < 8; ++r) (void)client.submit_with_retry(memo_job);
+      {
+        fi::ArmScope stall("fleet.worker_stall", stall_spec);
+        for (int r = 0; r < ab_requests; ++r) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const serve::Client::Reply reply =
+              client.submit_with_retry(memo_job);
+          const double ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+          if (reply.type != serve::MsgType::kJobResult)
+            violations.check(false, "hedge A/B job failed");
+          (hedged ? lat_hedged : lat_plain).push_back(ms);
+        }
+      }
+      const Json m = router.metrics().get("router");
+      if (hedged) {
+        hedges_launched = static_cast<std::uint64_t>(
+            m.get_number("hedges_launched", 0.0));
+        hedges_won =
+            static_cast<std::uint64_t>(m.get_number("hedges_won", 0.0));
+        hedge_mismatches = static_cast<std::uint64_t>(
+            m.get_number("hedge_mismatches", 0.0));
+      }
+      stalls_injected += static_cast<std::uint64_t>(
+          m.get_number("stalls_injected", 0.0));
+      router.stop();
+    }
+    violations.check(hedge_mismatches == 0,
+                     "hedge losers disagreed with winners");
+    violations.check(stalls_injected > 0, "stall fault never fired in A/B");
+    std::printf("chaos: A/B p99 plain=%.1fms hedged=%.1fms "
+                "(hedges %llu launched, %llu won)\n",
+                percentile(lat_plain, 0.99), percentile(lat_hedged, 0.99),
+                static_cast<unsigned long long>(hedges_launched),
+                static_cast<unsigned long long>(hedges_won));
+    std::fflush(stdout);
+
+    // ---- Chaos epochs: run until the time box closes (always >= 3, one
+    // of each kind).
+    fleet::RouterOptions chaos_route;
+    chaos_route.uds_path = sup.runtime_dir + "/chaos.sock";
+    chaos_route.hedge_enabled = true;
+    chaos_route.hedge_min_samples = 8;
+    chaos_route.stall_inject_ms = 150.0;
+    chaos_route.verbose = cfg.verbose;
+    fleet::Router chaos_router(chaos_route, supervisor);
+    chaos_router.start();
+
+    Rng rng(cfg.seed);
+    int epochs = 0, resume_runs = 0;
+    std::vector<double> resume_ms;
+    while (epochs < 3 || std::chrono::steady_clock::now() < t_end) {
+      if (epochs >= 3 && std::chrono::steady_clock::now() >= t_end) break;
+      const int kind = epochs < 3 ? epochs : static_cast<int>(
+                                                 rng.uniform_index(3));
+      const std::string tag = "epoch " + std::to_string(epochs) + " kind " +
+                              std::to_string(kind);
+      const std::string dir =
+          cfg.runtime_dir + "/epoch" + std::to_string(epochs);
+      campaign::CampaignOptions opts;
+      opts.journal_dir = dir + "/journal";
+      opts.artifact_path = dir + "/artifact.json";
+      opts.result_store_dir = store_dir;
+      opts.verbose = cfg.verbose;
+      try {
+        if (kind == 0) {
+          // Torn journal append mid-campaign; the writer recovery ladder
+          // must absorb it without losing a record.
+          const std::uint64_t nth = 1 + rng.uniform_index(8);
+          fi::ArmScope torn("campaign.journal_torn",
+                            "nth=" + std::to_string(nth));
+          const campaign::CampaignReport r = campaign::run_campaign(spec, opts);
+          violations.check(r.completed, tag + ": did not complete");
+        } else if (kind == 1) {
+          // Partial run + resume: exactly-once across a driver restart.
+          campaign::CampaignOptions partial = opts;
+          partial.stop_after_commits =
+              1 + static_cast<int>(rng.uniform_index(
+                      static_cast<std::uint64_t>(jobs_total - 1)));
+          const campaign::CampaignReport p =
+              campaign::run_campaign(spec, partial);
+          violations.check(!p.completed, tag + ": partial run completed?");
+          campaign::CampaignOptions res = opts;
+          res.resume = true;
+          const campaign::CampaignReport r = campaign::run_campaign(spec, res);
+          ++resume_runs;
+          resume_ms.push_back(r.resume_replay_ms);
+          violations.check(r.completed, tag + ": resume did not complete");
+          violations.check(r.committed_prior >= partial.stop_after_commits,
+                           tag + ": resume lost prior commits");
+        } else {
+          // Served through the hedged router with drops + stalls armed,
+          // sometimes SIGKILLing a worker mid-campaign.
+          const std::string s = std::to_string(cfg.seed + 100 +
+                                               static_cast<unsigned>(epochs));
+          fi::ArmScope drop("fleet.route_drop", "prob=0.10@" + s);
+          fi::ArmScope stall("fleet.worker_stall", "prob=0.05@" + s);
+          campaign::CampaignOptions served = opts;
+          served.exec = campaign::ExecMode::kServed;
+          served.socket = chaos_route.uds_path;
+          std::atomic<bool> done{false};
+          std::thread killer;
+          if (rng.uniform_index(2) == 0) {
+            killer = std::thread([&] {
+              std::this_thread::sleep_for(std::chrono::milliseconds(100));
+              if (!done.load(std::memory_order_acquire))
+                supervisor.kill_worker(
+                    static_cast<int>(epochs) % sup.workers);
+            });
+          }
+          const campaign::CampaignReport r =
+              campaign::run_campaign(spec, served);
+          done.store(true, std::memory_order_release);
+          if (killer.joinable()) killer.join();
+          violations.check(r.completed, tag + ": did not complete");
+        }
+      } catch (const std::exception& e) {
+        violations.check(false, tag + ": threw: " + e.what());
+      }
+      // Invariants: bit-identical artifact, exactly-once journal.
+      try {
+        violations.check(read_file(opts.artifact_path) == ref_artifact,
+                         tag + ": artifact differs from reference");
+      } catch (const std::exception& e) {
+        violations.check(false, tag + ": " + e.what());
+      }
+      audit_journal(opts.journal_dir, jobs_total, violations, tag);
+      if (cfg.verbose || violations.count > 0)
+        std::printf("chaos: %s done (%.1fs elapsed, %d violations)\n",
+                    tag.c_str(), now_s(), violations.count);
+      std::fflush(stdout);
+      ++epochs;
+    }
+
+    const Json chaos_metrics = chaos_router.metrics().get("router");
+    violations.check(
+        chaos_metrics.get_number("hedge_mismatches", 0.0) == 0.0,
+        "chaos router hedge losers disagreed with winners");
+    chaos_router.stop();
+    supervisor.stop();
+
+    Json bench = Json::object();
+    bench.set("bench", Json::string("campaign"));
+    bench.set("fast_mode", Json::boolean(fast_mode()));
+    bench.set("seed", Json::number(static_cast<double>(cfg.seed)));
+    Json camp = Json::object();
+    camp.set("jobs", Json::number(jobs_total));
+    camp.set("epochs", Json::number(epochs));
+    camp.set("resume_runs", Json::number(resume_runs));
+    camp.set("violations", Json::number(violations.count));
+    camp.set("reference_wall_s", Json::number(ref_report.wall_s));
+    camp.set("throughput_jobs_per_s",
+             Json::number(ref_report.wall_s > 0.0
+                              ? jobs_total / ref_report.wall_s
+                              : 0.0));
+    camp.set("resume_latency_ms_mean",
+             Json::number(resume_ms.empty()
+                              ? 0.0
+                              : std::accumulate(resume_ms.begin(),
+                                                resume_ms.end(), 0.0) /
+                                    static_cast<double>(resume_ms.size())));
+    bench.set("campaign", std::move(camp));
+    Json hedging = Json::object();
+    hedging.set("stall_prob", Json::number(0.15));
+    hedging.set("stall_ms", Json::number(150.0));
+    hedging.set("requests", Json::number(ab_requests));
+    hedging.set("p50_plain_ms", Json::number(percentile(lat_plain, 0.50)));
+    hedging.set("p99_plain_ms", Json::number(percentile(lat_plain, 0.99)));
+    hedging.set("p50_hedged_ms", Json::number(percentile(lat_hedged, 0.50)));
+    hedging.set("p99_hedged_ms", Json::number(percentile(lat_hedged, 0.99)));
+    hedging.set("hedges_launched",
+                Json::number(static_cast<double>(hedges_launched)));
+    hedging.set("hedges_won", Json::number(static_cast<double>(hedges_won)));
+    hedging.set("hedge_mismatches",
+                Json::number(static_cast<double>(hedge_mismatches)));
+    hedging.set("stalls_injected",
+                Json::number(static_cast<double>(stalls_injected)));
+    bench.set("hedging", std::move(hedging));
+    bench.set("wall_s", Json::number(now_s()));
+
+    std::ofstream os(cfg.out);
+    os << bench.dump() << "\n";
+    std::printf("chaos: %d epochs (%d resumes), %d violations, wrote %s\n",
+                epochs, resume_runs, violations.count, cfg.out.c_str());
+
+    if (violations.count != 0) {
+      std::fprintf(stderr, "chaos: FAILED (%d violations); runtime kept at "
+                           "%s\n",
+                   violations.count, cfg.runtime_dir.c_str());
+      return 1;
+    }
+    std::filesystem::remove_all(cfg.runtime_dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

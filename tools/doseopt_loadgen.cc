@@ -73,22 +73,8 @@ bool fast_mode() {
   return fast != nullptr && fast[0] != '\0' && fast[0] != '0';
 }
 
-/// Zero wall-clock fields; everything else compares bit-exact (mirrors the
-/// serve/fleet test helpers).
-Json normalized(const Json& result) {
-  Json r = result;
-  Json dm = r.get("dmopt");
-  dm.set("runtime_s", Json::number(0.0));
-  dm.set("solver_ms", Json::number(0.0));
-  r.set("dmopt", std::move(dm));
-  if (r.has("dosepl")) {
-    Json dp = r.get("dosepl");
-    dp.set("runtime_s", Json::number(0.0));
-    r.set("dosepl", std::move(dp));
-  }
-  r.set("stage_s", Json::number(0.0));
-  return r;
-}
+/// Zero wall-clock fields; everything else compares bit-exact.
+Json normalized(const Json& result) { return serve::normalized_result(result); }
 
 struct TraceEntry {
   JobSpec spec;

@@ -108,6 +108,14 @@ int main(int argc, char** argv) {
   if (options.uds_path.empty() && options.tcp_port < 0)
     usage(argv[0], "need --socket PATH and/or --tcp PORT");
 
+  // Warn (don't fail) on DOSEOPT_FAULTS names with no point in this binary:
+  // fleet workers legitimately inherit router-only specs (fleet.route_drop)
+  // from the supervisor's environment during env-driven sweeps.
+  for (const std::string& name : faultinject::unresolved())
+    std::fprintf(stderr,
+                 "doseopt_server: warning: fault point '%s' is configured "
+                 "but not registered in this binary\n", name.c_str());
+
   try {
     serve::Server server(options);
     g_server = &server;
